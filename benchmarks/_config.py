@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+All benchmarks honour three environment variables so the same files serve
+both quick CI runs and full paper-scale measurements:
+
+* ``REPRO_BENCH_SCALE``   — model-order scale factor (default 0.05; the
+  paper's full sizes are scale 1.0);
+* ``REPRO_BENCH_THREADS`` — parallel thread count (default 8; paper: 16);
+* ``REPRO_BENCH_REPEATS`` — randomized repetitions for the statistical
+  experiments (default 3; paper Fig. 6: 20).
+
+Formatted result tables are also written under ``benchmarks/results/`` so
+the reproduction artifacts survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_THREADS = int(os.environ.get("REPRO_BENCH_THREADS", "8"))
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a formatted result table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    header = (
+        f"# scale={BENCH_SCALE} threads={BENCH_THREADS}"
+        f" repeats={BENCH_REPEATS}\n"
+    )
+    path.write_text(header + content + "\n")
+    return path

@@ -1,0 +1,64 @@
+"""Supporting-pipeline benchmarks: fitting, characterization, enforcement.
+
+Not a paper table, but the "few seconds, almost real-time" claim of the
+conclusions covers the whole characterization flow; these benchmarks keep
+every pipeline stage's cost visible so regressions are caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _config import BENCH_SCALE
+from repro.core.options import SolverOptions
+from repro.passivity.characterization import characterize_passivity
+from repro.passivity.enforcement import enforce_passivity
+from repro.synth.generator import random_macromodel
+from repro.vectfit.vector_fitting import vector_fit
+
+OPTIONS = SolverOptions()
+
+NUM_POLES = max(8, int(40 * BENCH_SCALE * 10))
+
+
+@pytest.fixture(scope="module")
+def source_model():
+    return random_macromodel(NUM_POLES, 4, seed=777, sigma_target=1.05)
+
+
+@pytest.fixture(scope="module")
+def samples(source_model):
+    freqs = np.linspace(0.01, 16.0, 300)
+    return freqs, source_model.frequency_response(freqs)
+
+
+def test_vector_fitting(benchmark, source_model, samples):
+    freqs, responses = samples
+    fit = benchmark.pedantic(
+        lambda: vector_fit(freqs, responses, num_poles=source_model.num_poles),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rms_error"] = fit.rms_error
+    assert fit.rms_error < 1e-6
+
+
+def test_characterization(benchmark, source_model):
+    report = benchmark.pedantic(
+        lambda: characterize_passivity(source_model, num_threads=2, options=OPTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["bands"] = len(report.bands)
+    assert not report.passive
+
+
+def test_enforcement(benchmark, source_model):
+    result = benchmark.pedantic(
+        lambda: enforce_passivity(source_model, num_threads=2, options=OPTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["iterations"] = result.iterations
+    assert result.passive

@@ -1,0 +1,98 @@
+"""EDA file-format workflow: Touchstone in, passive Touchstone out.
+
+Mirrors how the library slots into a real signal-integrity flow:
+
+1. a measured/simulated ``.sNp`` file is read;
+2. a rational macromodel is identified with Vector Fitting;
+3. the macromodel is characterized and (if needed) made passive;
+4. the passive model is resampled and written back to a new ``.sNp``.
+
+Since this repository is self-contained, step 0 synthesizes the input
+file from a random device model.
+
+Run:  python examples/touchstone_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    characterize_passivity,
+    enforce_passivity,
+    read_touchstone,
+    vector_fit,
+    write_touchstone,
+)
+from repro.synth import random_macromodel
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_touchstone_"))
+
+    # ------------------------------------------------------------------
+    # 0. Synthesize the "measured" file (stand-in for a VNA export).
+    # ------------------------------------------------------------------
+    device = random_macromodel(12, 2, seed=19, sigma_target=1.03)
+    freqs_rad = np.linspace(0.05, 14.0, 280)
+    freqs_hz = freqs_rad / (2.0 * np.pi)
+    raw_path = write_touchstone(
+        workdir / "device_raw.s2p",
+        freqs_hz,
+        device.frequency_response(freqs_rad),
+        fmt="RI",
+        comment="synthetic device measurement (repro example)",
+    )
+    print(f"wrote raw measurement: {raw_path}")
+
+    # ------------------------------------------------------------------
+    # 1. Read it back (real flows start here).
+    # ------------------------------------------------------------------
+    data = read_touchstone(raw_path)
+    print(
+        f"read {data.num_ports}-port {data.parameter}-parameters,"
+        f" {data.freqs_hz.size} points, z0={data.z0} ohm"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Identify the macromodel.
+    # ------------------------------------------------------------------
+    fit = vector_fit(data.freqs_rad, data.matrices, num_poles=12)
+    print(f"fit: rms error {fit.rms_error:.2e} over the band")
+
+    # ------------------------------------------------------------------
+    # 3. Check and enforce passivity.
+    # ------------------------------------------------------------------
+    report = characterize_passivity(fit.model, num_threads=2)
+    print(f"characterization: {report.summary()}")
+    model = fit.model
+    if not report.passive:
+        enforced = enforce_passivity(model, num_threads=2)
+        model = enforced.model
+        print(
+            f"enforced in {enforced.iterations} iteration(s);"
+            f" now passive={enforced.passive}"
+        )
+
+    # ------------------------------------------------------------------
+    # 4. Export the passive model on a denser grid.
+    # ------------------------------------------------------------------
+    dense_rad = np.linspace(0.05, 20.0, 500)
+    out_path = write_touchstone(
+        workdir / "device_passive.s2p",
+        dense_rad / (2.0 * np.pi),
+        model.frequency_response(dense_rad),
+        fmt="RI",
+        comment="passive macromodel resampled by repro",
+    )
+    print(f"wrote passive model: {out_path}")
+
+    # Round-trip sanity check.
+    back = read_touchstone(out_path)
+    peak = np.linalg.svd(back.matrices, compute_uv=False).max()
+    print(f"peak singular value in exported file: {peak:.6f} (< 1 expected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work offline.
+
+The offline environment lacks the `wheel` package needed by PEP 660
+editable installs; the legacy `setup.py develop` path needs only
+setuptools.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — parallel Hamiltonian eigensolver for passivity characterization
+and enforcement of large interconnect macromodels.
+
+Reproduction of L. Gobbato, A. Chinea, S. Grivet-Talocia, DATE 2011
+(DOI 10.1109/DATE.2011.5763011).  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-vs-measured results.
+
+Typical flow::
+
+    from repro import (
+        vector_fit, characterize_passivity, enforce_passivity,
+        find_imaginary_eigenvalues,
+    )
+
+    fit = vector_fit(freqs_rad, samples, num_poles=40)   # identify model
+    report = characterize_passivity(fit.model, num_threads=8)
+    if not report.passive:
+        result = enforce_passivity(fit.model, num_threads=8)
+"""
+
+from repro.core.options import SolverOptions
+from repro.core.results import SolveResult
+from repro.core.solver import find_imaginary_eigenvalues
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.macromodel.simo import SimoRealization
+from repro.macromodel.statespace import StateSpace
+from repro.passivity.characterization import (
+    PassivityReport,
+    characterize_passivity,
+)
+from repro.passivity.enforcement import EnforcementResult, enforce_passivity
+from repro.passivity.hinf import HinfResult, hinf_norm
+from repro.passivity.immittance import (
+    ImmittancePassivityReport,
+    characterize_immittance_passivity,
+)
+from repro.touchstone.reader import read_touchstone
+from repro.touchstone.writer import write_touchstone
+from repro.vectfit.vector_fitting import vector_fit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SolverOptions",
+    "SolveResult",
+    "find_imaginary_eigenvalues",
+    "PoleResidueModel",
+    "SimoRealization",
+    "StateSpace",
+    "pole_residue_to_simo",
+    "PassivityReport",
+    "characterize_passivity",
+    "EnforcementResult",
+    "enforce_passivity",
+    "HinfResult",
+    "hinf_norm",
+    "ImmittancePassivityReport",
+    "characterize_immittance_passivity",
+    "read_touchstone",
+    "write_touchstone",
+    "vector_fit",
+]

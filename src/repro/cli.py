@@ -1,0 +1,171 @@
+"""Command-line interface: passivity tools for Touchstone files.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro info    device.s4p
+    python -m repro check   device.s4p --poles 40 --threads 8
+    python -m repro enforce device.s4p --poles 40 --out passive.s4p
+    python -m repro hinf    device.s4p --poles 40
+
+``check`` fits a rational macromodel to the file and runs the Hamiltonian
+passivity characterization; ``enforce`` additionally repairs the model and
+writes the resampled passive response; ``hinf`` computes the H-infinity
+norm by Hamiltonian bisection; ``info`` summarizes the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.options import SolverOptions
+from repro.passivity.characterization import characterize_passivity
+from repro.passivity.enforcement import enforce_passivity
+from repro.passivity.hinf import hinf_norm
+from repro.touchstone.reader import read_touchstone
+from repro.touchstone.writer import write_touchstone
+from repro.vectfit.vector_fitting import vector_fit
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hamiltonian passivity tools for interconnect macromodels",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="summarize a Touchstone file")
+    info.add_argument("path", help="input .sNp file")
+
+    def add_fit_args(p):
+        p.add_argument("path", help="input .sNp file")
+        p.add_argument("--poles", type=int, default=30, help="model order")
+        p.add_argument("--threads", type=int, default=1, help="solver threads")
+
+    check = sub.add_parser("check", help="fit a macromodel and test passivity")
+    add_fit_args(check)
+    check.add_argument(
+        "--plot", action="store_true", help="ASCII plot of the sigma sweep"
+    )
+
+    enforce = sub.add_parser("enforce", help="fit, enforce passivity, export")
+    add_fit_args(enforce)
+    enforce.add_argument("--out", required=True, help="output .sNp path")
+    enforce.add_argument(
+        "--margin", type=float, default=0.002, help="enforcement margin below 1"
+    )
+
+    hinf = sub.add_parser("hinf", help="H-infinity norm via Hamiltonian bisection")
+    add_fit_args(hinf)
+    hinf.add_argument("--rtol", type=float, default=1e-6, help="bracket tolerance")
+    return parser
+
+
+def _fit_model(args) -> tuple:
+    data = read_touchstone(args.path)
+    fit = vector_fit(data.freqs_rad, data.matrices, num_poles=args.poles)
+    print(
+        f"fit: {args.poles} poles, rms error {fit.rms_error:.3e},"
+        f" max error {fit.max_error:.3e}"
+    )
+    return data, fit
+
+
+def _cmd_info(args) -> int:
+    data = read_touchstone(args.path)
+    sv = np.linalg.svd(data.matrices, compute_uv=False)
+    print(f"file:       {args.path}")
+    print(f"ports:      {data.num_ports}")
+    print(f"parameter:  {data.parameter} (z0 = {data.z0:g} ohm)")
+    print(
+        f"band:       {data.freqs_hz[0]:.6g} .. {data.freqs_hz[-1]:.6g} Hz"
+        f" ({data.freqs_hz.size} points)"
+    )
+    print(f"max sigma:  {sv.max():.6f} (sampled; > 1 suggests non-passive data)")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    data, fit = _fit_model(args)
+    report = characterize_passivity(fit.model, num_threads=args.threads)
+    print(report.summary())
+    solve = report.solve
+    print(
+        f"eigensolver: {solve.shifts_processed} shifts,"
+        f" {solve.work['operator_applies']} operator applies,"
+        f" {solve.elapsed:.3f}s"
+    )
+    if getattr(args, "plot", False):
+        from repro.reporting.ascii_plot import sigma_plot
+
+        top = max(solve.band[1], float(data.freqs_rad[-1]))
+        grid = np.linspace(float(data.freqs_rad[0]), top, 300)
+        print()
+        print(
+            sigma_plot(
+                fit.model,
+                grid,
+                mark_bands=[(b.lo, b.hi) for b in report.bands],
+            )
+        )
+    return 0 if report.passive else 2
+
+
+def _cmd_enforce(args) -> int:
+    data, fit = _fit_model(args)
+    result = enforce_passivity(
+        fit.model, num_threads=args.threads, margin=args.margin
+    )
+    if not result.passive:
+        print("enforcement FAILED to reach passivity within the iteration cap")
+        return 3
+    print(
+        f"enforced in {result.iterations} iteration(s),"
+        f" perturbation norm {result.perturbation_norm:.3e}"
+    )
+    write_touchstone(
+        args.out,
+        data.freqs_hz,
+        result.model.frequency_response(data.freqs_rad),
+        fmt="RI",
+        z0=data.z0,
+        comment=f"passive macromodel exported by repro (from {args.path})",
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_hinf(args) -> int:
+    _, fit = _fit_model(args)
+    result = hinf_norm(fit.model, rtol=args.rtol, num_threads=args.threads)
+    print(
+        f"||H||_inf = {result.norm:.8f}"
+        f"   (bracket [{result.lower:.8f}, {result.upper:.8f}],"
+        f" {result.bisections} Hamiltonian sweeps)"
+    )
+    print(f"attained near w = {result.peak_freq:.6g} rad/s")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "check": _cmd_check,
+    "enforce": _cmd_enforce,
+    "hinf": _cmd_hinf,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the parallel Hamiltonian eigensolver.
+
+Layering (bottom up):
+
+* :mod:`repro.core.arnoldi` -- Krylov/Arnoldi machinery with explicit
+  deflation and re-orthogonalization;
+* :mod:`repro.core.single_shift` -- the single-shift operator
+  ``S(theta, rho0) -> ({lambda_k}, rho)`` of Sec. III: a restarted,
+  deflated Arnoldi process around one shift returning the eigenvalues in a
+  certified disk;
+* :mod:`repro.core.scheduler` -- the dynamic band-coverage scheduler of
+  Sec. IV (tentative/processing/done shift sets, interval splitting,
+  covered-shift elimination, startup ordering, termination);
+* :mod:`repro.core.serial` / :mod:`repro.core.parallel` -- single-thread
+  and multi-thread drivers over the same scheduler;
+* :mod:`repro.core.solver` -- the public API
+  :func:`find_imaginary_eigenvalues`.
+"""
+
+from repro.core.options import SolverOptions
+from repro.core.results import ShiftRecord, SingleShiftResult, SolveResult
+from repro.core.single_shift import SingleShiftSolver, estimate_spectral_bound
+from repro.core.solver import find_imaginary_eigenvalues
+
+__all__ = [
+    "SolverOptions",
+    "SingleShiftResult",
+    "ShiftRecord",
+    "SolveResult",
+    "SingleShiftSolver",
+    "estimate_spectral_bound",
+    "find_imaginary_eigenvalues",
+]

@@ -1,0 +1,102 @@
+"""Solver configuration.
+
+Defaults follow the paper: Krylov dimension ``d = 60`` (Sec. III), a small
+per-shift eigenvalue budget ``n_theta`` in the 4-6 range, at least
+``kappa = 2`` initial intervals per thread (Sec. IV.A), and a small disk
+overlap factor ``alpha`` slightly above 1 (eq. 23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.utils.validation import (
+    ensure_nonnegative_float,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+
+__all__ = ["SolverOptions"]
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Tuning knobs of the multi-shift Hamiltonian eigensolver.
+
+    Parameters
+    ----------
+    krylov_dim:
+        Maximum Krylov subspace dimension ``d`` per Arnoldi run (paper: 60).
+    num_wanted:
+        Eigenvalue budget ``n_theta`` per shift (paper: 4-6); must satisfy
+        ``num_wanted << krylov_dim`` for good stabilization.
+    tol:
+        Relative residual tolerance for accepting an eigenpair (checked
+        with a true O(n p) matvec of the Hamiltonian operator).
+    max_restarts:
+        Hard cap on explicit Arnoldi restarts per shift.
+    stall_restarts:
+        Consecutive restarts with no new converged eigenvalue after which
+        the shift's disk is certified.
+    kappa:
+        Initial intervals per thread, ``N = kappa * T`` (paper: >= 2).
+    alpha:
+        Initial-radius overlap factor of eq. (23), slightly above 1.
+    imag_rtol:
+        Relative tolerance on ``|Re(lambda)|`` used to classify an
+        eigenvalue as purely imaginary.
+    dedup_rtol:
+        Relative tolerance used to merge duplicate eigenvalues reported by
+        overlapping disks.
+    omega_margin:
+        Safety factor applied to the estimated spectral bound when the
+        search band upper edge is computed automatically (Sec. IV.A).
+    seed:
+        Root seed for the randomized Arnoldi start vectors; ``None`` draws
+        fresh entropy (used by the Fig. 6 statistical study).
+    min_interval_width:
+        Intervals narrower than this (relative to the band width) are
+        considered fully processed instead of being split further — a guard
+        against infinite subdivision when eigenvalue clusters sit exactly
+        on interval edges.
+    """
+
+    krylov_dim: int = 60
+    num_wanted: int = 6
+    tol: float = 1e-9
+    max_restarts: int = 30
+    stall_restarts: int = 2
+    kappa: int = 2
+    alpha: float = 1.05
+    imag_rtol: float = 1e-7
+    dedup_rtol: float = 1e-7
+    omega_margin: float = 1.05
+    seed: Optional[int] = 0
+    min_interval_width: float = 1e-12
+
+    def __post_init__(self):
+        ensure_positive_int(self.krylov_dim, "krylov_dim")
+        ensure_positive_int(self.num_wanted, "num_wanted")
+        ensure_positive_float(self.tol, "tol")
+        ensure_positive_int(self.max_restarts, "max_restarts")
+        ensure_positive_int(self.stall_restarts, "stall_restarts")
+        ensure_positive_int(self.kappa, "kappa")
+        ensure_positive_float(self.alpha, "alpha")
+        ensure_positive_float(self.imag_rtol, "imag_rtol")
+        ensure_positive_float(self.dedup_rtol, "dedup_rtol")
+        ensure_positive_float(self.omega_margin, "omega_margin")
+        ensure_nonnegative_float(self.min_interval_width, "min_interval_width")
+        if self.num_wanted >= self.krylov_dim:
+            raise ValueError(
+                f"num_wanted ({self.num_wanted}) must be much smaller than"
+                f" krylov_dim ({self.krylov_dim})"
+            )
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1 (got {self.alpha})")
+        if self.kappa < 2:
+            raise ValueError(f"kappa must be >= 2 (paper, Sec. IV.A); got {self.kappa}")
+
+    def with_(self, **changes) -> "SolverOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,128 @@
+"""Public entry point of the Hamiltonian eigensolver.
+
+:func:`find_imaginary_eigenvalues` dispatches to the serial bisection
+driver, the single-worker queue driver, or the multi-thread dynamic
+scheduler, and returns a :class:`~repro.core.results.SolveResult` whose
+``omegas`` attribute holds the complete set of non-negative crossing
+frequencies (the paper's ``Omega`` on the upper half axis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.drivers import ModelInput
+from repro.core.options import SolverOptions
+from repro.core.parallel import solve_parallel
+from repro.core.results import SolveResult
+from repro.core.serial import solve_serial
+
+__all__ = ["find_imaginary_eigenvalues"]
+
+
+def find_imaginary_eigenvalues(
+    model: ModelInput,
+    *,
+    num_threads: int = 1,
+    representation: str = "scattering",
+    strategy: str = "auto",
+    omega_min: float = 0.0,
+    omega_max: Optional[float] = None,
+    options: Optional[SolverOptions] = None,
+) -> SolveResult:
+    """Compute all purely imaginary eigenvalues of the model's Hamiltonian.
+
+    This is the passivity characterization kernel of the paper: the
+    returned crossing frequencies are exactly where singular values of
+    ``H(j w)`` touch or cross 1 (scattering) or where ``H + H^H`` becomes
+    singular (immittance).  An empty result certifies passivity under the
+    strict asymptotic condition of eq. (4).
+
+    Parameters
+    ----------
+    model:
+        :class:`~repro.macromodel.rational.PoleResidueModel` or
+        :class:`~repro.macromodel.simo.SimoRealization`.
+    num_threads:
+        Worker threads; 1 selects a serial driver.
+    representation:
+        ``"scattering"`` (default) or ``"immittance"``.
+    strategy:
+        * ``"auto"`` — ``"bisection"`` when ``num_threads == 1``, else the
+          dynamic ``"queue"`` scheduler;
+        * ``"bisection"`` — classical sequential bisection (serial only);
+        * ``"queue"`` — dynamic scheduler (any thread count);
+        * ``"static"`` — static pre-distributed grid (ablation baseline).
+    omega_min, omega_max:
+        Search band on the frequency axis; ``omega_max=None`` estimates
+        the upper edge from the largest Hamiltonian eigenvalue magnitude
+        (Sec. IV.A).
+    options:
+        :class:`~repro.core.options.SolverOptions`; defaults when omitted.
+
+    Returns
+    -------
+    SolveResult
+        ``result.omegas`` — sorted crossing frequencies;
+        ``result.shifts`` / ``result.work`` — per-shift provenance and
+        work counters for performance studies.
+
+    Examples
+    --------
+    >>> from repro.synth import random_macromodel
+    >>> model = random_macromodel(order_per_column=6, num_ports=2, seed=0)
+    >>> result = find_imaginary_eigenvalues(model, num_threads=2)
+    >>> result.omegas.shape[0] == result.num_crossings
+    True
+    """
+    options = options if options is not None else SolverOptions()
+    if strategy == "auto":
+        strategy = "bisection" if num_threads == 1 else "queue"
+
+    if strategy == "bisection":
+        if num_threads != 1:
+            raise ValueError(
+                "the classical bisection strategy is inherently sequential;"
+                " use strategy='queue' for multi-threaded sweeps"
+            )
+        return solve_serial(
+            model,
+            representation=representation,
+            strategy="bisection",
+            omega_min=omega_min,
+            omega_max=omega_max,
+            options=options,
+        )
+    if strategy == "queue":
+        if num_threads == 1:
+            return solve_serial(
+                model,
+                representation=representation,
+                strategy="queue",
+                omega_min=omega_min,
+                omega_max=omega_max,
+                options=options,
+            )
+        return solve_parallel(
+            model,
+            num_threads=num_threads,
+            representation=representation,
+            omega_min=omega_min,
+            omega_max=omega_max,
+            options=options,
+            dynamic=True,
+        )
+    if strategy == "static":
+        return solve_parallel(
+            model,
+            num_threads=num_threads,
+            representation=representation,
+            omega_min=omega_min,
+            omega_max=omega_max,
+            options=options,
+            dynamic=False,
+        )
+    raise ValueError(
+        f"unknown strategy {strategy!r}; expected 'auto', 'bisection',"
+        " 'queue', or 'static'"
+    )

@@ -1,0 +1,133 @@
+"""Explicit dense Hamiltonian construction.
+
+Scattering representation (eq. 5 of the paper)::
+
+    M = [ A - B R^-1 D^T C      -B R^-1 B^T              ]
+        [ C^T S^-1 C            -A^T + C^T D R^-1 B^T    ]
+
+with ``R = D^T D - I`` and ``S = D D^T - I``.  Under strict asymptotic
+passivity (``sigma(D) < 1``, eq. 4) both R and S are negative definite and
+the construction is well posed.  The purely imaginary eigenvalues of M are
+the frequencies where singular values of ``H(j w)`` touch or cross 1.
+
+Immittance representation (mentioned in Sec. II as the "impedance,
+admittance, and hybrid cases")::
+
+    M = [ A - B R0^-1 C     -B R0^-1 B^T          ]
+        [ C^T R0^-1 C       -A^T + C^T R0^-1 B^T  ]
+
+with ``R0 = D + D^T`` positive definite.  Its imaginary eigenvalues mark
+the frequencies where eigenvalues of ``H(j w) + H(j w)^H`` cross zero.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.macromodel.simo import SimoRealization
+from repro.macromodel.statespace import StateSpace
+
+__all__ = [
+    "dense_hamiltonian_scattering",
+    "dense_hamiltonian_immittance",
+    "dense_hamiltonian",
+    "asymptotic_singular_margin",
+]
+
+ModelLike = Union[StateSpace, SimoRealization]
+
+
+def _as_statespace(model: ModelLike) -> StateSpace:
+    """Normalize the input to a dense StateSpace."""
+    if isinstance(model, SimoRealization):
+        return model.to_statespace()
+    if isinstance(model, StateSpace):
+        return model
+    raise TypeError(
+        f"expected StateSpace or SimoRealization, got {type(model).__name__}"
+    )
+
+
+def asymptotic_singular_margin(d: np.ndarray) -> float:
+    """Return ``1 - max(sigma(D))``, the strict asymptotic passivity margin.
+
+    Positive values certify eq. (4) of the paper; non-positive values mean
+    the scattering Hamiltonian construction is singular or ill posed.
+    """
+    d = np.asarray(d, dtype=float)
+    if d.size == 0:
+        return 1.0
+    return 1.0 - float(np.linalg.norm(d, 2))
+
+
+def dense_hamiltonian_scattering(model: ModelLike) -> np.ndarray:
+    """Build the dense ``2n x 2n`` scattering Hamiltonian of eq. (5).
+
+    Raises
+    ------
+    ValueError
+        If ``sigma(D) >= 1`` (eq. 4 violated), making ``R`` or ``S``
+        singular.
+    """
+    ss = _as_statespace(model)
+    a, b, c, d = ss.a, ss.b, ss.c, ss.d
+    p = ss.num_ports
+    margin = asymptotic_singular_margin(d)
+    if margin <= 0.0:
+        raise ValueError(
+            "strict asymptotic passivity sigma(D) < 1 is required for the"
+            f" scattering Hamiltonian (margin={margin:.3e});"
+            " clip D first (see repro.passivity.enforcement.clip_direct_term)"
+        )
+    r = d.T @ d - np.eye(p)
+    s = d @ d.T - np.eye(p)
+    r_inv_bt = np.linalg.solve(r, b.T)  # R^-1 B^T
+    r_inv_dt_c = np.linalg.solve(r, d.T @ c)  # R^-1 D^T C
+    s_inv_c = np.linalg.solve(s, c)  # S^-1 C
+
+    top_left = a - b @ r_inv_dt_c
+    top_right = -b @ r_inv_bt
+    bottom_left = c.T @ s_inv_c
+    bottom_right = -a.T + c.T @ d @ r_inv_bt
+    return np.block([[top_left, top_right], [bottom_left, bottom_right]])
+
+
+def dense_hamiltonian_immittance(model: ModelLike) -> np.ndarray:
+    """Build the dense Hamiltonian for immittance (Y/Z/hybrid) models.
+
+    Raises
+    ------
+    ValueError
+        If ``D + D^T`` is not positive definite (the asymptotic strict
+        positive-realness condition playing the role of eq. 4).
+    """
+    ss = _as_statespace(model)
+    a, b, c, d = ss.a, ss.b, ss.c, ss.d
+    r0 = d + d.T
+    eigvals = np.linalg.eigvalsh(r0)
+    if eigvals.size and eigvals.min() <= 0.0:
+        raise ValueError(
+            "immittance Hamiltonian requires D + D^T positive definite"
+            f" (min eig = {eigvals.min():.3e})"
+        )
+    r0_inv_c = np.linalg.solve(r0, c)
+    r0_inv_bt = np.linalg.solve(r0, b.T)
+    top_left = a - b @ r0_inv_c
+    top_right = -b @ r0_inv_bt
+    bottom_left = c.T @ r0_inv_c
+    bottom_right = -a.T + c.T @ r0_inv_bt
+    return np.block([[top_left, top_right], [bottom_left, bottom_right]])
+
+
+def dense_hamiltonian(model: ModelLike, representation: str = "scattering") -> np.ndarray:
+    """Dispatch on ``representation`` in {"scattering", "immittance"}."""
+    if representation == "scattering":
+        return dense_hamiltonian_scattering(model)
+    if representation == "immittance":
+        return dense_hamiltonian_immittance(model)
+    raise ValueError(
+        f"unknown representation {representation!r};"
+        " expected 'scattering' or 'immittance'"
+    )

@@ -1,0 +1,163 @@
+"""Macromodel analysis utilities.
+
+Post-identification diagnostics used throughout macromodeling flows:
+DC gain, resonance inventory (pole frequencies and quality factors),
+modal dominance (how much each pole contributes to the response), and
+dominance-based order reduction.  These support the examples and give the
+enforcement/fitting layers quantitative accuracy measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.macromodel.poles import partition_poles
+from repro.macromodel.rational import PoleResidueModel
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "ResonanceInfo",
+    "dc_gain",
+    "resonances",
+    "modal_dominance",
+    "reduce_by_dominance",
+    "response_error",
+]
+
+
+@dataclass(frozen=True)
+class ResonanceInfo:
+    """One resonant pole pair of a macromodel.
+
+    Attributes
+    ----------
+    frequency:
+        Resonant frequency ``w0 = |Im(p)|`` (rad/s).
+    damping:
+        Damping ``|Re(p)|``.
+    q_factor:
+        Quality factor ``w0 / (2 |Re p|)`` — high Q means a sharp peak.
+    dominance:
+        Modal dominance ``||R|| / |Re(p)|`` (peak response contribution).
+    """
+
+    frequency: float
+    damping: float
+    q_factor: float
+    dominance: float
+
+
+def dc_gain(model: PoleResidueModel) -> np.ndarray:
+    """The DC transfer matrix ``H(0) = D - sum R_m / p_m`` (real)."""
+    h0 = model.transfer(0.0)
+    return np.real_if_close(h0, tol=1e6).real
+
+
+def resonances(model: PoleResidueModel) -> List[ResonanceInfo]:
+    """Inventory of the model's resonant pole pairs, sorted by frequency."""
+    _, pair_poles = partition_poles(model.poles)
+    infos: List[ResonanceInfo] = []
+    dominance = modal_dominance(model)
+    # Map each upper pole to its dominance entry.
+    for q in pair_poles:
+        idx = int(np.argmin(np.abs(model.poles - q)))
+        w0 = abs(q.imag)
+        damping = abs(q.real)
+        infos.append(
+            ResonanceInfo(
+                frequency=w0,
+                damping=damping,
+                q_factor=w0 / (2.0 * damping) if damping > 0 else np.inf,
+                dominance=float(dominance[idx]),
+            )
+        )
+    infos.sort(key=lambda info: info.frequency)
+    return infos
+
+
+def modal_dominance(model: PoleResidueModel) -> np.ndarray:
+    """Per-pole dominance measure ``||R_m||_F / |Re(p_m)|``.
+
+    The peak magnitude contribution of the partial fraction
+    ``R_m / (s - p_m)`` on the imaginary axis is ``||R_m|| / |Re p_m|``
+    (attained near ``w = Im p_m``), making this the standard ranking for
+    dominance-based truncation.
+    """
+    norms = np.linalg.norm(model.residues.reshape(model.num_poles, -1), axis=1)
+    damping = np.maximum(np.abs(model.poles.real), 1e-300)
+    return norms / damping
+
+
+def reduce_by_dominance(
+    model: PoleResidueModel, keep: int
+) -> Tuple[PoleResidueModel, float]:
+    """Truncate the model to its ``keep`` most dominant poles.
+
+    Conjugate pairs are kept or dropped together (a pair counts as two
+    poles toward the budget; the budget is rounded up when a pair
+    straddles it).
+
+    Parameters
+    ----------
+    model:
+        The model to reduce.
+    keep:
+        Number of poles to retain (1 <= keep <= num_poles).
+
+    Returns
+    -------
+    (reduced, discarded_dominance):
+        The reduced model and the total dominance of the dropped poles
+        (an error indicator: small values mean safe truncation).
+    """
+    keep = ensure_positive_int(keep, "keep")
+    if keep >= model.num_poles:
+        return model, 0.0
+    dominance = modal_dominance(model)
+
+    # Group poles into units: singles (real) and pairs (conjugates).
+    used = np.zeros(model.num_poles, dtype=bool)
+    units: List[Tuple[float, List[int]]] = []
+    for i, pole in enumerate(model.poles):
+        if used[i]:
+            continue
+        used[i] = True
+        if abs(pole.imag) <= 1e-12 * max(1.0, abs(pole)):
+            units.append((float(dominance[i]), [i]))
+            continue
+        dist = np.where(used, np.inf, np.abs(model.poles - np.conj(pole)))
+        j = int(np.argmin(dist))
+        used[j] = True
+        units.append((float(dominance[i] + dominance[j]), [i, j]))
+
+    units.sort(key=lambda u: -u[0])
+    kept_indices: List[int] = []
+    for dom, indices in units:
+        if len(kept_indices) >= keep:
+            break
+        kept_indices.extend(indices)
+    kept_indices.sort()
+    dropped = [i for i in range(model.num_poles) if i not in set(kept_indices)]
+    discarded = float(dominance[dropped].sum()) if dropped else 0.0
+
+    reduced = PoleResidueModel(
+        model.poles[kept_indices],
+        model.residues[kept_indices],
+        model.d.copy(),
+    )
+    return reduced, discarded
+
+
+def response_error(
+    model_a: PoleResidueModel, model_b: PoleResidueModel, freqs_rad
+) -> float:
+    """Relative RMS difference of two models over a frequency grid."""
+    ha = model_a.frequency_response(freqs_rad)
+    hb = model_b.frequency_response(freqs_rad)
+    denom = np.linalg.norm(ha)
+    if denom == 0.0:
+        return float(np.linalg.norm(hb))
+    return float(np.linalg.norm(ha - hb) / denom)

@@ -1,0 +1,105 @@
+"""Conversion of generic state-space models to pole/residue form.
+
+The eigensolver's fast kernels need the structured SIMO realization, which
+is natural when models come from rational fitting.  Models arriving as
+arbitrary dense ``{A, B, C, D}`` matrices (e.g. from other tools) are
+handled here: a modal decomposition of ``A`` turns the model into
+pole/residue form, ``H(s) = D + sum_m (C v_m)(w_m^H B) / (s - lam_m)``,
+which then feeds :func:`repro.macromodel.realization.pole_residue_to_simo`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.simo import SimoRealization
+from repro.macromodel.statespace import StateSpace
+
+__all__ = ["statespace_to_pole_residue", "statespace_to_simo"]
+
+
+def statespace_to_pole_residue(
+    ss: StateSpace, *, symmetrize_tol: float = 1e-8
+) -> PoleResidueModel:
+    """Modal decomposition of a dense state-space model.
+
+    Parameters
+    ----------
+    ss:
+        The dense realization.  ``A`` must be diagonalizable with simple
+        enough eigenvalue structure for a modal decomposition (repeated
+        defective eigenvalues are rejected via a conditioning check).
+    symmetrize_tol:
+        Relative tolerance used when pairing complex-conjugate modes and
+        enforcing exact conjugate symmetry on the residues.
+
+    Returns
+    -------
+    PoleResidueModel
+        Model with ``H(s)`` identical to the input's transfer matrix (up
+        to round-off).
+
+    Raises
+    ------
+    ValueError
+        If ``A`` is numerically defective (the eigenvector matrix is too
+        ill-conditioned for a trustworthy modal form).
+    """
+    if not isinstance(ss, StateSpace):
+        raise TypeError(f"expected StateSpace, got {type(ss).__name__}")
+    n = ss.order
+    if n == 0:
+        raise ValueError("cannot convert a zero-order model")
+    lam, v = np.linalg.eig(ss.a)
+    cond = np.linalg.cond(v)
+    if not np.isfinite(cond) or cond > 1e12:
+        raise ValueError(
+            f"state matrix is numerically defective (eigenvector condition"
+            f" {cond:.2e}); modal conversion is unreliable"
+        )
+    w = np.linalg.inv(v)  # rows are the left modal directions
+    cv = ss.c @ v  # (p, n)
+    wb = w @ ss.b  # (n, p)
+    residues = np.einsum("im,mj->mij", cv, wb)  # (n, p, p)
+
+    # Enforce exact realness: pair conjugate modes and average.
+    poles = lam.copy()
+    scale = np.maximum(np.abs(poles), 1.0)
+    is_real = np.abs(poles.imag) <= symmetrize_tol * scale
+    poles[is_real] = poles[is_real].real
+    residues[is_real] = residues[is_real].real + 0.0j
+
+    used = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if used[i] or is_real[i]:
+            used[i] = True
+            continue
+        target = np.conj(poles[i])
+        dist = np.where(used | is_real, np.inf, np.abs(poles - target))
+        dist[i] = np.inf
+        j = int(np.argmin(dist))
+        if not np.isfinite(dist[j]) or dist[j] > 1e-6 * max(1.0, abs(poles[i])):
+            raise ValueError(
+                f"complex mode {poles[i]} lacks a conjugate partner;"
+                " the input realization is not real"
+            )
+        mean_pole = 0.5 * (poles[i] + np.conj(poles[j]))
+        mean_res = 0.5 * (residues[i] + np.conj(residues[j]))
+        poles[i], poles[j] = mean_pole, np.conj(mean_pole)
+        residues[i], residues[j] = mean_res, np.conj(mean_res)
+        used[i] = used[j] = True
+
+    return PoleResidueModel(poles, residues, ss.d)
+
+
+def statespace_to_simo(ss: StateSpace) -> SimoRealization:
+    """Convenience: dense state space -> structured SIMO realization.
+
+    Note the resulting order is ``p * n`` (every column carries the full
+    modal pole set); for the eigensolver this is still fast because all
+    kernels are O(order).
+    """
+    from repro.macromodel.realization import pole_residue_to_simo
+
+    return pole_residue_to_simo(statespace_to_pole_residue(ss))

@@ -1,0 +1,141 @@
+"""Pole-set utilities.
+
+Rational macromodels are defined by sets of strictly stable poles: real
+negative poles and complex-conjugate pairs with negative real part.  This
+module provides the bookkeeping shared by the fitting, realization, and
+synthesis layers: partitioning arbitrary pole arrays into real poles and
+upper-half-plane pair representatives, validating conjugate symmetry,
+stability checks, and stability enforcement by reflection.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_vector
+
+__all__ = [
+    "partition_poles",
+    "reconstruct_poles",
+    "is_stable",
+    "make_stable",
+    "conjugate_pairs_complete",
+]
+
+#: Relative tolerance used when matching conjugate pairs and classifying
+#: poles as real.  Poles with |Im p| <= _REAL_TOL * |p| are treated as real.
+_REAL_TOL = 1e-12
+
+
+def partition_poles(poles) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a pole array into real poles and complex-pair representatives.
+
+    Parameters
+    ----------
+    poles:
+        1-D array of poles.  Complex poles must come in conjugate pairs
+        (order-independent).
+
+    Returns
+    -------
+    (real_poles, pair_poles):
+        ``real_poles`` — real-valued 1-D array;
+        ``pair_poles`` — complex 1-D array containing one representative per
+        conjugate pair, normalized to the upper half plane (``Im > 0``).
+
+    Raises
+    ------
+    ValueError
+        If a complex pole lacks its conjugate partner.
+    """
+    arr = ensure_vector(poles, "poles", dtype=complex, allow_empty=True)
+    scale = np.abs(arr)
+    is_real = np.abs(arr.imag) <= _REAL_TOL * np.maximum(scale, 1.0)
+    real_poles = arr[is_real].real.copy()
+    complex_poles = arr[~is_real]
+
+    uppers = []
+    remaining = list(complex_poles)
+    while remaining:
+        z = remaining.pop(0)
+        target = np.conj(z)
+        tol = _REAL_TOL * max(abs(z), 1.0) + 1e-300
+        match_idx = None
+        best = np.inf
+        for i, w in enumerate(remaining):
+            dist = abs(w - target)
+            if dist < best:
+                best = dist
+                match_idx = i
+        if match_idx is None or best > 1e-8 * max(abs(z), 1.0):
+            raise ValueError(f"complex pole {z} has no conjugate partner (tol={tol})")
+        remaining.pop(match_idx)
+        uppers.append(z if z.imag > 0 else np.conj(z))
+    pair_poles = np.asarray(uppers, dtype=complex)
+    return real_poles, pair_poles
+
+
+def reconstruct_poles(real_poles, pair_poles) -> np.ndarray:
+    """Inverse of :func:`partition_poles`: expand pairs back to a full set.
+
+    The result lists real poles first, then each pair as
+    ``(p, conj(p))`` — the canonical ordering used by the realization layer.
+    """
+    real_poles = ensure_vector(real_poles, "real_poles", dtype=float, allow_empty=True)
+    pair_poles = ensure_vector(pair_poles, "pair_poles", dtype=complex, allow_empty=True)
+    full = np.empty(real_poles.size + 2 * pair_poles.size, dtype=complex)
+    full[: real_poles.size] = real_poles
+    full[real_poles.size :: 2][: pair_poles.size] = pair_poles
+    full[real_poles.size + 1 :: 2][: pair_poles.size] = np.conj(pair_poles)
+    return full
+
+
+def conjugate_pairs_complete(poles) -> bool:
+    """True when every complex pole has a conjugate partner in the set."""
+    try:
+        partition_poles(poles)
+    except ValueError:
+        return False
+    return True
+
+
+def is_stable(poles, *, strict: bool = True, margin: float = 0.0) -> bool:
+    """Check that every pole lies in the open (or closed) left half plane.
+
+    Parameters
+    ----------
+    poles:
+        1-D pole array.
+    strict:
+        When true (default), poles on the imaginary axis are rejected.
+    margin:
+        Require ``Re(p) <= -margin`` (a positive stability margin).
+    """
+    arr = ensure_vector(poles, "poles", dtype=complex, allow_empty=True)
+    if arr.size == 0:
+        return True
+    re = arr.real
+    if strict:
+        return bool(np.all(re < -margin))
+    return bool(np.all(re <= -margin))
+
+
+def make_stable(poles, *, min_real: float = 0.0) -> np.ndarray:
+    """Reflect unstable poles into the left half plane.
+
+    Right-half-plane poles are mirrored (``Re -> -Re``), the standard
+    stabilization step in Vector Fitting pole relocation.  Poles exactly on
+    the imaginary axis are pushed to ``-min_real`` when a positive
+    ``min_real`` is supplied (otherwise left untouched).
+
+    Returns a new array; the input is not modified.
+    """
+    arr = ensure_vector(poles, "poles", dtype=complex, allow_empty=True).copy()
+    flip = arr.real > 0.0
+    arr[flip] -= 2.0 * arr[flip].real  # mirror Re(p) -> -Re(p), keep Im(p)
+    if min_real > 0.0:
+        on_axis = arr.real == 0.0
+        arr[on_axis] -= min_real
+    return arr

@@ -1,0 +1,199 @@
+"""Pole/residue (partial-fraction) macromodel representation.
+
+A rational macromodel in pole-residue form is
+
+.. math::
+
+    H(s) = D + \\sum_{m=1}^{M} \\frac{R_m}{s - p_m}
+
+with ``p x p`` residue matrices :math:`R_m`.  This is the natural output of
+Vector Fitting and the natural input of the realization builders that
+produce the structured SIMO state space of the paper's eq. (2).
+
+Complex poles must appear in conjugate pairs with conjugate residues so that
+:math:`H(s)` is real for real :math:`s` (a *real* rational model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.macromodel.poles import is_stable, partition_poles
+from repro.utils.validation import ensure_matrix, ensure_sorted_frequencies, ensure_vector
+
+__all__ = ["PoleResidueModel"]
+
+
+@dataclass(frozen=True)
+class PoleResidueModel:
+    """Immutable pole/residue rational model.
+
+    Parameters
+    ----------
+    poles:
+        1-D complex array of poles ``p_m`` (conjugate-complete).
+    residues:
+        Array of shape ``(M, p, p)``; ``residues[m]`` is the residue matrix
+        of pole ``poles[m]``.  Residues of conjugate pole pairs must be
+        conjugates of each other.
+    d:
+        Constant (direct coupling) term, shape ``(p, p)`` real.
+
+    Notes
+    -----
+    The model is strictly proper apart from ``d`` — no ``s*E`` term, matching
+    the paper's scattering setting where :math:`H(\\infty) = D` with
+    :math:`\\sigma(D) < 1` (eq. 4).
+    """
+
+    poles: np.ndarray
+    residues: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self):
+        poles = ensure_vector(self.poles, "poles", dtype=complex)
+        residues = np.asarray(self.residues, dtype=complex)
+        d = ensure_matrix(self.d, "d", dtype=float)
+        if residues.ndim != 3:
+            raise ValueError(f"residues must have shape (M, p, p), got {residues.shape}")
+        if residues.shape[0] != poles.size:
+            raise ValueError(
+                f"number of residues ({residues.shape[0]}) must match number of"
+                f" poles ({poles.size})"
+            )
+        if residues.shape[1] != residues.shape[2]:
+            raise ValueError(f"residue matrices must be square, got {residues.shape[1:]}")
+        if d.shape != residues.shape[1:]:
+            raise ValueError(
+                f"d has shape {d.shape}, expected {residues.shape[1:]} to match residues"
+            )
+        # Bypass frozen-ness to store normalized arrays.
+        object.__setattr__(self, "poles", poles)
+        object.__setattr__(self, "residues", residues)
+        object.__setattr__(self, "d", d)
+        # Validate conjugate completeness early (raises ValueError if broken).
+        partition_poles(poles)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_poles(self) -> int:
+        """Number of poles M (counting each conjugate partner separately)."""
+        return int(self.poles.size)
+
+    @property
+    def num_ports(self) -> int:
+        """Number of electrical ports p."""
+        return int(self.d.shape[0])
+
+    @property
+    def order(self) -> int:
+        """Dynamic order of the SIMO realization this model produces.
+
+        Every column uses the full pole set, so the realization order is
+        ``p * M`` (eq. 2 of the paper with ``m_k = M`` for all k).
+        """
+        return self.num_ports * self.num_poles
+
+    def is_stable(self, *, margin: float = 0.0) -> bool:
+        """True when all poles are strictly inside the left half plane."""
+        return is_stable(self.poles, strict=True, margin=margin)
+
+    def is_real_model(self, tol: float = 1e-9) -> bool:
+        """Check conjugate symmetry of (pole, residue) pairs.
+
+        A real rational model satisfies :math:`H(s^*) = H(s)^*`; with
+        conjugate-complete poles this reduces to residues of conjugate poles
+        being conjugate matrices.
+        """
+        used = np.zeros(self.poles.size, dtype=bool)
+        for m, p in enumerate(self.poles):
+            if used[m]:
+                continue
+            if abs(p.imag) <= 1e-12 * max(1.0, abs(p)):
+                used[m] = True
+                if np.max(np.abs(self.residues[m].imag)) > tol * max(
+                    1.0, np.max(np.abs(self.residues[m]))
+                ):
+                    return False
+                continue
+            # Find the conjugate partner.  Poles may repeat (one copy per
+            # SIMO column), so among equidistant candidates pick the one
+            # whose residue actually matches.
+            used[m] = True
+            dist = np.where(used, np.inf, np.abs(self.poles - np.conj(p)))
+            near = dist <= 1e-8 * max(1.0, abs(p))
+            if not np.any(near):
+                return False
+            candidates = np.nonzero(near)[0]
+            mismatches = [
+                np.max(np.abs(self.residues[m] - np.conj(self.residues[j])))
+                for j in candidates
+            ]
+            best = int(np.argmin(mismatches))
+            j = int(candidates[best])
+            used[j] = True
+            if mismatches[best] > tol * max(1.0, float(np.max(np.abs(self.residues[m])))):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def transfer(self, s: complex) -> np.ndarray:
+        """Evaluate the transfer matrix ``H(s)`` at a single complex point."""
+        terms = self.residues / (s - self.poles)[:, None, None]
+        out = self.d.astype(complex) + terms.sum(axis=0)
+        return out
+
+    def transfer_many(self, s_values) -> np.ndarray:
+        """Evaluate ``H`` on an array of points; returns ``(K, p, p)``."""
+        s_arr = ensure_vector(s_values, "s_values", dtype=complex)
+        denom = s_arr[:, None] - self.poles[None, :]  # (K, M)
+        return self.d[None].astype(complex) + np.einsum(
+            "km,mij->kij", 1.0 / denom, self.residues
+        )
+
+    def frequency_response(self, freqs_rad) -> np.ndarray:
+        """Evaluate ``H(j w)`` on an angular-frequency grid (rad/s)."""
+        freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
+        return self.transfer_many(1j * freqs_rad)
+
+    # ------------------------------------------------------------------
+    # Column access (SIMO view)
+    # ------------------------------------------------------------------
+    def column_residues(self, k: int) -> np.ndarray:
+        """Residue vectors of the k-th transfer-matrix column, ``(M, p)``."""
+        if not 0 <= k < self.num_ports:
+            raise IndexError(f"column index {k} out of range for p={self.num_ports}")
+        return self.residues[:, :, k]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def perturb_residues(self, delta: np.ndarray) -> "PoleResidueModel":
+        """Return a new model with residues ``R_m + delta[m]``.
+
+        Used by the passivity-enforcement loop, which iteratively perturbs
+        residues while keeping poles fixed.
+        """
+        delta = np.asarray(delta, dtype=complex)
+        if delta.shape != self.residues.shape:
+            raise ValueError(
+                f"delta has shape {delta.shape}, expected {self.residues.shape}"
+            )
+        return PoleResidueModel(self.poles.copy(), self.residues + delta, self.d.copy())
+
+    def with_d(self, d_new: np.ndarray) -> "PoleResidueModel":
+        """Return a new model with the constant term replaced."""
+        return PoleResidueModel(self.poles.copy(), self.residues.copy(), d_new)
+
+    def __repr__(self) -> str:
+        return (
+            f"PoleResidueModel(ports={self.num_ports}, poles={self.num_poles},"
+            f" order={self.order})"
+        )

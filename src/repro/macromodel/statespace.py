@@ -1,0 +1,119 @@
+"""Generic dense state-space macromodel ``H(s) = D + C (sI - A)^{-1} B``.
+
+This is the reference representation (eq. 1 of the paper): no structural
+assumptions, dense linear algebra throughout.  It serves three roles:
+
+* ground truth for the structured SIMO realization (tests compare transfer
+  evaluations and Hamiltonian spectra);
+* input to the dense O(n^3) Hamiltonian baseline of Sec. III;
+* a convenient interchange container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ensure_matrix, ensure_sorted_frequencies
+
+__all__ = ["StateSpace"]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """Immutable dense state-space realization.
+
+    Parameters
+    ----------
+    a:
+        State matrix, ``(n, n)`` real.
+    b:
+        Input matrix, ``(n, p)`` real.
+    c:
+        Output matrix, ``(p, n)`` real.
+    d:
+        Direct term, ``(p, p)`` real.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self):
+        a = ensure_matrix(self.a, "a", dtype=float)
+        b = ensure_matrix(self.b, "b", dtype=float)
+        c = ensure_matrix(self.c, "c", dtype=float)
+        d = ensure_matrix(self.d, "d", dtype=float)
+        n = a.shape[0]
+        if a.shape != (n, n):
+            raise ValueError(f"a must be square, got {a.shape}")
+        if b.shape[0] != n:
+            raise ValueError(f"b must have {n} rows, got {b.shape}")
+        p = b.shape[1]
+        if c.shape != (p, n):
+            raise ValueError(f"c must have shape ({p}, {n}), got {c.shape}")
+        if d.shape != (p, p):
+            raise ValueError(f"d must have shape ({p}, {p}), got {d.shape}")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "d", d)
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Dynamic order n (number of states)."""
+        return int(self.a.shape[0])
+
+    @property
+    def num_ports(self) -> int:
+        """Number of ports p."""
+        return int(self.d.shape[0])
+
+    def poles(self) -> np.ndarray:
+        """Eigenvalues of A (the model poles)."""
+        if self.order == 0:
+            return np.empty(0, dtype=complex)
+        return np.linalg.eigvals(self.a)
+
+    def is_stable(self, *, margin: float = 0.0) -> bool:
+        """True when every pole satisfies ``Re(p) < -margin``."""
+        if self.order == 0:
+            return True
+        return bool(np.all(self.poles().real < -margin))
+
+    # ------------------------------------------------------------------
+    def transfer(self, s: complex) -> np.ndarray:
+        """Evaluate ``H(s)`` with one dense solve (O(n^3))."""
+        n = self.order
+        if n == 0:
+            return self.d.astype(complex)
+        shifted = s * np.eye(n) - self.a
+        x = np.linalg.solve(shifted, self.b.astype(complex))
+        return self.d.astype(complex) + self.c @ x
+
+    def frequency_response(self, freqs_rad) -> np.ndarray:
+        """Evaluate ``H(j w)`` on an angular-frequency grid; ``(K, p, p)``."""
+        freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
+        return np.stack([self.transfer(1j * w) for w in freqs_rad])
+
+    # ------------------------------------------------------------------
+    def similarity(self, t: np.ndarray) -> "StateSpace":
+        """Apply a similarity transform ``(T A T^-1, T B, C T^-1, D)``.
+
+        The transfer matrix is invariant under this operation — used by
+        tests to verify representation independence of the passivity
+        characterization.
+        """
+        t = ensure_matrix(t, "t", dtype=float)
+        n = self.order
+        if t.shape != (n, n):
+            raise ValueError(f"t must be ({n}, {n}), got {t.shape}")
+        t_inv = np.linalg.inv(t)
+        return StateSpace(t @ self.a @ t_inv, t @ self.b, self.c @ t_inv, self.d.copy())
+
+    def __repr__(self) -> str:
+        return f"StateSpace(order={self.order}, ports={self.num_ports})"

@@ -1,0 +1,234 @@
+"""Full algebraic passivity characterization.
+
+Pipeline (Sec. II of the paper): run the Hamiltonian eigensolver to get
+the crossing frequencies ``Omega``; the crossings partition the frequency
+axis into segments on which the number of singular values above the unit
+threshold is constant; sampling one interior point per segment classifies
+it, yielding the violation bands.  The asymptotic segment (beyond the
+largest crossing) is always passive thanks to ``sigma(D) < 1`` (eq. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.options import SolverOptions
+from repro.core.results import SolveResult
+from repro.core.solver import find_imaginary_eigenvalues
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.macromodel.simo import SimoRealization
+from repro.passivity.metrics import refine_peak
+
+__all__ = [
+    "ViolationBand",
+    "PassivityReport",
+    "violation_bands_from_crossings",
+    "characterize_passivity",
+]
+
+ModelLike = Union[PoleResidueModel, SimoRealization]
+
+
+@dataclass(frozen=True)
+class ViolationBand:
+    """A frequency band where at least one singular value exceeds 1.
+
+    Attributes
+    ----------
+    lo, hi:
+        Band edges (crossing frequencies; ``lo`` may be 0.0 when the
+        violation starts at DC).
+    peak_freq:
+        Frequency of the largest singular value inside the band.
+    peak_sigma:
+        The singular-value maximum attained at ``peak_freq``.
+    """
+
+    lo: float
+    hi: float
+    peak_freq: float
+    peak_sigma: float
+
+    @property
+    def width(self) -> float:
+        """Band width in rad/s."""
+        return self.hi - self.lo
+
+    @property
+    def severity(self) -> float:
+        """How far the peak exceeds the threshold (``peak_sigma - 1``)."""
+        return self.peak_sigma - 1.0
+
+
+@dataclass(frozen=True)
+class PassivityReport:
+    """Outcome of the full characterization.
+
+    Attributes
+    ----------
+    passive:
+        True when no violation band exists (Omega empty, or crossings of
+        even-order touching only — resolved by segment sampling).
+    crossings:
+        Sorted non-negative crossing frequencies (the set Omega).
+    bands:
+        The violation bands (empty when passive).
+    asymptotic_margin:
+        ``1 - sigma_max(D)`` — must be positive for the test to apply.
+    solve:
+        The underlying eigensolver result (work counters, shifts, ...),
+        or None when crossings were supplied externally.
+    """
+
+    passive: bool
+    crossings: np.ndarray
+    bands: Tuple[ViolationBand, ...]
+    asymptotic_margin: float
+    solve: Optional[SolveResult]
+
+    @property
+    def worst_violation(self) -> float:
+        """Largest ``sigma_max - 1`` over all bands (0.0 when passive)."""
+        if not self.bands:
+            return 0.0
+        return max(band.severity for band in self.bands)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.passive:
+            return (
+                f"PASSIVE (no unit-threshold crossings;"
+                f" asymptotic margin {self.asymptotic_margin:.4f})"
+            )
+        spans = ", ".join(
+            f"[{b.lo:.4g}, {b.hi:.4g}] peak {b.peak_sigma:.4f}" for b in self.bands
+        )
+        return f"NOT passive: {len(self.bands)} violation band(s): {spans}"
+
+
+def _as_simo(model: ModelLike) -> SimoRealization:
+    if isinstance(model, PoleResidueModel):
+        return pole_residue_to_simo(model)
+    if isinstance(model, SimoRealization):
+        return model
+    raise TypeError(
+        f"expected PoleResidueModel or SimoRealization, got {type(model).__name__}"
+    )
+
+
+def violation_bands_from_crossings(
+    model: ModelLike,
+    crossings: Sequence[float],
+    *,
+    omega_max: Optional[float] = None,
+    threshold: float = 1.0,
+) -> List[ViolationBand]:
+    """Classify the segments between crossings and extract violation bands.
+
+    Parameters
+    ----------
+    model:
+        The macromodel (used for singular-value sampling).
+    crossings:
+        Sorted non-negative crossing frequencies.
+    omega_max:
+        Upper edge for the last finite segment; defaults to
+        ``1.5 * max(crossings)`` (the asymptotic tail is passive by eq. 4
+        and never classified as violating).
+    threshold:
+        Singular-value threshold (1.0 for scattering passivity).
+
+    Returns
+    -------
+    list of ViolationBand
+        Bands where the sampled midpoint exceeds the threshold, each with
+        its refined interior peak.
+    """
+    simo = _as_simo(model)
+    crossings = np.sort(np.asarray(list(crossings), dtype=float))
+    if crossings.size == 0:
+        return []
+    edges = [0.0] if crossings[0] > 0.0 else []
+    edges.extend(crossings.tolist())
+    top = omega_max if omega_max is not None else 1.5 * float(crossings[-1])
+    if top > edges[-1]:
+        edges.append(top)
+
+    bands: List[ViolationBand] = []
+    current_lo: Optional[float] = None
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        if hi <= lo:
+            continue
+        mid = 0.5 * (lo + hi)
+        sigma_mid = float(
+            np.linalg.svd(simo.transfer(1j * mid), compute_uv=False)[0]
+        )
+        if sigma_mid > threshold:
+            if current_lo is None:
+                current_lo = lo
+        else:
+            if current_lo is not None:
+                bands.append(_make_band(simo, current_lo, lo))
+                current_lo = None
+    if current_lo is not None:
+        bands.append(_make_band(simo, current_lo, edges[-1]))
+    return bands
+
+
+def _make_band(simo: SimoRealization, lo: float, hi: float) -> ViolationBand:
+    peak_freq, peak_sigma = refine_peak(simo, lo, hi)
+    return ViolationBand(lo=float(lo), hi=float(hi), peak_freq=peak_freq, peak_sigma=peak_sigma)
+
+
+def characterize_passivity(
+    model: ModelLike,
+    *,
+    num_threads: int = 1,
+    strategy: str = "auto",
+    options: Optional[SolverOptions] = None,
+    omega_max: Optional[float] = None,
+) -> PassivityReport:
+    """Run the complete Hamiltonian-based passivity characterization.
+
+    Parameters
+    ----------
+    model:
+        Pole/residue model or structured realization (scattering
+        representation).
+    num_threads, strategy, options, omega_max:
+        Forwarded to :func:`~repro.core.solver.find_imaginary_eigenvalues`.
+
+    Returns
+    -------
+    PassivityReport
+
+    Examples
+    --------
+    >>> from repro.synth import random_macromodel
+    >>> model = random_macromodel(8, 2, seed=3, sigma_target=0.9)
+    >>> characterize_passivity(model).passive
+    True
+    """
+    simo = _as_simo(model)
+    solve = find_imaginary_eigenvalues(
+        simo,
+        num_threads=num_threads,
+        strategy=strategy,
+        options=options,
+        omega_max=omega_max,
+    )
+    margin = 1.0 - float(np.linalg.norm(simo.d, 2)) if simo.d.size else 1.0
+    bands = violation_bands_from_crossings(
+        simo, solve.omegas, omega_max=solve.band[1]
+    )
+    return PassivityReport(
+        passive=len(bands) == 0,
+        crossings=solve.omegas,
+        bands=tuple(bands),
+        asymptotic_margin=margin,
+        solve=solve,
+    )

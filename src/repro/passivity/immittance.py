@@ -1,0 +1,211 @@
+"""Passivity characterization for immittance (Y/Z/hybrid) representations.
+
+Sec. II of the paper notes that "the same derivations can be performed for
+the impedance, admittance, and hybrid cases".  For an immittance transfer
+matrix, passivity (positive-realness) requires the Hermitian part
+``G(j w) = H(j w) + H(j w)^H`` to be positive semidefinite at every
+frequency; the purely imaginary eigenvalues of the immittance Hamiltonian
+mark exactly the frequencies where an eigenvalue of ``G`` crosses zero.
+This module turns those crossings into violation bands, mirroring the
+scattering pipeline of :mod:`repro.passivity.characterization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.options import SolverOptions
+from repro.core.results import SolveResult
+from repro.core.solver import find_imaginary_eigenvalues
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.macromodel.simo import SimoRealization
+
+__all__ = [
+    "ImmittanceViolationBand",
+    "ImmittancePassivityReport",
+    "characterize_immittance_passivity",
+    "hermitian_min_eig",
+]
+
+ModelLike = Union[PoleResidueModel, SimoRealization]
+
+
+def hermitian_min_eig(model: ModelLike, omega: float) -> float:
+    """Smallest eigenvalue of ``H(j w) + H(j w)^H`` at one frequency."""
+    h = model.transfer(1j * float(omega))
+    return float(np.linalg.eigvalsh(h + h.conj().T).min())
+
+
+@dataclass(frozen=True)
+class ImmittanceViolationBand:
+    """A band where the Hermitian part of ``H(j w)`` is indefinite.
+
+    Attributes
+    ----------
+    lo, hi:
+        Band edges (zero-crossing frequencies of ``eig(H + H^H)``).
+    trough_freq:
+        Frequency of the most negative eigenvalue inside the band.
+    min_eig:
+        The (negative) eigenvalue minimum attained there.
+    """
+
+    lo: float
+    hi: float
+    trough_freq: float
+    min_eig: float
+
+    @property
+    def severity(self) -> float:
+        """Violation depth: ``-min_eig`` (positive for true violations)."""
+        return -self.min_eig
+
+
+@dataclass(frozen=True)
+class ImmittancePassivityReport:
+    """Outcome of the immittance characterization.
+
+    Attributes
+    ----------
+    passive:
+        True when ``H + H^H`` stays positive semidefinite on the band.
+    crossings:
+        Zero-crossing frequencies (the immittance Omega set).
+    bands:
+        Violation bands (empty when passive).
+    solve:
+        The underlying eigensolver result.
+    """
+
+    passive: bool
+    crossings: np.ndarray
+    bands: Tuple[ImmittanceViolationBand, ...]
+    solve: Optional[SolveResult]
+
+    @property
+    def worst_violation(self) -> float:
+        """Deepest negative excursion (0.0 when passive)."""
+        if not self.bands:
+            return 0.0
+        return max(band.severity for band in self.bands)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.passive:
+            return "PASSIVE (H + H^H positive semidefinite on the band)"
+        spans = ", ".join(
+            f"[{b.lo:.4g}, {b.hi:.4g}] min eig {b.min_eig:.4g}" for b in self.bands
+        )
+        return f"NOT passive (immittance): {len(self.bands)} band(s): {spans}"
+
+
+def _as_simo(model: ModelLike) -> SimoRealization:
+    if isinstance(model, PoleResidueModel):
+        return pole_residue_to_simo(model)
+    if isinstance(model, SimoRealization):
+        return model
+    raise TypeError(
+        f"expected PoleResidueModel or SimoRealization, got {type(model).__name__}"
+    )
+
+
+def _refine_trough(
+    simo: SimoRealization, lo: float, hi: float, *, points: int = 33
+) -> Tuple[float, float]:
+    """Locate the minimum of ``eig_min(H + H^H)`` inside ``[lo, hi]``."""
+    grid = np.linspace(lo, hi, max(3, points))
+    values = [hermitian_min_eig(simo, w) for w in grid]
+    best = int(np.argmin(values))
+    a = grid[max(0, best - 1)]
+    b = grid[min(len(grid) - 1, best + 1)]
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc = hermitian_min_eig(simo, c)
+    fd = hermitian_min_eig(simo, d)
+    for _ in range(40):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = hermitian_min_eig(simo, c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = hermitian_min_eig(simo, d)
+        if b - a < 1e-12 * max(1.0, abs(b)):
+            break
+    w_best = c if fc < fd else d
+    f_best = min(fc, fd)
+    if values[best] < f_best:
+        return float(grid[best]), float(values[best])
+    return float(w_best), float(f_best)
+
+
+def characterize_immittance_passivity(
+    model: ModelLike,
+    *,
+    num_threads: int = 1,
+    strategy: str = "auto",
+    options: Optional[SolverOptions] = None,
+    omega_max: Optional[float] = None,
+) -> ImmittancePassivityReport:
+    """Full algebraic positive-realness characterization.
+
+    Parameters
+    ----------
+    model:
+        Immittance macromodel; ``D + D^T`` must be positive definite (the
+        asymptotic condition playing the role of eq. 4).
+    num_threads, strategy, options, omega_max:
+        Forwarded to the eigensolver.
+
+    Returns
+    -------
+    ImmittancePassivityReport
+    """
+    simo = _as_simo(model)
+    solve = find_imaginary_eigenvalues(
+        simo,
+        num_threads=num_threads,
+        strategy=strategy,
+        representation="immittance",
+        options=options,
+        omega_max=omega_max,
+    )
+    crossings = solve.omegas
+    bands: List[ImmittanceViolationBand] = []
+    if crossings.size:
+        edges = ([0.0] if crossings[0] > 0.0 else []) + list(crossings)
+        top = solve.band[1]
+        if top > edges[-1]:
+            edges.append(top)
+        current_lo: Optional[float] = None
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            if hi <= lo:
+                continue
+            mid = 0.5 * (lo + hi)
+            if hermitian_min_eig(simo, mid) < 0.0:
+                if current_lo is None:
+                    current_lo = lo
+            else:
+                if current_lo is not None:
+                    trough_w, trough_v = _refine_trough(simo, current_lo, lo)
+                    bands.append(
+                        ImmittanceViolationBand(current_lo, lo, trough_w, trough_v)
+                    )
+                    current_lo = None
+        if current_lo is not None:
+            trough_w, trough_v = _refine_trough(simo, current_lo, edges[-1])
+            bands.append(
+                ImmittanceViolationBand(current_lo, edges[-1], trough_w, trough_v)
+            )
+    return ImmittancePassivityReport(
+        passive=len(bands) == 0,
+        crossings=crossings,
+        bands=tuple(bands),
+        solve=solve,
+    )

@@ -1,0 +1,98 @@
+"""Sampling-based passivity metrics.
+
+These are the slow-but-simple checks the Hamiltonian method replaces:
+evaluate singular values on a frequency grid and compare against the unit
+threshold.  They remain useful as cross-validation in tests and as the
+peak-refinement primitive inside violation bands.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.simo import SimoRealization
+from repro.utils.validation import ensure_sorted_frequencies
+
+__all__ = [
+    "singular_values_on_grid",
+    "peak_singular_value_on_grid",
+    "grid_passivity_margin",
+    "refine_peak",
+]
+
+ModelLike = Union[PoleResidueModel, SimoRealization]
+
+
+def singular_values_on_grid(model: ModelLike, freqs_rad) -> np.ndarray:
+    """Singular values of ``H(j w)`` on a grid; shape ``(K, p)`` descending."""
+    freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
+    responses = model.frequency_response(freqs_rad)
+    return np.linalg.svd(responses, compute_uv=False)
+
+
+def peak_singular_value_on_grid(model: ModelLike, freqs_rad) -> Tuple[float, float]:
+    """Largest singular value over the grid and the frequency attaining it."""
+    sv = singular_values_on_grid(model, freqs_rad)
+    freqs_rad = np.asarray(freqs_rad, dtype=float)
+    idx = int(np.argmax(sv[:, 0]))
+    return float(sv[idx, 0]), float(freqs_rad[idx])
+
+
+def grid_passivity_margin(model: ModelLike, freqs_rad) -> float:
+    """``1 - max sigma`` over the grid; negative means sampled violation."""
+    peak, _ = peak_singular_value_on_grid(model, freqs_rad)
+    return 1.0 - peak
+
+
+def refine_peak(
+    model: ModelLike,
+    lo: float,
+    hi: float,
+    *,
+    coarse_points: int = 33,
+    iterations: int = 40,
+) -> Tuple[float, float]:
+    """Locate the maximum of ``sigma_max(H(j w))`` inside ``[lo, hi]``.
+
+    Coarse grid scan followed by golden-section refinement around the best
+    sample.  Returns ``(omega_peak, sigma_peak)``.
+    """
+    if hi <= lo:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+
+    def sigma_max(w: float) -> float:
+        h = model.transfer(1j * w)
+        return float(np.linalg.svd(h, compute_uv=False)[0])
+
+    grid = np.linspace(lo, hi, max(3, coarse_points))
+    values = [sigma_max(w) for w in grid]
+    best = int(np.argmax(values))
+    a = grid[max(0, best - 1)]
+    b = grid[min(len(grid) - 1, best + 1)]
+    if b <= a:
+        return float(grid[best]), float(values[best])
+
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = sigma_max(c), sigma_max(d)
+    for _ in range(iterations):
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = sigma_max(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = sigma_max(d)
+        if b - a < 1e-12 * max(1.0, abs(b)):
+            break
+    w_peak = c if fc > fd else d
+    s_peak = max(fc, fd)
+    # The coarse best may still dominate (plateaus/multiple local maxima).
+    if values[best] > s_peak:
+        return float(grid[best]), float(values[best])
+    return float(w_peak), float(s_peak)

@@ -1,0 +1,18 @@
+"""Experiment drivers and table formatting for the paper's evaluation.
+
+* :mod:`repro.reporting.tables` -- row containers and ASCII formatting in
+  the layout of the paper's Table I and Fig. 6;
+* :mod:`repro.reporting.table1` -- the Table I driver
+  (``python -m repro.reporting.table1``);
+* :mod:`repro.reporting.fig6` -- the Fig. 6 thread-scaling driver
+  (``python -m repro.reporting.fig6``).
+"""
+
+from repro.reporting.tables import (
+    Fig6Point,
+    Table1Row,
+    format_fig6,
+    format_table1,
+)
+
+__all__ = ["Table1Row", "Fig6Point", "format_table1", "format_fig6"]

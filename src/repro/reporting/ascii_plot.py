@@ -1,0 +1,132 @@
+"""Terminal-friendly ASCII plots of frequency responses.
+
+Used by the CLI (``repro check --plot``) and the examples to visualize
+singular-value sweeps and violation bands without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.simo import SimoRealization
+from repro.utils.validation import ensure_positive_int, ensure_sorted_frequencies
+
+__all__ = ["ascii_series", "sigma_plot"]
+
+ModelLike = Union[PoleResidueModel, SimoRealization]
+
+
+def ascii_series(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 16,
+    marker: str = "*",
+    hline: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render ``y(x)`` as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    x, y:
+        Equal-length 1-D data arrays.
+    width, height:
+        Character-grid size (axes excluded).
+    marker:
+        Data-point character.
+    hline:
+        Optional horizontal reference line (e.g. the unit threshold).
+    title:
+        Optional heading.
+
+    Returns
+    -------
+    str
+        Multi-line chart with y-axis labels and an x-range footer.
+    """
+    ensure_positive_int(width, "width")
+    ensure_positive_int(height, "height")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("x and y must be equal-length arrays with >= 2 points")
+
+    y_min = float(min(y.min(), hline if hline is not None else y.min()))
+    y_max = float(max(y.max(), hline if hline is not None else y.max()))
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        frac = (value - y_min) / (y_max - y_min)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    if hline is not None:
+        r = row_of(hline)
+        if 0 <= r < height:
+            grid[r] = ["-"] * width
+
+    x_min, x_max = float(x.min()), float(x.max())
+    for xi, yi in zip(x, y):
+        col = int(round((width - 1) * (xi - x_min) / (x_max - x_min)))
+        r = row_of(float(yi))
+        if 0 <= r < height and 0 <= col < width:
+            grid[r][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        label = y_min + frac * (y_max - y_min)
+        lines.append(f"{label:>9.3f} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':>10} {x_min:<12.4g}{'':^{max(0, width - 26)}}{x_max:>12.4g}")
+    return "\n".join(lines)
+
+
+def sigma_plot(
+    model: ModelLike,
+    freqs_rad,
+    *,
+    width: int = 72,
+    height: int = 16,
+    mark_bands: Sequence[Tuple[float, float]] = (),
+) -> str:
+    """ASCII sweep of ``sigma_max(H(j w))`` with the unit threshold line.
+
+    Parameters
+    ----------
+    model:
+        The macromodel to sweep.
+    freqs_rad:
+        Frequency grid (rad/s).
+    width, height:
+        Chart size.
+    mark_bands:
+        Violation bands to annotate under the chart.
+    """
+    freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
+    responses = model.frequency_response(freqs_rad)
+    sigma = np.linalg.svd(responses, compute_uv=False)[:, 0]
+    chart = ascii_series(
+        freqs_rad,
+        sigma,
+        width=width,
+        height=height,
+        hline=1.0,
+        title="sigma_max(H(jw))   (---- = unit threshold)",
+    )
+    if mark_bands:
+        notes = ", ".join(f"[{lo:.4g}, {hi:.4g}]" for lo, hi in mark_bands)
+        chart += f"\nviolation bands: {notes}"
+    return chart

@@ -1,0 +1,140 @@
+"""Row containers and ASCII formatting for Table I and Fig. 6.
+
+The formatting mirrors the paper's layout so a reproduction run can be
+eyeballed against the original table; two extra columns report the
+*work-based* speedup and the number of eliminated shifts, which are the
+platform-independent signals of the dynamic scheduler (see the
+substitution notes in DESIGN.md: wall-clock speedup in CPython is
+attenuated by the GIL, work-based speedup is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Table1Row", "Fig6Point", "format_table1", "format_fig6"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row of the reproduced Table I.
+
+    Attributes
+    ----------
+    case_name:
+        "Case 1" ... "Case 12".
+    order, ports:
+        Model size (n, p) — identical to the paper by construction.
+    nlambda:
+        Measured number of imaginary Hamiltonian eigenvalues.
+    tau1:
+        Serial (bisection) wall time, seconds.
+    tau_t_mean, tau_t_max:
+        Mean and worst-case parallel wall time over the repeats.
+    eta_wall:
+        Wall-clock speedup ``tau1 / tau_t_mean``.
+    eta_work:
+        Work speedup ``W_1 / W_T`` (operator applications), the
+        GIL-independent analogue of the paper's speedup factor.
+    eta_proj:
+        Projected T-core speedup from the makespan simulation
+        (:mod:`repro.reporting.projection`) — the column to compare with
+        the paper's ``eta_16``.
+    shifts, eliminated:
+        Shifts processed / tentative shifts eliminated by the dynamic
+        scheduler in the parallel run.
+    paper_nlambda, paper_eta:
+        Reference values from the paper for side-by-side reading.
+    """
+
+    case_name: str
+    order: int
+    ports: int
+    nlambda: int
+    tau1: float
+    tau_t_mean: float
+    tau_t_max: float
+    eta_wall: float
+    eta_work: float
+    eta_proj: float
+    shifts: int
+    eliminated: int
+    paper_nlambda: Optional[int] = None
+    paper_eta: Optional[float] = None
+
+
+def format_table1(rows: Sequence[Table1Row], num_threads: int) -> str:
+    """Render measured rows in the layout of the paper's Table I."""
+    header = (
+        f"{'Case':<8}{'n':>6}{'p':>5}{'Nl':>5}{'tau1[s]':>10}"
+        f"{f'tau{num_threads}[s]':>10}{f'tau{num_threads}max':>10}"
+        f"{'eta_wall':>10}{'eta_work':>10}{'eta_proj':>10}"
+        f"{'shifts':>8}{'elim':>6}"
+        f"{'Nl(pap)':>9}{'eta(pap)':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.case_name:<8}{row.order:>6}{row.ports:>5}{row.nlambda:>5}"
+            f"{row.tau1:>10.3f}{row.tau_t_mean:>10.3f}{row.tau_t_max:>10.3f}"
+            f"{row.eta_wall:>10.3f}{row.eta_work:>10.3f}{row.eta_proj:>10.3f}"
+            f"{row.shifts:>8}{row.eliminated:>6}"
+            f"{(str(row.paper_nlambda) if row.paper_nlambda is not None else '-'):>9}"
+            f"{(f'{row.paper_eta:.3f}' if row.paper_eta is not None else '-'):>10}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One point of the Fig. 6 speedup-vs-threads curve.
+
+    Attributes
+    ----------
+    threads:
+        Thread count ``t``.
+    eta_wall_mean, eta_wall_std:
+        Mean/std of the wall-clock speedup ``tau_1 / tau_t`` over repeats.
+    eta_work_mean, eta_work_std:
+        Mean/std of the work-based speedup ``W_1 / W_t``.
+    eta_proj_mean, eta_proj_std:
+        Mean/std of the projected t-core speedup (makespan simulation) —
+        the series to compare with the paper's Fig. 6 curve.
+    """
+
+    threads: int
+    eta_wall_mean: float
+    eta_wall_std: float
+    eta_work_mean: float
+    eta_work_std: float
+    eta_proj_mean: float
+    eta_proj_std: float
+
+
+def format_fig6(points: Sequence[Fig6Point]) -> str:
+    """Render the Fig. 6 series (plus an ASCII bar plot of eta_work)."""
+    header = (
+        f"{'t':>4}{'eta_wall':>12}{'std':>9}{'eta_work':>12}{'std':>9}"
+        f"{'eta_proj':>12}{'std':>9}{'ideal':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    max_eta = max((p.eta_proj_mean for p in points), default=1.0)
+    for point in points:
+        lines.append(
+            f"{point.threads:>4}{point.eta_wall_mean:>12.3f}"
+            f"{point.eta_wall_std:>9.3f}{point.eta_work_mean:>12.3f}"
+            f"{point.eta_work_std:>9.3f}{point.eta_proj_mean:>12.3f}"
+            f"{point.eta_proj_std:>9.3f}{point.threads:>8}"
+        )
+    lines.append("")
+    lines.append("projected speedup (x = ideal):")
+    scale = 48.0 / max(max_eta, max(p.threads for p in points), 1.0)
+    for point in points:
+        bar = "#" * max(1, int(round(point.eta_proj_mean * scale)))
+        ideal_pos = int(round(point.threads * scale))
+        bar_chars = list(bar.ljust(ideal_pos + 1))
+        if 0 <= ideal_pos < len(bar_chars):
+            bar_chars[ideal_pos] = "x"
+        lines.append(f"{point.threads:>4} |{''.join(bar_chars)}")
+    return "\n".join(lines)

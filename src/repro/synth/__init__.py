@@ -1,0 +1,28 @@
+"""Synthetic macromodel generation.
+
+The paper evaluates on 12 proprietary industrial interconnect macromodels
+(Table I).  This subpackage provides the substitute documented in
+DESIGN.md: random pole/residue macromodels with the same dynamic order and
+port counts, with a controllable passivity profile (strictly passive or
+violating with a tunable margin) so that every benchmark exercises the
+same code paths as the paper's test cases.
+"""
+
+from repro.synth.generator import (
+    random_macromodel,
+    random_pole_set,
+    random_simo_macromodel,
+    scale_to_sigma_target,
+)
+from repro.synth.workloads import TABLE1_CASES, CaseSpec, build_case, fig6_case
+
+__all__ = [
+    "random_pole_set",
+    "random_macromodel",
+    "random_simo_macromodel",
+    "scale_to_sigma_target",
+    "TABLE1_CASES",
+    "CaseSpec",
+    "build_case",
+    "fig6_case",
+]

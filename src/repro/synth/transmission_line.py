@@ -1,0 +1,121 @@
+"""Physics-flavoured synthetic workloads: lossy transmission-line models.
+
+The paper's test cases are packaging interconnects — electrically long
+structures whose rational approximations have regularly spaced resonances
+(the standing-wave pattern of a line of delay ``T``: resonances near
+``w_k ~ k * pi / T``).  This generator produces macromodels with exactly
+that comb structure, a more faithful substitute for the industrial cases
+than fully random pole placement, and a stress test for the scheduler
+(evenly spaced eigenvalue clusters along the whole band).
+
+The model is built directly in pole/residue form:
+
+* a resonance comb ``w_k = k * dw`` with per-resonance damping derived
+  from a loss tangent;
+* residues shaped like traveling-wave coupling: alternating signs between
+  the near-end/far-end port blocks (the ``(-1)^k`` pattern of an ideal
+  line's modal expansion);
+* optional random perturbation so that no two cases are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.macromodel.rational import PoleResidueModel
+from repro.synth.generator import _random_direct_term, _scaling_grid, scale_to_sigma_target
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_positive_float, ensure_positive_int
+
+__all__ = ["transmission_line_model"]
+
+
+def transmission_line_model(
+    num_resonances: int,
+    num_ports: int,
+    *,
+    delay: float = 3.0,
+    loss_tangent: float = 0.01,
+    seed=None,
+    coupling_decay: float = 0.6,
+    jitter: float = 0.02,
+    d_norm: float = 0.1,
+    sigma_target: Optional[float] = 1.02,
+    grid_points: int = 400,
+) -> PoleResidueModel:
+    """Build a transmission-line-like rational macromodel.
+
+    Parameters
+    ----------
+    num_resonances:
+        Number of resonant pairs in the comb (model order is
+        ``2 * num_resonances``).
+    num_ports:
+        Port count ``p``.
+    delay:
+        One-way delay ``T``; the comb spacing is ``pi / T``.
+    loss_tangent:
+        Relative damping of each resonance (``Re p = -loss * w0``),
+        growing mildly with frequency like conductor/dielectric loss.
+    seed:
+        Randomness for the residue perturbation.
+    coupling_decay:
+        Geometric decay of the coupling between non-adjacent ports (a
+        line couples neighbours strongest).
+    jitter:
+        Relative random perturbation of the comb frequencies (real lines
+        are never perfectly periodic).
+    d_norm:
+        ``sigma_max`` of the direct term.
+    sigma_target:
+        Peak singular value after rescaling (None skips).
+    grid_points:
+        Scaling-grid density.
+
+    Returns
+    -------
+    PoleResidueModel
+        Strictly stable, conjugate-symmetric, near-passive model with a
+        resonance comb spanning ``[dw, num_resonances * dw]``.
+    """
+    ensure_positive_int(num_resonances, "num_resonances")
+    ensure_positive_int(num_ports, "num_ports")
+    ensure_positive_float(delay, "delay")
+    rng = as_generator(seed)
+
+    dw = np.pi / delay
+    k = np.arange(1, num_resonances + 1, dtype=float)
+    w0 = k * dw * (1.0 + jitter * rng.standard_normal(num_resonances))
+    w0 = np.abs(w0) + 1e-6
+    # Loss grows ~sqrt(f) (skin effect) on top of the dielectric floor.
+    damping = loss_tangent * w0 * (0.5 + 0.5 * np.sqrt(k / k[-1]))
+    pair_poles = -damping + 1j * w0
+
+    # Port-coupling template: strongest on/near the diagonal.
+    idx = np.arange(num_ports)
+    coupling = coupling_decay ** np.abs(idx[:, None] - idx[None, :])
+
+    residues = np.zeros((2 * num_resonances, num_ports, num_ports), dtype=complex)
+    poles = np.zeros(2 * num_resonances, dtype=complex)
+    for m in range(num_resonances):
+        # Traveling-wave sign alternation plus a mild random rotation.
+        sign = -1.0 if m % 2 else 1.0
+        base = sign * coupling
+        perturb = 0.15 * rng.standard_normal((num_ports, num_ports))
+        phase = 1j * 0.1 * rng.standard_normal((num_ports, num_ports))
+        block = (base * (1.0 + perturb) + phase) * damping[m]
+        poles[2 * m] = pair_poles[m]
+        poles[2 * m + 1] = np.conj(pair_poles[m])
+        residues[2 * m] = block
+        residues[2 * m + 1] = np.conj(block)
+
+    d = _random_direct_term(rng, num_ports, d_norm)
+    model = PoleResidueModel(poles, residues, d)
+    if sigma_target is not None:
+        grid = _scaling_grid(poles, (float(w0.min()), float(w0.max())), grid_points)
+        responses = model.frequency_response(grid)
+        s = scale_to_sigma_target(d, responses, sigma_target)
+        model = PoleResidueModel(poles, residues * s, d)
+    return model

@@ -1,0 +1,116 @@
+"""The 12 benchmark cases of Table I, reproduced synthetically.
+
+Each :class:`CaseSpec` carries the dynamic order ``n`` and port count
+``p`` of the corresponding row of Table I, the paper's measured values
+(imaginary eigenvalue count and CPU times, for side-by-side reporting),
+and the synthesis parameters of our substitute model.  Cases 4 and 6 are
+passive in the paper (``N_lambda = 0``); the substitutes target a peak
+singular value just below 1 so they are passive too.  All other cases
+target a peak slightly above 1 so the solver has crossings to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.macromodel.simo import SimoRealization
+from repro.synth.generator import random_simo_macromodel
+
+__all__ = ["CaseSpec", "TABLE1_CASES", "build_case", "fig6_case"]
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One row of Table I plus the synthesis recipe for its substitute.
+
+    Attributes
+    ----------
+    case_id:
+        1-based case number as in the paper.
+    order:
+        Dynamic order ``n``.
+    ports:
+        Port count ``p``.
+    paper_nlambda:
+        Number of imaginary Hamiltonian eigenvalues the paper reports.
+    paper_tau1 / paper_tau16 / paper_tau16_max / paper_eta16:
+        CPU seconds (serial; 16-thread mean; 16-thread worst case) and
+        mean speedup from Table I — reference values only.
+    sigma_target:
+        Peak singular value targeted by the synthetic substitute.
+    q_range:
+        Resonance quality-factor range (higher -> sharper resonances ->
+        more localized crossings).
+    seed:
+        Generator seed (fixed per case for reproducibility).
+    """
+
+    case_id: int
+    order: int
+    ports: int
+    paper_nlambda: int
+    paper_tau1: float
+    paper_tau16: float
+    paper_tau16_max: float
+    paper_eta16: float
+    sigma_target: float
+    q_range: Tuple[float, float] = (5.0, 80.0)
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable label, e.g. ``"Case 3"``."""
+        return f"Case {self.case_id}"
+
+
+#: Table I of the paper: (n, p, N_lambda, tau1, tau16, tau16max, eta16).
+TABLE1_CASES = (
+    CaseSpec(1, 1000, 20, 6, 13.763, 0.655, 0.844, 21.028, sigma_target=1.02, seed=101),
+    CaseSpec(2, 1000, 20, 42, 10.911, 0.521, 0.579, 20.957, sigma_target=1.08, seed=102),
+    CaseSpec(3, 1000, 20, 40, 11.729, 0.565, 0.639, 20.745, sigma_target=1.08, seed=103),
+    CaseSpec(4, 1980, 18, 0, 81.193, 5.020, 5.208, 16.175, sigma_target=0.95, seed=104),
+    CaseSpec(5, 2240, 56, 22, 33.972, 1.950, 2.121, 17.420, sigma_target=1.05, seed=105),
+    CaseSpec(6, 1728, 18, 0, 46.735, 3.022, 3.109, 15.463, sigma_target=0.95, seed=106),
+    CaseSpec(7, 1734, 83, 10, 22.836, 1.518, 1.563, 15.040, sigma_target=1.03, seed=107),
+    CaseSpec(8, 1792, 56, 104, 50.933, 3.627, 3.736, 14.044, sigma_target=1.12, seed=108),
+    CaseSpec(9, 1702, 56, 115, 14.206, 0.976, 1.055, 14.554, sigma_target=1.12, seed=109),
+    CaseSpec(10, 4150, 83, 114, 64.396, 5.171, 6.024, 12.453, sigma_target=1.10, seed=110),
+    CaseSpec(11, 1792, 56, 125, 54.470, 3.809, 3.911, 14.301, sigma_target=1.13, seed=111),
+    CaseSpec(12, 2432, 83, 46, 27.842, 1.955, 2.043, 14.242, sigma_target=1.06, seed=112),
+)
+
+
+def build_case(spec: CaseSpec, *, scale: float = 1.0) -> SimoRealization:
+    """Build the synthetic substitute model for a Table I case.
+
+    Parameters
+    ----------
+    spec:
+        The case specification.
+    scale:
+        Order scale factor in (0, 1]; benchmarks use ``scale < 1`` for
+        quick runs (the port count is kept, the dynamic order shrinks, to
+        a floor of one pole per column).
+
+    Returns
+    -------
+    SimoRealization
+        Structured realization with ``order == round(spec.order * scale)``
+        (floored at ``spec.ports``).
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    order = max(spec.ports, int(round(spec.order * scale)))
+    return random_simo_macromodel(
+        order,
+        spec.ports,
+        seed=spec.seed,
+        sigma_target=spec.sigma_target,
+        q_range=spec.q_range,
+    )
+
+
+def fig6_case(*, scale: float = 1.0) -> SimoRealization:
+    """The Case 5 model used for the Fig. 6 thread-scaling study."""
+    return build_case(TABLE1_CASES[4], scale=scale)

@@ -1,0 +1,20 @@
+"""Touchstone (SnP) scattering-parameter file I/O.
+
+The paper's workflow starts from "frequency samples of the scattering
+matrix ... either via electromagnetic simulation or direct measurement" —
+in practice, Touchstone files.  This subpackage reads and writes
+Touchstone v1 files (``.s1p``/``.s2p``/``.sNp``) with the RI/MA/DB number
+formats, the standard frequency units, and the 2-port column-ordering
+quirk of the specification.
+"""
+
+from repro.touchstone.reader import TouchstoneData, read_touchstone, parse_touchstone
+from repro.touchstone.writer import format_touchstone, write_touchstone
+
+__all__ = [
+    "TouchstoneData",
+    "read_touchstone",
+    "parse_touchstone",
+    "write_touchstone",
+    "format_touchstone",
+]

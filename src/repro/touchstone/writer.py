@@ -1,0 +1,126 @@
+"""Touchstone v1 writer.
+
+Emits the same subset the reader consumes: one option line, RI/MA/DB
+formats, standard units, wrapped records (four complex values per line),
+and the 2-port column-major quirk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.touchstone.reader import _FORMATS, _UNIT_SCALE
+from repro.utils.validation import ensure_positive_float
+
+__all__ = ["format_touchstone", "write_touchstone"]
+
+
+def _encode(value: complex, fmt: str) -> tuple:
+    if fmt == "RI":
+        return (value.real, value.imag)
+    mag = abs(value)
+    ang = np.rad2deg(np.angle(value))
+    if fmt == "MA":
+        return (mag, ang)
+    if fmt == "DB":
+        db = 20.0 * np.log10(mag) if mag > 0 else -400.0
+        return (db, ang)
+    raise ValueError(f"unknown number format {fmt!r}")
+
+
+def format_touchstone(
+    freqs_hz,
+    matrices,
+    *,
+    parameter: str = "S",
+    fmt: str = "RI",
+    unit: str = "HZ",
+    z0: float = 50.0,
+    comment: str = "",
+) -> str:
+    """Render samples as Touchstone v1 text.
+
+    Parameters
+    ----------
+    freqs_hz:
+        Strictly increasing frequencies in Hz.
+    matrices:
+        Samples, shape ``(K, p, p)`` complex.
+    parameter:
+        Parameter type letter for the option line.
+    fmt:
+        ``"RI"`` (default, lossless round-trip), ``"MA"``, or ``"DB"``.
+    unit:
+        Frequency unit for the option line (HZ/KHZ/MHZ/GHZ).
+    z0:
+        Reference resistance.
+    comment:
+        Optional leading comment (may span lines; each gets a ``!``).
+
+    Returns
+    -------
+    str
+        File contents.
+    """
+    fmt = fmt.upper()
+    unit = unit.upper()
+    if fmt not in _FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; expected one of {_FORMATS}")
+    if unit not in _UNIT_SCALE:
+        raise ValueError(f"unknown unit {unit!r}")
+    ensure_positive_float(z0, "z0")
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    matrices = np.asarray(matrices, dtype=complex)
+    if matrices.ndim != 3 or matrices.shape[1] != matrices.shape[2]:
+        raise ValueError(f"matrices must have shape (K, p, p), got {matrices.shape}")
+    if matrices.shape[0] != freqs_hz.size:
+        raise ValueError(
+            f"got {matrices.shape[0]} matrices but {freqs_hz.size} frequencies"
+        )
+    if freqs_hz.size > 1 and np.any(np.diff(freqs_hz) <= 0):
+        raise ValueError("frequencies must be strictly increasing")
+    p = matrices.shape[1]
+    scale = _UNIT_SCALE[unit]
+
+    lines = []
+    for comment_line in comment.splitlines():
+        lines.append(f"! {comment_line}")
+    lines.append(f"# {unit} {parameter.upper()} {fmt} R {z0:g}")
+    for freq, matrix in zip(freqs_hz, matrices):
+        if p == 2:
+            entries = matrix.T.ravel()  # spec quirk: S11 S21 S12 S22
+        else:
+            entries = matrix.ravel()
+        pieces = [f"{freq / scale:.12g}"]
+        per_line = 0
+        row = []
+        for value in entries:
+            a, b = _encode(complex(value), fmt)
+            row.append(f"{a:.12g} {b:.12g}")
+            per_line += 1
+            if per_line == 4:  # spec: at most four complex values per line
+                pieces.append("  ".join(row))
+                row = []
+                per_line = 0
+        if row:
+            pieces.append("  ".join(row))
+        lines.append(pieces[0] + " " + pieces[1] if len(pieces) > 1 else pieces[0])
+        lines.extend(pieces[2:])
+    return "\n".join(lines) + "\n"
+
+
+def write_touchstone(
+    path: Union[str, Path],
+    freqs_hz,
+    matrices,
+    **kwargs,
+) -> Path:
+    """Write samples to a Touchstone file; returns the path."""
+    path = Path(path)
+    text = format_touchstone(freqs_hz, matrices, **kwargs)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,38 @@
+"""Logging shim: a package-wide logger with a quiet default.
+
+The solvers emit DEBUG-level traces of scheduler decisions (shift promoted,
+disk covered, interval split, ...) which are invaluable when studying the
+dynamic scheduling behaviour, but silent unless the caller opts in with
+:func:`enable_debug_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_debug_logging"]
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a child logger of the package root logger."""
+    if name:
+        return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+    return logging.getLogger(_PACKAGE_LOGGER_NAME)
+
+
+def enable_debug_logging(level: int = logging.DEBUG) -> logging.Logger:
+    """Attach a stderr handler to the package logger and set its level.
+
+    Safe to call repeatedly; only one handler is ever attached.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

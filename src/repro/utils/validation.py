@@ -1,0 +1,166 @@
+"""Argument validation helpers with consistent, informative error messages.
+
+Every public entry point of the library validates its inputs through these
+helpers so that user errors surface as :class:`ValueError` / :class:`TypeError`
+with a uniform style, rather than as cryptic numpy broadcasting failures deep
+inside a solver.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "ensure_matrix",
+    "ensure_vector",
+    "ensure_square",
+    "ensure_real",
+    "ensure_positive_int",
+    "ensure_nonnegative_int",
+    "ensure_positive_float",
+    "ensure_nonnegative_float",
+    "ensure_probability",
+    "ensure_in_range",
+    "ensure_sorted_frequencies",
+]
+
+
+def ensure_matrix(value, name: str, *, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to a 2-D :class:`numpy.ndarray`.
+
+    Parameters
+    ----------
+    value:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    dtype:
+        Optional dtype to coerce to (e.g. ``float`` or ``complex``).
+
+    Returns
+    -------
+    numpy.ndarray
+        A 2-D array view/copy of the input.
+
+    Raises
+    ------
+    ValueError
+        If the input is not interpretable as a 2-D matrix.
+    """
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def ensure_vector(value, name: str, *, dtype=None, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``value`` to a 1-D :class:`numpy.ndarray`.
+
+    Raises
+    ------
+    ValueError
+        If the input is not 1-D, is empty while ``allow_empty`` is false, or
+        contains non-finite entries.
+    """
+    arr = np.atleast_1d(np.asarray(value, dtype=dtype))
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D vector, got ndim={arr.ndim}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def ensure_square(value, name: str, *, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to a square 2-D array."""
+    arr = ensure_matrix(value, name, dtype=dtype)
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def ensure_real(value, name: str) -> np.ndarray:
+    """Require an array to have negligible imaginary part and return it real.
+
+    Arrays that are already real pass through untouched; complex arrays are
+    accepted only when their imaginary part is exactly zero everywhere.
+    """
+    arr = np.asarray(value)
+    if np.iscomplexobj(arr):
+        if np.any(arr.imag != 0.0):
+            raise ValueError(f"{name} must be real-valued")
+        arr = arr.real
+    return arr
+
+
+def ensure_positive_int(value, name: str) -> int:
+    """Validate a strictly positive integer scalar."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_nonnegative_int(value, name: str) -> int:
+    """Validate an integer scalar >= 0."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def ensure_positive_float(value, name: str) -> float:
+    """Validate a strictly positive finite float scalar."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be positive and finite, got {value}")
+    return value
+
+
+def ensure_nonnegative_float(value, name: str) -> float:
+    """Validate a finite float scalar >= 0."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value}")
+    return value
+
+
+def ensure_probability(value, name: str) -> float:
+    """Validate a float in the closed interval [0, 1]."""
+    value = ensure_nonnegative_float(value, name)
+    if value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def ensure_in_range(value, name: str, lo: float, hi: float) -> float:
+    """Validate a finite float in the closed interval [lo, hi]."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or not (lo <= value <= hi):
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def ensure_sorted_frequencies(freqs, name: str = "frequencies") -> np.ndarray:
+    """Validate a strictly increasing, non-negative frequency grid."""
+    arr = ensure_vector(freqs, name, dtype=float)
+    if np.any(arr < 0.0):
+        raise ValueError(f"{name} must be non-negative")
+    if arr.size > 1 and np.any(np.diff(arr) <= 0.0):
+        raise ValueError(f"{name} must be strictly increasing")
+    return arr

@@ -1,0 +1,19 @@
+"""Vector Fitting: rational macromodel identification from frequency data.
+
+The paper's macromodels are "identified from tabulated frequency
+responses, typically available from a full-wave solver or from direct
+measurement, using rational curve fitting" (ref. [1], Gustavsen &
+Semlyen).  This subpackage implements the classical Vector Fitting
+algorithm with pole relocation, unstable-pole flipping, and common poles
+across all matrix entries — exactly the model shape the structured SIMO
+realization of eq. (2) consumes.
+"""
+
+from repro.vectfit.options import VectorFittingOptions
+from repro.vectfit.vector_fitting import (
+    FitResult,
+    initial_poles,
+    vector_fit,
+)
+
+__all__ = ["VectorFittingOptions", "FitResult", "initial_poles", "vector_fit"]

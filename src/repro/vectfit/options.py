@@ -1,0 +1,67 @@
+"""Vector Fitting configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import (
+    ensure_nonnegative_int,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+
+__all__ = ["VectorFittingOptions"]
+
+
+@dataclass(frozen=True)
+class VectorFittingOptions:
+    """Tuning knobs of the Vector Fitting iteration.
+
+    Parameters
+    ----------
+    iterations:
+        Pole-relocation sweeps (each solves one sigma least-squares
+        problem and re-identifies the poles).
+    enforce_stability:
+        Flip relocated poles into the left half plane (the standard
+        choice for macromodeling).
+    fit_direct_term:
+        Include a constant term ``D`` in the fit basis.
+    weighting:
+        ``"uniform"`` or ``"inverse_magnitude"`` (rows scaled by
+        ``1/|H|``, emphasizing relative accuracy).
+    real_pole_fraction:
+        Fraction of real poles in the starting pole set.
+    initial_damping_ratio:
+        ``|Re p| / |Im p|`` of the complex starting poles (the classical
+        recipe uses a small value like 0.01).
+    convergence_tol:
+        Relative pole movement below which the relocation loop stops
+        early.
+    """
+
+    iterations: int = 12
+    enforce_stability: bool = True
+    fit_direct_term: bool = True
+    weighting: str = "uniform"
+    real_pole_fraction: float = 0.0
+    initial_damping_ratio: float = 0.01
+    convergence_tol: float = 1e-10
+
+    def __post_init__(self):
+        ensure_positive_int(self.iterations, "iterations")
+        ensure_positive_float(self.initial_damping_ratio, "initial_damping_ratio")
+        ensure_positive_float(self.convergence_tol, "convergence_tol")
+        if self.weighting not in ("uniform", "inverse_magnitude"):
+            raise ValueError(
+                f"unknown weighting {self.weighting!r}; expected 'uniform' or"
+                " 'inverse_magnitude'"
+            )
+        if not 0.0 <= self.real_pole_fraction <= 1.0:
+            raise ValueError(
+                f"real_pole_fraction must be in [0, 1], got {self.real_pole_fraction}"
+            )
+
+    def with_(self, **changes) -> "VectorFittingOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

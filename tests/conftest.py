@@ -1,0 +1,59 @@
+"""Shared fixtures and model factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.realization import pole_residue_to_simo
+
+
+def make_pole_residue(
+    seed: int = 0,
+    num_ports: int = 3,
+    num_real: int = 2,
+    num_pairs: int = 3,
+    residue_scale: float = 0.4,
+    d_scale: float = 0.05,
+) -> PoleResidueModel:
+    """Small deterministic pole/residue model for unit tests."""
+    rng = np.random.default_rng(seed)
+    real_poles = -rng.uniform(0.5, 2.0, num_real)
+    pair_poles = -rng.uniform(0.1, 1.0, num_pairs) + 1j * rng.uniform(
+        1.0, 12.0, num_pairs
+    )
+    poles = np.concatenate(
+        [real_poles.astype(complex), pair_poles, np.conj(pair_poles)]
+    )
+    m = poles.size
+    residues = np.zeros((m, num_ports, num_ports), dtype=complex)
+    for i in range(num_real):
+        residues[i] = residue_scale * rng.standard_normal((num_ports, num_ports))
+    for i in range(num_pairs):
+        block = residue_scale * (
+            rng.standard_normal((num_ports, num_ports))
+            + 1j * rng.standard_normal((num_ports, num_ports))
+        )
+        residues[num_real + i] = block
+        residues[num_real + num_pairs + i] = np.conj(block)
+    d = d_scale * rng.standard_normal((num_ports, num_ports))
+    return PoleResidueModel(poles, residues, d)
+
+
+@pytest.fixture
+def small_model():
+    """A 3-port, 8-pole model (order 24) with mild dynamics."""
+    return make_pole_residue(seed=0)
+
+
+@pytest.fixture
+def small_simo(small_model):
+    """The structured realization of ``small_model``."""
+    return pole_residue_to_simo(small_model)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for per-test randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,129 @@
+"""Unit tests for the Arnoldi machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.arnoldi import build_arnoldi, ritz_pairs
+from repro.utils.timing import WorkCounter
+
+
+def random_operator(seed=0, n=30):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    return m, (lambda x: m @ x)
+
+
+class TestBuildArnoldi:
+    def test_factorization_identity(self, rng):
+        """OP V_k = V_k H_k + h_{k+1,k} v_{k+1} e_k^T."""
+        m, op = random_operator(1)
+        start = rng.standard_normal(30) + 0j
+        fact = build_arnoldi(op, start, 8)
+        v = fact.basis
+        left = m @ v
+        right = v @ fact.hessenberg
+        right[:, -1] += fact.residual_coupling * fact.next_vector
+        np.testing.assert_allclose(left, right, atol=1e-10)
+
+    def test_basis_orthonormal(self, rng):
+        _, op = random_operator(2)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 10)
+        gram = fact.basis.conj().T @ fact.basis
+        np.testing.assert_allclose(gram, np.eye(10), atol=1e-12)
+
+    def test_dimension_capped_at_space(self, rng):
+        _, op = random_operator(3, n=5)
+        fact = build_arnoldi(op, rng.standard_normal(5) + 0j, 50)
+        assert fact.dimension <= 5
+
+    def test_breakdown_on_invariant_subspace(self):
+        """Start vector inside a small invariant subspace breaks down."""
+        m = np.diag([1.0, 2.0, 3.0, 4.0]).astype(complex)
+        start = np.array([1.0, 1.0, 0.0, 0.0], dtype=complex)
+        fact = build_arnoldi(lambda x: m @ x, start, 4)
+        assert fact.breakdown
+        assert fact.dimension <= 3
+
+    def test_zero_start_raises(self):
+        _, op = random_operator(4)
+        with pytest.raises(ValueError):
+            build_arnoldi(op, np.zeros(30, complex), 5)
+
+    def test_start_inside_locked_raises(self, rng):
+        _, op = random_operator(5)
+        q, _ = np.linalg.qr(rng.standard_normal((30, 2)) + 0j)
+        with pytest.raises(ValueError):
+            build_arnoldi(op, q[:, 0], 5, locked=q)
+
+    def test_locked_orthogonality(self, rng):
+        _, op = random_operator(6)
+        q, _ = np.linalg.qr(rng.standard_normal((30, 3)) + 0j)
+        start = rng.standard_normal(30) + 0j
+        fact = build_arnoldi(op, start, 8, locked=q)
+        np.testing.assert_allclose(q.conj().T @ fact.basis, 0.0, atol=1e-10)
+
+    def test_deflation_coeffs_shape(self, rng):
+        _, op = random_operator(7)
+        q, _ = np.linalg.qr(rng.standard_normal((30, 2)) + 0j)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 6, locked=q)
+        assert fact.deflation_coeffs.shape == (2, fact.dimension)
+
+    def test_deflation_coeffs_record_projection(self, rng):
+        m, op = random_operator(8)
+        q, _ = np.linalg.qr(rng.standard_normal((30, 2)) + 0j)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 6, locked=q)
+        # F[:, j] must equal Q^H OP v_j.
+        for j in range(fact.dimension):
+            expected = q.conj().T @ (m @ fact.basis[:, j])
+            np.testing.assert_allclose(
+                fact.deflation_coeffs[:, j], expected, atol=1e-10
+            )
+
+    def test_work_counter(self, rng):
+        _, op = random_operator(9)
+        work = WorkCounter()
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 7, work=work)
+        assert work.arnoldi_steps == fact.dimension
+
+
+class TestRitzPairs:
+    def test_exact_for_full_dimension(self, rng):
+        """With k == n, Ritz values are the exact eigenvalues."""
+        m, op = random_operator(10, n=8)
+        fact = build_arnoldi(op, rng.standard_normal(8) + 0j, 8)
+        pairs = ritz_pairs(fact)
+        found = np.sort_complex(np.array([p.value for p in pairs]))
+        true = np.sort_complex(np.linalg.eigvals(m))
+        np.testing.assert_allclose(found, true, atol=1e-8)
+
+    def test_residual_estimate_accuracy(self, rng):
+        m, op = random_operator(11)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 12)
+        for pair in ritz_pairs(fact)[:3]:
+            true_res = np.linalg.norm(m @ pair.vector - pair.value * pair.vector)
+            # The estimate equals the true residual for exact arithmetic
+            # Arnoldi; allow generous slack for round-off.
+            assert true_res <= pair.residual_estimate * 10 + 1e-8
+
+    def test_sorted_by_magnitude(self, rng):
+        _, op = random_operator(12)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 10)
+        values = [abs(p.value) for p in ritz_pairs(fact, sort_by="magnitude")]
+        assert values == sorted(values, reverse=True)
+
+    def test_max_pairs(self, rng):
+        _, op = random_operator(13)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 10)
+        assert len(ritz_pairs(fact, max_pairs=3)) == 3
+
+    def test_unknown_sort_raises(self, rng):
+        _, op = random_operator(14)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 4)
+        with pytest.raises(ValueError):
+            ritz_pairs(fact, sort_by="phase")
+
+    def test_vectors_unit_norm(self, rng):
+        _, op = random_operator(15)
+        fact = build_arnoldi(op, rng.standard_normal(30) + 0j, 6)
+        for pair in ritz_pairs(fact):
+            assert np.linalg.norm(pair.vector) == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Unit tests for SolverOptions validation."""
+
+import pytest
+
+from repro.core.options import SolverOptions
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        opts = SolverOptions()
+        assert opts.krylov_dim == 60  # Sec. III: "maximum size d = 60"
+        assert 4 <= opts.num_wanted <= 6  # "typically 4-6"
+        assert opts.kappa >= 2  # Sec. IV.A: "N = kappa T with kappa >= 2"
+        assert opts.alpha >= 1.0  # eq. (23)
+
+
+class TestValidation:
+    def test_num_wanted_must_be_small(self):
+        with pytest.raises(ValueError, match="smaller"):
+            SolverOptions(krylov_dim=10, num_wanted=10)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            SolverOptions(alpha=0.9)
+
+    def test_kappa_one_rejected(self):
+        with pytest.raises(ValueError, match="kappa"):
+            SolverOptions(kappa=1)
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(tol=-1e-9)
+
+    def test_zero_restarts_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(max_restarts=0)
+
+    def test_non_integer_krylov_rejected(self):
+        with pytest.raises(TypeError):
+            SolverOptions(krylov_dim=12.5)
+
+
+class TestWith:
+    def test_with_replaces(self):
+        opts = SolverOptions().with_(krylov_dim=40)
+        assert opts.krylov_dim == 40
+        assert opts.num_wanted == SolverOptions().num_wanted
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            SolverOptions().with_(alpha=0.5)
+
+    def test_frozen(self):
+        opts = SolverOptions()
+        with pytest.raises(AttributeError):
+            opts.krylov_dim = 10

@@ -1,0 +1,86 @@
+"""Unit tests for the result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ShiftRecord, SingleShiftResult, SolveResult
+
+
+def make_record(center, radius, index=0, eigs=()):
+    result = SingleShiftResult(
+        shift=1j * center,
+        radius=radius,
+        eigenvalues=np.asarray(eigs, dtype=complex),
+        restarts=1,
+        converged=True,
+    )
+    return ShiftRecord(
+        index=index,
+        center=center,
+        interval=(center - radius, center + radius),
+        result=result,
+        worker=0,
+        elapsed=0.01,
+    )
+
+
+def make_solve(records, band=(0.0, 10.0), omegas=()):
+    return SolveResult(
+        omegas=np.asarray(omegas, dtype=float),
+        eigenvalues=np.concatenate(
+            [r.result.eigenvalues for r in records]
+        )
+        if records
+        else np.empty(0, complex),
+        band=band,
+        shifts=list(records),
+        work={"operator_applies": 10, "shifts_eliminated": 2},
+        elapsed=0.5,
+        num_threads=2,
+        strategy="queue",
+    )
+
+
+class TestSingleShiftResult:
+    def test_covers(self):
+        res = SingleShiftResult(2j, 1.0, np.array([]), 1, True)
+        assert res.covers(2.5j)
+        assert not res.covers(4j)
+        assert res.covers(3.5j, slack=0.6)
+
+
+class TestSolveResult:
+    def test_counts(self):
+        solve = make_solve([make_record(5.0, 6.0)], omegas=[1.0, 2.0])
+        assert solve.num_crossings == 2
+        assert not solve.is_passive_candidate
+        assert solve.shifts_processed == 1
+
+    def test_passive_candidate(self):
+        solve = make_solve([make_record(5.0, 6.0)])
+        assert solve.is_passive_candidate
+
+    def test_no_gaps_when_covered(self):
+        solve = make_solve([make_record(5.0, 6.0)])
+        assert solve.coverage_gaps() == []
+
+    def test_gap_detection(self):
+        solve = make_solve(
+            [make_record(1.0, 1.0, 0), make_record(9.0, 1.0, 1)]
+        )
+        gaps = solve.coverage_gaps()
+        assert len(gaps) == 1
+        lo, hi = gaps[0]
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(8.0)
+
+    def test_gap_at_band_end(self):
+        solve = make_solve([make_record(2.0, 3.0)])
+        gaps = solve.coverage_gaps()
+        assert gaps == [(5.0, 10.0)]
+
+    def test_summary_mentions_key_fields(self):
+        solve = make_solve([make_record(5.0, 6.0)], omegas=[1.0])
+        text = solve.summary()
+        assert "crossings=1" in text
+        assert "threads=2" in text

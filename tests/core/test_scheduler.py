@@ -1,0 +1,253 @@
+"""Unit tests for the dynamic band scheduler (Sec. IV, Figs. 3-5).
+
+These tests are the executable versions of the paper's schematic figures:
+startup ordering (Fig. 3), free-interval claiming (Fig. 4), interval
+splitting on radius shrink (Fig. 5), covered-shift elimination (eq. 24),
+and the termination condition (eq. 29).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import BandScheduler, Segment
+
+
+class TestConstruction:
+    def test_interval_count(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=3, kappa=2)
+        assert sched.tentative_count() == 6
+
+    def test_minimum_two_intervals(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1, kappa=2)
+        assert sched.tentative_count() >= 2
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(ValueError, match="empty band"):
+            BandScheduler(5.0, 5.0, num_threads=1)
+
+    def test_negative_omega_min_rejected(self):
+        with pytest.raises(ValueError):
+            BandScheduler(-1.0, 5.0, num_threads=1)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BandScheduler(0.0, 1.0, num_threads=1, alpha=0.5)
+
+
+class TestStartupOrdering:
+    """Fig. 3 / eq. (13-15): extrema first, then interior in order."""
+
+    def test_first_two_tasks_are_extrema(self):
+        sched = BandScheduler(0.0, 12.0, num_threads=3, kappa=2)
+        first = sched.next_task()
+        second = sched.next_task()
+        assert first.center == pytest.approx(0.0)
+        assert second.center == pytest.approx(12.0)
+
+    def test_interior_order(self):
+        sched = BandScheduler(0.0, 12.0, num_threads=3, kappa=2)  # N = 6
+        sched.next_task()
+        sched.next_task()
+        third = sched.next_task()
+        # Third task is the first interior interval's midpoint: [2, 4] -> 3.
+        assert third.center == pytest.approx(3.0)
+
+    def test_edge_shifts_sit_on_band_edges(self):
+        sched = BandScheduler(2.0, 8.0, num_threads=2, kappa=2)  # N = 4
+        tasks = [sched.next_task() for _ in range(4)]
+        centers = sorted(t.center for t in tasks)
+        assert centers[0] == pytest.approx(2.0)
+        assert centers[-1] == pytest.approx(8.0)
+
+
+class TestClaiming:
+    def test_claimed_segment_is_processing(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1)
+        task = sched.next_task()
+        assert task.status == "processing"
+        assert sched.processing_count() == 1
+
+    def test_queue_exhaustion_returns_none(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1, kappa=2)
+        while sched.next_task() is not None:
+            pass
+        assert sched.next_task() is None
+
+    def test_initial_radius_eq23(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1, kappa=2, alpha=1.1)
+        task = sched.next_task()
+        assert sched.initial_radius(task) == pytest.approx(1.1 * task.width / 2)
+
+
+class TestCompletion:
+    def test_covering_disk_retires_interval(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1, kappa=2)
+        task = sched.next_task()
+        sched.complete(task, task.center, radius=20.0)  # covers everything
+        # All other tentative shifts are eliminated (eq. 24).
+        assert sched.tentative_count() == 0
+        assert sched.is_finished()
+        assert sched.eliminated >= 1
+
+    def test_small_disk_splits_interval(self):
+        """Fig. 5 / eq. (25-28): remainder pieces get midpoint shifts."""
+        sched = BandScheduler(0.0, 8.0, num_threads=1, kappa=2)
+        task = sched.next_task()  # [0, 4] with shift at 0
+        sched.complete(task, 2.0, radius=0.5)  # covers [1.5, 2.5] only
+        # Remainders [0, 1.5] and [2.5, 4] must be rescheduled.
+        pending = []
+        while True:
+            t = sched.next_task()
+            if t is None:
+                break
+            pending.append(t)
+        spans = sorted((t.lo, t.hi) for t in pending)
+        assert (0.0, 1.5) in spans
+        assert (2.5, 4.0) in spans
+        # New shifts sit at the remainder midpoints (eq. 26-27).
+        centers = sorted(t.center for t in pending if t.hi <= 4.0)
+        assert centers[0] == pytest.approx(0.75)
+        assert centers[1] == pytest.approx(3.25)
+
+    def test_partial_cover_trims_neighbour(self):
+        """A disk overlapping a tentative neighbour trims, never orphans."""
+        sched = BandScheduler(0.0, 8.0, num_threads=1, kappa=2)  # [0,4], [4,8]
+        task = sched.next_task()  # shift at 0
+        # Disk covers [0, 5]: neighbour [4, 8] keeps only [5, 8].
+        sched.complete(task, 0.0, radius=5.0)
+        remaining = []
+        while True:
+            t = sched.next_task()
+            if t is None:
+                break
+            remaining.append(t)
+        spans = sorted((t.lo, t.hi) for t in remaining)
+        assert spans == [(5.0, 8.0)]
+        assert sched.trimmed >= 1
+
+    def test_complete_unclaimed_rejected(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1)
+        fake = Segment(index=99, lo=0.0, hi=1.0, center=0.5)
+        with pytest.raises(ValueError, match="processing"):
+            sched.complete(fake, 0.5, 1.0)
+
+    def test_nonpositive_radius_rejected(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1)
+        task = sched.next_task()
+        with pytest.raises(ValueError, match="radius"):
+            sched.complete(task, task.center, 0.0)
+
+
+class TestTermination:
+    """Eq. (29): done when no tentative and no processing shifts remain."""
+
+    def test_not_finished_while_processing(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=1, kappa=2)
+        task = sched.next_task()
+        assert not sched.is_finished()  # claimed task still processing
+        sched.complete(task, task.center, radius=20.0)
+        # The covering disk eliminated every tentative shift (eq. 24).
+        assert sched.is_finished()
+
+    def test_full_drain_covers_band(self):
+        """Simulated perfect oracle: every disk covers its interval."""
+        sched = BandScheduler(0.0, 10.0, num_threads=2, kappa=2)
+        while True:
+            task = sched.next_task()
+            if task is None:
+                break
+            sched.complete(task, task.center, radius=1.01 * task.width)
+        assert sched.is_finished()
+        assert sched.uncovered(ignore_dust=True) == []
+
+    def test_adversarial_small_radii_still_converge(self):
+        """Radii of 30% of the interval force repeated splits; coverage
+        must still complete."""
+        sched = BandScheduler(0.0, 4.0, num_threads=1, kappa=2, min_width_rel=1e-6)
+        steps = 0
+        while steps < 10_000:
+            task = sched.next_task()
+            if task is None:
+                break
+            sched.complete(task, task.center, radius=max(0.3 * task.width, 1e-5))
+            steps += 1
+        assert sched.is_finished()
+        assert sched.uncovered(ignore_dust=True) == []
+
+
+class TestCoverageInvariant:
+    def test_invariant_throughout_random_run(self, rng):
+        """done-disks + tentative + processing always cover the band."""
+        sched = BandScheduler(0.0, 10.0, num_threads=3, kappa=2)
+        active = {}
+        for _ in range(500):
+            # Randomly either claim or complete.
+            if active and (rng.random() < 0.5 or sched.tentative_count() == 0):
+                index = list(active)[int(rng.integers(len(active)))]
+                task = active.pop(index)
+                radius = float(rng.uniform(0.1, 1.5)) * max(task.width, 0.5)
+                sched.complete(task, task.center, radius)
+            else:
+                task = sched.next_task()
+                if task is None:
+                    if not active:
+                        break
+                    continue
+                active[task.index] = task
+            self._check_invariant(sched, active)
+        # Drain.
+        while active or not sched.is_finished():
+            task = sched.next_task()
+            if task is not None:
+                active[task.index] = task
+            if active:
+                index = next(iter(active))
+                task = active.pop(index)
+                sched.complete(task, task.center, max(task.width, 0.5))
+        assert sched.uncovered(ignore_dust=True) == []
+
+    @staticmethod
+    def _check_invariant(sched, active):
+        events = []
+        for lo, hi in sched.covered_union():
+            events.append((lo, hi))
+        for seg in sched._segments.values():  # noqa: SLF001 - invariant check
+            if seg.status == "tentative":
+                events.append((seg.lo, seg.hi))
+        for seg in active.values():
+            events.append((seg.lo, seg.hi))
+        events.sort()
+        cursor = sched.omega_min
+        tol = 1e-9 * (sched.omega_max - sched.omega_min)
+        for lo, hi in events:
+            assert lo <= cursor + tol, f"coverage hole before {lo}"
+            cursor = max(cursor, hi)
+            if cursor >= sched.omega_max:
+                break
+        assert cursor >= sched.omega_max - tol
+
+
+class TestStaticMode:
+    def test_no_elimination_in_static_mode(self):
+        sched = BandScheduler(0.0, 10.0, num_threads=2, kappa=2, dynamic=False)
+        task = sched.next_task()
+        sched.complete(task, task.center, radius=30.0)  # covers everything
+        # Static mode still processes every pre-distributed shift.
+        assert sched.eliminated == 0
+        assert sched.tentative_count() > 0
+
+    def test_static_processes_more_shifts(self):
+        def drain(dynamic):
+            sched = BandScheduler(
+                0.0, 10.0, num_threads=2, kappa=2, dynamic=dynamic
+            )
+            count = 0
+            while True:
+                task = sched.next_task()
+                if task is None:
+                    break
+                sched.complete(task, task.center, radius=4.0)
+                count += 1
+            return count
+
+        assert drain(dynamic=False) >= drain(dynamic=True)

@@ -1,0 +1,114 @@
+"""Unit and property tests for the single-shift operator S (Sec. III, Fig. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.options import SolverOptions
+from repro.core.single_shift import SingleShiftSolver, estimate_spectral_bound
+from repro.hamiltonian.operator import HamiltonianOperator
+from repro.hamiltonian.spectral import full_hamiltonian_spectrum
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.utils.rng import RandomStream
+from tests.conftest import make_pole_residue
+
+
+def build_solver(seed=0, **opt_kwargs):
+    simo = pole_residue_to_simo(make_pole_residue(seed=seed, num_ports=3))
+    op = HamiltonianOperator(simo)
+    defaults = dict(krylov_dim=40, num_wanted=4)
+    defaults.update(opt_kwargs)
+    return SingleShiftSolver(op, SolverOptions(**defaults)), op
+
+
+class TestSpectralBound:
+    def test_bounds_largest_eigenvalue(self):
+        _, op = build_solver(seed=3)
+        lam = full_hamiltonian_spectrum(op.simo)
+        bound = estimate_spectral_bound(op, stream=RandomStream(1))
+        assert bound >= 0.98 * np.abs(lam).max()
+
+    def test_margin_scales(self):
+        _, op = build_solver(seed=3)
+        small = estimate_spectral_bound(op, stream=RandomStream(1), margin=1.0)
+        large = estimate_spectral_bound(op, stream=RandomStream(1), margin=1.5)
+        assert large == pytest.approx(1.5 * small)
+
+
+class TestContract:
+    """S(theta, rho0) returns exactly the eigenvalues in its certified disk."""
+
+    @pytest.mark.parametrize("center,rho0", [(0.0, 1.0), (3.0, 1.5), (8.0, 2.0)])
+    def test_certification(self, center, rho0):
+        solver, op = build_solver(seed=1)
+        truth = full_hamiltonian_spectrum(op.simo)
+        result = solver.run(center, rho0, RandomStream(99))
+        inside = truth[np.abs(truth - result.shift) < result.radius * (1 - 1e-12)]
+        assert len(inside) == len(result.eigenvalues)
+        remaining = list(inside)
+        for lam in result.eigenvalues:
+            dist = [abs(lam - t) for t in remaining]
+            j = int(np.argmin(dist))
+            assert dist[j] < 1e-6
+            remaining.pop(j)
+
+    def test_budget_respected(self):
+        solver, op = build_solver(seed=1, num_wanted=3)
+        result = solver.run(3.0, 50.0, RandomStream(7))
+        assert len(result.eigenvalues) <= 2 * 3 + 2  # symmetric ties allowed
+
+    def test_positive_radius(self):
+        solver, _ = build_solver(seed=2)
+        result = solver.run(5.0, 1.0, RandomStream(3))
+        assert result.radius > 0.0
+
+    def test_far_shift_grows_radius(self):
+        """A shift far above the spectrum either certifies an empty disk of
+        at least rho0, or grows the disk out to the nearest converged
+        eigenvalues (the paper's radius-growth rule) — both honour the
+        contract that every eigenvalue inside the final disk is listed."""
+        solver, op = build_solver(seed=1)
+        truth = full_hamiltonian_spectrum(op.simo)
+        spectrum_top = np.abs(truth).max()
+        result = solver.run(10.0 * spectrum_top, 0.1, RandomStream(5))
+        assert result.radius >= 0.1
+        inside = truth[np.abs(truth - result.shift) < result.radius * (1 - 1e-12)]
+        assert len(inside) == len(result.eigenvalues)
+
+    def test_deterministic_given_stream(self):
+        solver, _ = build_solver(seed=4)
+        a = solver.run(3.0, 1.0, RandomStream(11))
+        b = solver.run(3.0, 1.0, RandomStream(11))
+        assert a.radius == b.radius
+        np.testing.assert_array_equal(a.eigenvalues, b.eigenvalues)
+
+    def test_applies_counted(self):
+        solver, _ = build_solver(seed=4)
+        result = solver.run(3.0, 1.0, RandomStream(11))
+        assert result.applies > 0
+
+    def test_shift_on_eigenvalue_nudges(self):
+        """Centering exactly on an imaginary eigenvalue must not fail."""
+        solver, op = build_solver(seed=1)
+        truth = full_hamiltonian_spectrum(op.simo)
+        imag = truth[np.abs(truth.real) < 1e-8]
+        if imag.size == 0:
+            pytest.skip("model has no imaginary eigenvalues")
+        w = float(np.abs(imag.imag).max())
+        result = solver.run(w, 0.5, RandomStream(13))
+        assert result.radius > 0.0
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 2_000),
+    center=st.floats(0.0, 15.0, allow_nan=False),
+)
+def test_certification_property(seed, center):
+    """The disk contract holds for random models and random shifts."""
+    solver, op = build_solver(seed=seed)
+    truth = full_hamiltonian_spectrum(op.simo)
+    result = solver.run(center, 1.5, RandomStream(seed + 1))
+    inside = truth[np.abs(truth - result.shift) < result.radius * (1 - 1e-10)]
+    assert len(inside) == len(result.eigenvalues)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.hamiltonian.dense."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian.dense import (
+    asymptotic_singular_margin,
+    dense_hamiltonian,
+    dense_hamiltonian_immittance,
+    dense_hamiltonian_scattering,
+)
+from repro.macromodel.realization import pole_residue_to_simo
+from tests.conftest import make_pole_residue
+
+
+class TestAsymptoticMargin:
+    def test_zero_d(self):
+        assert asymptotic_singular_margin(np.zeros((3, 3))) == pytest.approx(1.0)
+
+    def test_scaled_identity(self):
+        assert asymptotic_singular_margin(0.4 * np.eye(2)) == pytest.approx(0.6)
+
+    def test_violating_d(self):
+        assert asymptotic_singular_margin(1.5 * np.eye(2)) < 0.0
+
+
+class TestScatteringHamiltonian:
+    @pytest.fixture
+    def simo(self):
+        return pole_residue_to_simo(make_pole_residue(seed=1))
+
+    def test_shape(self, simo):
+        m = dense_hamiltonian_scattering(simo)
+        assert m.shape == (2 * simo.order, 2 * simo.order)
+
+    def test_hamiltonian_structure(self, simo):
+        """J M must be symmetric for J = [[0, I], [-I, 0]]."""
+        m = dense_hamiltonian_scattering(simo)
+        n = simo.order
+        j = np.block(
+            [[np.zeros((n, n)), np.eye(n)], [-np.eye(n), np.zeros((n, n))]]
+        )
+        jm = j @ m
+        np.testing.assert_allclose(jm, jm.T, atol=1e-9 * np.abs(jm).max())
+
+    def test_spectral_symmetry(self, simo):
+        """Eigenvalues come in {lam, -lam} pairs (plus conjugates).
+
+        Greedy nearest matching is used instead of lexicographic sorting:
+        floating-point noise in near-zero real parts reorders
+        ``np.sort_complex`` arbitrarily.
+        """
+        m = dense_hamiltonian_scattering(simo)
+        lam = np.linalg.eigvals(m)
+        remaining = list(-lam)
+        worst = 0.0
+        for value in lam:
+            dist = [abs(value - other) for other in remaining]
+            j = int(np.argmin(dist))
+            worst = max(worst, dist[j])
+            remaining.pop(j)
+        assert worst < 1e-8 * max(1.0, np.abs(lam).max())
+
+    def test_rejects_sigma_d_above_one(self, simo):
+        from repro.macromodel.simo import SimoRealization
+
+        bad = SimoRealization(simo.columns, 1.2 * np.eye(simo.num_ports))
+        with pytest.raises(ValueError, match="asymptotic"):
+            dense_hamiltonian_scattering(bad)
+
+    def test_statespace_and_simo_agree(self, simo):
+        m1 = dense_hamiltonian_scattering(simo)
+        m2 = dense_hamiltonian_scattering(simo.to_statespace())
+        np.testing.assert_allclose(m1, m2, atol=1e-12)
+
+
+class TestImmittanceHamiltonian:
+    @pytest.fixture
+    def simo(self):
+        model = make_pole_residue(seed=2)
+        shifted = model.with_d(model.d + 2.0 * np.eye(model.num_ports))
+        return pole_residue_to_simo(shifted)
+
+    def test_shape(self, simo):
+        m = dense_hamiltonian_immittance(simo)
+        assert m.shape == (2 * simo.order, 2 * simo.order)
+
+    def test_hamiltonian_structure(self, simo):
+        m = dense_hamiltonian_immittance(simo)
+        n = simo.order
+        j = np.block(
+            [[np.zeros((n, n)), np.eye(n)], [-np.eye(n), np.zeros((n, n))]]
+        )
+        jm = j @ m
+        np.testing.assert_allclose(jm, jm.T, atol=1e-9 * np.abs(jm).max())
+
+    def test_rejects_indefinite_d(self):
+        simo = pole_residue_to_simo(make_pole_residue(seed=2))
+        with pytest.raises(ValueError, match="positive definite"):
+            dense_hamiltonian_immittance(simo)
+
+
+class TestDispatch:
+    def test_scattering(self, small_simo):
+        m = dense_hamiltonian(small_simo, "scattering")
+        np.testing.assert_array_equal(m, dense_hamiltonian_scattering(small_simo))
+
+    def test_unknown_representation(self, small_simo):
+        with pytest.raises(ValueError, match="unknown representation"):
+            dense_hamiltonian(small_simo, "admittance-ish")
+
+    def test_rejects_wrong_model_type(self):
+        with pytest.raises(TypeError):
+            dense_hamiltonian(np.eye(3))

@@ -1,0 +1,105 @@
+"""Unit tests for the matrix-free Hamiltonian operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamiltonian.operator import HamiltonianOperator
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.utils.timing import WorkCounter
+from tests.conftest import make_pole_residue
+
+
+@pytest.fixture
+def op(small_simo):
+    return HamiltonianOperator(small_simo)
+
+
+class TestConstruction:
+    def test_dimensions(self, op, small_simo):
+        assert op.order == small_simo.order
+        assert op.dimension == 2 * small_simo.order
+        assert op.num_ports == small_simo.num_ports
+
+    def test_rejects_non_simo(self):
+        with pytest.raises(TypeError):
+            HamiltonianOperator(np.eye(3))
+
+    def test_rejects_unknown_representation(self, small_simo):
+        with pytest.raises(ValueError, match="representation"):
+            HamiltonianOperator(small_simo, representation="hybrid")
+
+    def test_rejects_nonpassive_d(self, small_simo):
+        from repro.macromodel.simo import SimoRealization
+
+        bad = SimoRealization(small_simo.columns, 1.01 * np.eye(small_simo.num_ports))
+        with pytest.raises(ValueError, match="asymptotic"):
+            HamiltonianOperator(bad)
+
+    def test_asymptotic_margin_positive(self, op):
+        assert op.asymptotic_margin > 0.0
+
+    def test_smw_coupling_is_copy(self, op):
+        z = op.smw_coupling
+        z[0, 0] += 1.0
+        assert op.smw_coupling[0, 0] != z[0, 0]
+
+
+class TestMatvec:
+    def test_matches_dense(self, op, rng):
+        m = op.dense()
+        x = rng.standard_normal(op.dimension) + 1j * rng.standard_normal(op.dimension)
+        np.testing.assert_allclose(op.matvec(x), m @ x, atol=1e-10)
+
+    def test_real_input_gives_real_output(self, op, rng):
+        x = rng.standard_normal(op.dimension)
+        out = op.matvec(x)
+        np.testing.assert_allclose(np.imag(out), 0.0, atol=1e-14)
+
+    def test_wrong_length_rejected(self, op):
+        with pytest.raises(ValueError, match="length"):
+            op.matvec(np.zeros(3))
+
+    def test_callable_alias(self, op, rng):
+        x = rng.standard_normal(op.dimension)
+        np.testing.assert_array_equal(op(x), op.matvec(x))
+
+    def test_work_counting(self, small_simo, rng):
+        work = WorkCounter()
+        op = HamiltonianOperator(small_simo, work=work)
+        x = rng.standard_normal(op.dimension)
+        op.matvec(x)
+        op.matvec(x)
+        assert work.operator_applies == 2
+
+    def test_immittance_matches_dense(self, rng):
+        model = make_pole_residue(seed=2)
+        model = model.with_d(model.d + 2.0 * np.eye(model.num_ports))
+        simo = pole_residue_to_simo(model)
+        op = HamiltonianOperator(simo, representation="immittance")
+        m = op.dense()
+        x = rng.standard_normal(op.dimension) + 1j * rng.standard_normal(op.dimension)
+        np.testing.assert_allclose(op.matvec(x), m @ x, atol=1e-10)
+
+
+class TestNormBound:
+    def test_bounds_true_norm(self, op):
+        m = op.dense()
+        assert op.norm_upper_bound() >= np.linalg.norm(m, 2) - 1e-9
+
+    def test_repr(self, op):
+        assert "scattering" in repr(op)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_matvec_matches_dense_property(seed):
+    """Matrix-free apply equals the dense eq. (5) matrix on random models."""
+    model = make_pole_residue(seed=seed, num_ports=2, num_real=1, num_pairs=2)
+    simo = pole_residue_to_simo(model)
+    op = HamiltonianOperator(simo)
+    m = op.dense()
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(op.dimension) + 1j * rng.standard_normal(op.dimension)
+    np.testing.assert_allclose(op.matvec(x), m @ x, atol=1e-9)

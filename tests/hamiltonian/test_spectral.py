@@ -1,0 +1,71 @@
+"""Unit tests for the dense baseline eigensolver and imaginary filtering."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian.spectral import (
+    full_hamiltonian_spectrum,
+    imaginary_eigenvalues_dense,
+    select_imaginary,
+)
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.synth import random_macromodel
+from tests.conftest import make_pole_residue
+
+
+class TestSelectImaginary:
+    def test_empty(self):
+        assert select_imaginary(np.array([])).size == 0
+
+    def test_picks_imaginary_pairs(self):
+        lam = np.array([1j, -1j, 2.0 + 0j, 3.0 + 4.0j])
+        out = select_imaginary(lam)
+        np.testing.assert_allclose(out, [1.0])
+
+    def test_zero_eigenvalue_once(self):
+        lam = np.array([0.0 + 0j, 0.0 - 0j])
+        out = select_imaginary(lam)
+        assert out.size <= 2  # exact zeros may merge
+        assert np.all(out == 0.0)
+
+    def test_tolerance_scales(self):
+        lam = np.array([1e-5 + 1j, -1e-5 - 1j])
+        strict = select_imaginary(lam, rtol=1e-9)
+        loose = select_imaginary(lam, rtol=1e-3)
+        assert strict.size == 0
+        assert loose.size == 1
+
+    def test_scale_guard(self):
+        lam = np.array([1e-7 + 1j])
+        assert select_imaginary(lam, scale=100.0, rtol=1e-8).size == 1
+
+
+class TestDenseBaseline:
+    def test_spectrum_size(self, small_simo):
+        lam = full_hamiltonian_spectrum(small_simo)
+        assert lam.size == 2 * small_simo.order
+
+    def test_crossings_at_unit_singular_values(self):
+        model = random_macromodel(10, 3, seed=5, sigma_target=1.08)
+        simo = pole_residue_to_simo(model)
+        omegas = imaginary_eigenvalues_dense(simo)
+        assert omegas.size >= 2
+        for w in omegas:
+            sv = np.linalg.svd(simo.transfer(1j * w), compute_uv=False)
+            assert np.min(np.abs(sv - 1.0)) < 1e-6
+
+    def test_passive_model_no_crossings(self):
+        model = random_macromodel(10, 3, seed=6, sigma_target=0.9)
+        simo = pole_residue_to_simo(model)
+        assert imaginary_eigenvalues_dense(simo).size == 0
+
+    def test_crossings_sorted_nonnegative(self):
+        model = random_macromodel(10, 2, seed=7, sigma_target=1.1)
+        omegas = imaginary_eigenvalues_dense(pole_residue_to_simo(model))
+        assert np.all(omegas >= 0.0)
+        assert np.all(np.diff(omegas) >= 0.0)
+
+    def test_statespace_input(self, small_simo):
+        out1 = imaginary_eigenvalues_dense(small_simo)
+        out2 = imaginary_eigenvalues_dense(small_simo.to_statespace())
+        np.testing.assert_allclose(out1, out2, atol=1e-8)

@@ -1,0 +1,114 @@
+"""Unit tests for macromodel analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.analysis import (
+    dc_gain,
+    modal_dominance,
+    reduce_by_dominance,
+    resonances,
+    response_error,
+)
+from repro.macromodel.rational import PoleResidueModel
+from repro.synth import random_macromodel
+from tests.conftest import make_pole_residue
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_macromodel(12, 3, seed=71, sigma_target=None)
+
+
+class TestDcGain:
+    def test_matches_transfer_at_zero(self, model):
+        np.testing.assert_allclose(dc_gain(model), model.transfer(0.0).real, atol=1e-12)
+
+    def test_is_real(self, model):
+        assert not np.iscomplexobj(dc_gain(model))
+
+
+class TestResonances:
+    def test_one_per_pair(self, model):
+        from repro.macromodel.poles import partition_poles
+
+        _, pairs = partition_poles(model.poles)
+        assert len(resonances(model)) == pairs.size
+
+    def test_sorted_by_frequency(self, model):
+        freqs = [r.frequency for r in resonances(model)]
+        assert freqs == sorted(freqs)
+
+    def test_q_factor_definition(self, model):
+        for info in resonances(model):
+            assert info.q_factor == pytest.approx(
+                info.frequency / (2.0 * info.damping)
+            )
+
+    def test_no_pairs_no_resonances(self):
+        rc = PoleResidueModel(
+            np.array([-1.0, -2.0], dtype=complex),
+            0.2 * np.ones((2, 1, 1), dtype=complex),
+            np.zeros((1, 1)),
+        )
+        assert resonances(rc) == []
+
+
+class TestModalDominance:
+    def test_shape(self, model):
+        assert modal_dominance(model).shape == (model.num_poles,)
+
+    def test_scaling_with_residues(self, model):
+        boosted = PoleResidueModel(
+            model.poles, 2.0 * model.residues, model.d
+        )
+        np.testing.assert_allclose(
+            modal_dominance(boosted), 2.0 * modal_dominance(model)
+        )
+
+    def test_low_damping_dominates(self):
+        poles = np.array([-0.01 + 5j, -0.01 - 5j, -1.0 + 5j, -1.0 - 5j])
+        residues = np.ones((4, 1, 1), dtype=complex)
+        residues[2:] = 1.0
+        model = PoleResidueModel(poles, residues, np.zeros((1, 1)))
+        dom = modal_dominance(model)
+        assert dom[0] > dom[2]
+
+
+class TestReduceByDominance:
+    def test_keep_all_is_identity(self, model):
+        reduced, lost = reduce_by_dominance(model, model.num_poles)
+        assert reduced is model
+        assert lost == 0.0
+
+    def test_reduction_keeps_pairs_together(self, model):
+        reduced, _ = reduce_by_dominance(model, 6)
+        assert reduced.is_real_model()
+        # All remaining complex poles still have partners.
+        from repro.macromodel.poles import conjugate_pairs_complete
+
+        assert conjugate_pairs_complete(reduced.poles)
+
+    def test_accuracy_ordering(self, model):
+        """Keeping more poles never increases the response error."""
+        freqs = np.linspace(0.01, 15.0, 200)
+        err_small = response_error(model, reduce_by_dominance(model, 4)[0], freqs)
+        err_large = response_error(model, reduce_by_dominance(model, 10)[0], freqs)
+        assert err_large <= err_small + 1e-12
+
+    def test_dominant_pole_retained(self, model):
+        dom = modal_dominance(model)
+        top = model.poles[int(np.argmax(dom))]
+        reduced, _ = reduce_by_dominance(model, 2)
+        assert np.min(np.abs(reduced.poles - top)) < 1e-12
+
+
+class TestResponseError:
+    def test_zero_for_identical(self, model):
+        freqs = np.linspace(0.1, 10.0, 50)
+        assert response_error(model, model, freqs) == 0.0
+
+    def test_positive_for_different(self, model):
+        other = make_pole_residue(seed=99)
+        freqs = np.linspace(0.1, 10.0, 50)
+        assert response_error(model, other, freqs) > 0.0

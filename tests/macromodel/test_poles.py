@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.macromodel.poles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.macromodel import poles as pl
+
+
+class TestPartitionPoles:
+    def test_real_only(self):
+        real, pairs = pl.partition_poles([-1.0, -2.0])
+        np.testing.assert_array_equal(np.sort(real), [-2.0, -1.0])
+        assert pairs.size == 0
+
+    def test_pairs_normalized_upper(self):
+        real, pairs = pl.partition_poles([-1 - 2j, -1 + 2j])
+        assert real.size == 0
+        assert pairs.size == 1
+        assert pairs[0].imag > 0
+
+    def test_order_independent(self):
+        a = pl.partition_poles([-1 + 2j, -3.0, -1 - 2j])
+        b = pl.partition_poles([-3.0, -1 - 2j, -1 + 2j])
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_missing_conjugate_raises(self):
+        with pytest.raises(ValueError, match="conjugate"):
+            pl.partition_poles([-1 + 2j])
+
+    def test_mismatched_conjugate_raises(self):
+        with pytest.raises(ValueError, match="conjugate"):
+            pl.partition_poles([-1 + 2j, -1 - 2.5j])
+
+    def test_empty(self):
+        real, pairs = pl.partition_poles([])
+        assert real.size == 0 and pairs.size == 0
+
+    def test_repeated_pairs(self):
+        real, pairs = pl.partition_poles([-1 + 2j, -1 - 2j, -1 + 2j, -1 - 2j])
+        assert pairs.size == 2
+
+
+class TestReconstructPoles:
+    def test_roundtrip(self):
+        original = np.array([-1.0, -0.5 + 3j, -0.5 - 3j, -2.0])
+        real, pairs = pl.partition_poles(original)
+        full = pl.reconstruct_poles(real, pairs)
+        np.testing.assert_allclose(np.sort_complex(full), np.sort_complex(original))
+
+    def test_interleaved_layout(self):
+        full = pl.reconstruct_poles([-1.0], [-0.5 + 2j])
+        np.testing.assert_allclose(full, [-1.0, -0.5 + 2j, -0.5 - 2j])
+
+
+class TestConjugateComplete:
+    def test_complete(self):
+        assert pl.conjugate_pairs_complete([-1 + 1j, -1 - 1j, -2.0])
+
+    def test_incomplete(self):
+        assert not pl.conjugate_pairs_complete([-1 + 1j, -2.0])
+
+
+class TestIsStable:
+    def test_stable(self):
+        assert pl.is_stable([-1.0, -0.1 + 5j, -0.1 - 5j])
+
+    def test_unstable(self):
+        assert not pl.is_stable([1.0])
+
+    def test_marginal_rejected_strict(self):
+        assert not pl.is_stable([1j, -1j], strict=True)
+
+    def test_marginal_accepted_nonstrict(self):
+        assert pl.is_stable([1j, -1j], strict=False)
+
+    def test_margin(self):
+        assert pl.is_stable([-1.0], margin=0.5)
+        assert not pl.is_stable([-0.4], margin=0.5)
+
+    def test_empty_stable(self):
+        assert pl.is_stable([])
+
+
+class TestMakeStable:
+    def test_flips_real_part(self):
+        out = pl.make_stable([1.0 + 2j, 1.0 - 2j])
+        np.testing.assert_allclose(out.real, [-1.0, -1.0])
+        np.testing.assert_allclose(out.imag, [2.0, -2.0])
+
+    def test_leaves_stable_untouched(self):
+        poles = np.array([-1.0 + 0.5j, -1.0 - 0.5j])
+        np.testing.assert_array_equal(pl.make_stable(poles), poles)
+
+    def test_axis_pole_pushed_left(self):
+        out = pl.make_stable([2j, -2j], min_real=0.01)
+        assert np.all(out.real < 0)
+
+    def test_does_not_mutate_input(self):
+        poles = np.array([1.0 + 0j])
+        pl.make_stable(poles)
+        assert poles[0] == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    reals=st.lists(st.floats(-10, -0.01), min_size=0, max_size=4),
+    pair_res=st.lists(
+        st.tuples(st.floats(-5, -0.01), st.floats(0.1, 10)), min_size=0, max_size=4
+    ),
+)
+def test_partition_reconstruct_roundtrip_property(reals, pair_res):
+    """partition -> reconstruct preserves the multiset of poles."""
+    pairs = [complex(a, b) for a, b in pair_res]
+    full = list(reals) + pairs + [np.conj(q) for q in pairs]
+    if not full:
+        return
+    real_out, pairs_out = pl.partition_poles(np.array(full, dtype=complex))
+    rebuilt = pl.reconstruct_poles(real_out, pairs_out)
+    np.testing.assert_allclose(
+        np.sort_complex(rebuilt), np.sort_complex(np.array(full, dtype=complex)),
+        atol=1e-12,
+    )

@@ -1,0 +1,127 @@
+"""Unit tests for repro.macromodel.rational."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.rational import PoleResidueModel
+from tests.conftest import make_pole_residue
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_model):
+        assert small_model.num_ports == 3
+        assert small_model.num_poles == 8
+        assert small_model.order == 24
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="match"):
+            PoleResidueModel(
+                np.array([-1.0]), np.zeros((2, 2, 2)), np.zeros((2, 2))
+            )
+
+    def test_rejects_nonsquare_residues(self):
+        with pytest.raises(ValueError, match="square"):
+            PoleResidueModel(
+                np.array([-1.0]), np.zeros((1, 2, 3)), np.zeros((2, 2))
+            )
+
+    def test_rejects_d_shape_mismatch(self):
+        with pytest.raises(ValueError, match="d has shape"):
+            PoleResidueModel(
+                np.array([-1.0]), np.zeros((1, 2, 2)), np.zeros((3, 3))
+            )
+
+    def test_rejects_conjugate_incomplete_poles(self):
+        with pytest.raises(ValueError, match="conjugate"):
+            PoleResidueModel(
+                np.array([-1.0 + 1j]), np.zeros((1, 2, 2)), np.zeros((2, 2))
+            )
+
+
+class TestEvaluation:
+    def test_transfer_partial_fractions(self, small_model):
+        s = 0.5 + 2.0j
+        expected = small_model.d.astype(complex)
+        for pole, res in zip(small_model.poles, small_model.residues):
+            expected = expected + res / (s - pole)
+        np.testing.assert_allclose(small_model.transfer(s), expected)
+
+    def test_transfer_many_matches_loop(self, small_model):
+        pts = np.array([1j, 2j, 0.5 + 1j])
+        batch = small_model.transfer_many(pts)
+        for i, s in enumerate(pts):
+            np.testing.assert_allclose(batch[i], small_model.transfer(s))
+
+    def test_frequency_response_uses_jw(self, small_model):
+        freqs = np.array([0.5, 1.5])
+        resp = small_model.frequency_response(freqs)
+        np.testing.assert_allclose(resp[0], small_model.transfer(0.5j))
+
+    def test_real_on_real_axis(self, small_model):
+        h = small_model.transfer(3.7)
+        np.testing.assert_allclose(h.imag, 0.0, atol=1e-12)
+
+    def test_conjugate_symmetry(self, small_model):
+        s = 0.2 + 4.0j
+        np.testing.assert_allclose(
+            small_model.transfer(np.conj(s)), np.conj(small_model.transfer(s))
+        )
+
+    def test_asymptotic_limit_is_d(self, small_model):
+        h = small_model.transfer(1e9)
+        np.testing.assert_allclose(h.real, small_model.d, atol=1e-6)
+
+
+class TestModelChecks:
+    def test_is_stable(self, small_model):
+        assert small_model.is_stable()
+
+    def test_is_real_model(self, small_model):
+        assert small_model.is_real_model()
+
+    def test_broken_symmetry_detected(self, small_model):
+        residues = small_model.residues.copy()
+        # Corrupt one complex residue without touching its conjugate.
+        idx = next(
+            i for i, p in enumerate(small_model.poles) if abs(p.imag) > 1e-6
+        )
+        residues[idx] = residues[idx] + 0.5j
+        broken = PoleResidueModel(small_model.poles, residues, small_model.d)
+        assert not broken.is_real_model()
+
+    def test_column_residues(self, small_model):
+        col = small_model.column_residues(1)
+        np.testing.assert_array_equal(col, small_model.residues[:, :, 1])
+
+    def test_column_residues_out_of_range(self, small_model):
+        with pytest.raises(IndexError):
+            small_model.column_residues(5)
+
+
+class TestAlgebra:
+    def test_perturb_residues(self, small_model):
+        delta = np.zeros_like(small_model.residues)
+        delta[0, 0, 0] = 0.25
+        perturbed = small_model.perturb_residues(delta)
+        assert perturbed.residues[0, 0, 0] == small_model.residues[0, 0, 0] + 0.25
+        # Original untouched.
+        assert small_model.residues[0, 0, 0] != perturbed.residues[0, 0, 0]
+
+    def test_perturb_residues_shape_check(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.perturb_residues(np.zeros((1, 3, 3)))
+
+    def test_with_d(self, small_model):
+        new_d = np.zeros_like(small_model.d)
+        out = small_model.with_d(new_d)
+        np.testing.assert_array_equal(out.d, new_d)
+        np.testing.assert_array_equal(out.poles, small_model.poles)
+
+    def test_repr_mentions_size(self, small_model):
+        assert "ports=3" in repr(small_model)
+
+
+def test_factory_orders():
+    model = make_pole_residue(seed=3, num_ports=2, num_real=1, num_pairs=2)
+    assert model.num_poles == 5
+    assert model.order == 10

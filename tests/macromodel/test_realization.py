@@ -1,0 +1,96 @@
+"""Unit tests for repro.macromodel.realization."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.realization import (
+    pole_residue_to_simo,
+    realize_column,
+    simo_from_columns,
+)
+from tests.conftest import make_pole_residue
+
+
+class TestRealizeColumn:
+    def test_real_pole_column(self):
+        col = realize_column([-2.0], [[1.0, -1.0]])
+        assert col.order == 1
+        np.testing.assert_array_equal(col.real_poles, [-2.0])
+
+    def test_pair_column(self):
+        col = realize_column(
+            [-1 + 3j, -1 - 3j], [[1 + 2j, 0.0], [1 - 2j, 0.0]]
+        )
+        assert col.order == 2
+        assert col.pair_poles[0] == -1 + 3j
+        np.testing.assert_allclose(col.pair_residues[0], [1 + 2j, 0.0])
+
+    def test_pair_column_order_of_rows_irrelevant(self):
+        a = realize_column([-1 + 3j, -1 - 3j], [[1 + 2j], [1 - 2j]])
+        b = realize_column([-1 - 3j, -1 + 3j], [[1 - 2j], [1 + 2j]])
+        np.testing.assert_allclose(a.pair_residues, b.pair_residues)
+
+    def test_real_pole_with_complex_residue_rejected(self):
+        with pytest.raises(ValueError, match="imaginary"):
+            realize_column([-1.0], [[1.0 + 0.5j]])
+
+    def test_nonconjugate_residues_rejected(self):
+        with pytest.raises(ValueError, match="not conjugate"):
+            realize_column(
+                [-1 + 3j, -1 - 3j], [[1 + 2j], [1 + 2j]]
+            )
+
+    def test_missing_conjugate_pole_rejected(self):
+        with pytest.raises(ValueError, match="conjugate"):
+            realize_column([-1 + 3j], [[1.0 + 0j]])
+
+    def test_empty_column(self):
+        col = realize_column([], np.zeros((0, 2)))
+        assert col.order == 0
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="match"):
+            realize_column([-1.0, -2.0], [[1.0]])
+
+
+class TestPoleResidueToSimo:
+    def test_order_is_p_times_m(self, small_model):
+        simo = pole_residue_to_simo(small_model)
+        assert simo.order == small_model.order
+        assert simo.num_ports == small_model.num_ports
+
+    def test_transfer_agreement(self, small_model):
+        simo = pole_residue_to_simo(small_model)
+        s = 0.9j
+        np.testing.assert_allclose(
+            simo.transfer(s), small_model.transfer(s), atol=1e-12
+        )
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            pole_residue_to_simo(np.zeros((2, 2)))
+
+    def test_d_carried_over(self, small_model):
+        simo = pole_residue_to_simo(small_model)
+        np.testing.assert_array_equal(simo.d, small_model.d)
+
+
+class TestSimoFromColumns:
+    def test_heterogeneous_columns(self):
+        col0 = realize_column([-1.0], [[0.5, 0.0]])
+        col1 = realize_column(
+            [-0.5 + 2j, -0.5 - 2j], [[0.1 + 0.2j, 1.0 + 0j], [0.1 - 0.2j, 1.0 - 0j]]
+        )
+        simo = simo_from_columns([col0, col1], np.zeros((2, 2)))
+        assert simo.order == 3
+        np.testing.assert_array_equal(simo.column_orders, [1, 2])
+
+    def test_transfer_of_heterogeneous(self):
+        col0 = realize_column([-1.0], [[0.5, 0.0]])
+        col1 = realize_column([-2.0], [[0.0, 0.25]])
+        simo = simo_from_columns([col0, col1], np.zeros((2, 2)))
+        s = 1.5j
+        expected = np.array(
+            [[0.5 / (s + 1.0), 0.0], [0.0, 0.25 / (s + 2.0)]]
+        )
+        np.testing.assert_allclose(simo.transfer(s), expected, atol=1e-14)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.macromodel.statespace."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.statespace import StateSpace
+
+
+def make_statespace(seed=0, n=6, p=2):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = a - (np.abs(np.linalg.eigvals(a).real).max() + 0.5) * np.eye(n)
+    return StateSpace(
+        a,
+        rng.standard_normal((n, p)),
+        rng.standard_normal((p, n)),
+        0.1 * rng.standard_normal((p, p)),
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        ss = make_statespace()
+        assert ss.order == 6
+        assert ss.num_ports == 2
+
+    def test_rejects_nonsquare_a(self):
+        with pytest.raises(ValueError, match="square"):
+            StateSpace(np.zeros((2, 3)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+
+    def test_rejects_b_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            StateSpace(np.zeros((2, 2)), np.zeros((3, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+
+    def test_rejects_c_shape(self):
+        with pytest.raises(ValueError, match="c must have shape"):
+            StateSpace(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((2, 2)), np.zeros((1, 1)))
+
+    def test_rejects_d_shape(self):
+        with pytest.raises(ValueError, match="d must have shape"):
+            StateSpace(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((2, 2)))
+
+
+class TestBehaviour:
+    def test_poles_are_eigenvalues(self):
+        ss = make_statespace()
+        np.testing.assert_allclose(
+            np.sort_complex(ss.poles()), np.sort_complex(np.linalg.eigvals(ss.a))
+        )
+
+    def test_stability(self):
+        ss = make_statespace()
+        assert ss.is_stable()
+
+    def test_unstable_detected(self):
+        ss = make_statespace()
+        unstable = StateSpace(ss.a + 100 * np.eye(ss.order), ss.b, ss.c, ss.d)
+        assert not unstable.is_stable()
+
+    def test_transfer_definition(self):
+        ss = make_statespace()
+        s = 0.4 + 1.3j
+        expected = ss.d + ss.c @ np.linalg.solve(
+            s * np.eye(ss.order) - ss.a, ss.b.astype(complex)
+        )
+        np.testing.assert_allclose(ss.transfer(s), expected)
+
+    def test_frequency_response_stack(self):
+        ss = make_statespace()
+        freqs = np.array([0.1, 1.0])
+        resp = ss.frequency_response(freqs)
+        np.testing.assert_allclose(resp[1], ss.transfer(1.0j))
+
+    def test_similarity_invariance(self):
+        ss = make_statespace()
+        rng = np.random.default_rng(5)
+        t = rng.standard_normal((ss.order, ss.order)) + 2 * np.eye(ss.order)
+        ss2 = ss.similarity(t)
+        s = 0.7j
+        np.testing.assert_allclose(ss2.transfer(s), ss.transfer(s), atol=1e-9)
+
+    def test_similarity_shape_check(self):
+        ss = make_statespace()
+        with pytest.raises(ValueError):
+            ss.similarity(np.eye(3))
+
+    def test_repr(self):
+        assert "order=6" in repr(make_statespace())

@@ -1,0 +1,89 @@
+"""Unit tests for passivity enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.characterization import characterize_passivity
+from repro.passivity.enforcement import clip_direct_term, enforce_passivity
+from repro.passivity.metrics import grid_passivity_margin
+from repro.synth import random_macromodel
+
+
+class TestClipDirectTerm:
+    def test_passive_d_untouched(self):
+        d = 0.3 * np.eye(3)
+        np.testing.assert_array_equal(clip_direct_term(d), d)
+
+    def test_violating_d_clipped(self):
+        d = np.diag([1.5, 0.2])
+        out = clip_direct_term(d, max_sigma=0.99)
+        sv = np.linalg.svd(out, compute_uv=False)
+        assert sv.max() <= 0.99 + 1e-12
+        # The small singular value is untouched.
+        assert sv.min() == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert clip_direct_term(np.zeros((0, 0))).shape == (0, 0)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            clip_direct_term(np.eye(2), max_sigma=1.5)
+
+
+class TestEnforcePassivity:
+    @pytest.fixture(scope="class")
+    def mild_violator(self):
+        return random_macromodel(12, 3, seed=71, sigma_target=1.05)
+
+    def test_enforces(self, mild_violator):
+        result = enforce_passivity(mild_violator)
+        assert result.passive
+        assert result.iterations >= 1
+        # Final Hamiltonian test must certify passivity.
+        assert characterize_passivity(result.model).passive
+
+    def test_grid_margin_positive_after(self, mild_violator):
+        result = enforce_passivity(mild_violator)
+        grid = np.linspace(0.0, 20.0, 1500)
+        assert grid_passivity_margin(result.model, grid) > 0.0
+
+    def test_history_reaches_zero(self, mild_violator):
+        result = enforce_passivity(mild_violator)
+        assert result.history[0] > 0.0
+        assert result.history[-1] == 0.0
+
+    def test_perturbation_norm_small(self, mild_violator):
+        """Minimum-norm steps keep the model close to the original."""
+        result = enforce_passivity(mild_violator)
+        original_norm = float(np.linalg.norm(mild_violator.residues))
+        assert result.perturbation_norm < 0.25 * original_norm
+
+    def test_poles_unchanged(self, mild_violator):
+        result = enforce_passivity(mild_violator)
+        np.testing.assert_array_equal(result.model.poles, mild_violator.poles)
+
+    def test_already_passive_is_noop(self):
+        model = random_macromodel(10, 2, seed=72, sigma_target=0.9)
+        result = enforce_passivity(model)
+        assert result.passive
+        assert result.iterations == 0
+        assert result.perturbation_norm == 0.0
+        np.testing.assert_array_equal(result.model.residues, model.residues)
+
+    def test_nonpassive_d_clipped_first(self):
+        model = random_macromodel(10, 2, seed=73, sigma_target=0.9)
+        bad = model.with_d(np.diag([1.2, 0.1]))
+        result = enforce_passivity(bad)
+        assert np.linalg.svd(result.model.d, compute_uv=False).max() < 1.0
+
+    def test_model_stays_real(self, mild_violator):
+        result = enforce_passivity(mild_violator)
+        assert result.model.is_real_model()
+
+    def test_iteration_budget_respected(self, mild_violator):
+        result = enforce_passivity(mild_violator, max_iterations=1)
+        assert result.iterations <= 1
+
+    def test_invalid_margin_rejected(self, mild_violator):
+        with pytest.raises(ValueError):
+            enforce_passivity(mild_violator, margin=0.9)

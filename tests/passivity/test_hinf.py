@@ -1,0 +1,67 @@
+"""Unit tests for the H-infinity norm bisection (ref. [7] lineage)."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel import pole_residue_to_simo
+from repro.passivity.hinf import hinf_norm
+from repro.synth import random_macromodel
+
+
+def brute_force_norm(model, top=20.0, points=40_000):
+    """Dense-grid norm reference, with samples at every resonance."""
+    resonant = model.poles[model.poles.imag > 0]
+    grid = np.unique(np.concatenate([np.linspace(0, top, points), resonant.imag]))
+    sv = np.linalg.svd(model.frequency_response(grid), compute_uv=False)[:, 0]
+    return float(sv.max())
+
+
+class TestHinfNorm:
+    @pytest.mark.parametrize("target", [0.9, 1.06])
+    def test_matches_brute_force(self, target):
+        model = random_macromodel(10, 3, seed=5, sigma_target=target)
+        result = hinf_norm(model, rtol=1e-7)
+        reference = brute_force_norm(model)
+        # The generator targets the grid peak, brute force resamples it;
+        # the bisection bracket must contain a value close to both.
+        assert result.lower <= result.norm <= result.upper
+        assert result.norm == pytest.approx(reference, rel=1e-3)
+
+    def test_bracket_width(self):
+        model = random_macromodel(8, 2, seed=9, sigma_target=1.05)
+        result = hinf_norm(model, rtol=1e-8)
+        assert (result.upper - result.lower) <= 1e-7 * result.upper
+
+    def test_norm_at_least_d_norm(self):
+        model = random_macromodel(8, 2, seed=10, sigma_target=0.8)
+        result = hinf_norm(model)
+        assert result.norm >= np.linalg.norm(model.d, 2) - 1e-9
+
+    def test_simo_input(self):
+        model = random_macromodel(8, 2, seed=11, sigma_target=1.02)
+        simo = pole_residue_to_simo(model)
+        a = hinf_norm(model, rtol=1e-6)
+        b = hinf_norm(simo, rtol=1e-6)
+        assert a.norm == pytest.approx(b.norm, rel=1e-5)
+
+    def test_parallel_oracle(self):
+        model = random_macromodel(8, 2, seed=12, sigma_target=1.03)
+        serial = hinf_norm(model, rtol=1e-6, num_threads=1)
+        parallel = hinf_norm(model, rtol=1e-6, num_threads=2)
+        assert serial.norm == pytest.approx(parallel.norm, rel=1e-5)
+
+    def test_unstable_rejected(self):
+        from repro.macromodel.rational import PoleResidueModel
+
+        bad = PoleResidueModel(
+            np.array([0.1 + 0j]), 0.1 * np.ones((1, 1, 1)), np.zeros((1, 1))
+        )
+        with pytest.raises(ValueError, match="stable"):
+            hinf_norm(bad)
+
+    def test_bisections_reported(self):
+        model = random_macromodel(8, 2, seed=13, sigma_target=1.02)
+        result = hinf_norm(model, rtol=1e-4)
+        assert result.bisections >= 1
+        tighter = hinf_norm(model, rtol=1e-9)
+        assert tighter.bisections >= result.bisections

@@ -1,0 +1,90 @@
+"""Unit tests for the immittance (positive-realness) characterization."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel import pole_residue_to_simo
+from repro.passivity.immittance import (
+    characterize_immittance_passivity,
+    hermitian_min_eig,
+)
+from repro.synth import random_macromodel
+
+
+def immittance_model(seed, shift):
+    """Random model with D + D^T positive definite (shifted diagonal)."""
+    base = random_macromodel(10, 3, seed=seed, sigma_target=None)
+    return base.with_d(base.d + shift * np.eye(3))
+
+
+@pytest.fixture(scope="module")
+def violating():
+    return immittance_model(seed=44, shift=1.2)
+
+
+@pytest.fixture(scope="module")
+def passive():
+    # A large diagonal shift dominates: H + H^H stays positive definite.
+    return immittance_model(seed=44, shift=60.0)
+
+
+class TestHermitianMinEig:
+    def test_matches_direct_computation(self, violating):
+        simo = pole_residue_to_simo(violating)
+        w = 2.5
+        h = simo.transfer(1j * w)
+        expected = np.linalg.eigvalsh(h + h.conj().T).min()
+        assert hermitian_min_eig(simo, w) == pytest.approx(expected)
+
+
+class TestCharacterization:
+    def test_violating_detected(self, violating):
+        report = characterize_immittance_passivity(violating, num_threads=2)
+        assert not report.passive
+        assert len(report.bands) >= 1
+        assert report.worst_violation > 0.0
+
+    def test_band_interiors_indefinite(self, violating):
+        simo = pole_residue_to_simo(violating)
+        report = characterize_immittance_passivity(violating)
+        for band in report.bands:
+            mid = 0.5 * (band.lo + band.hi)
+            assert hermitian_min_eig(simo, mid) < 0.0
+            assert band.min_eig < 0.0
+            assert band.lo <= band.trough_freq <= band.hi
+
+    def test_outside_bands_definite(self, violating):
+        simo = pole_residue_to_simo(violating)
+        report = characterize_immittance_passivity(violating)
+        top = report.crossings.max() * 2.0
+        assert hermitian_min_eig(simo, top) > 0.0
+
+    def test_passive_certified(self, passive):
+        report = characterize_immittance_passivity(passive)
+        assert report.passive
+        assert report.bands == ()
+        assert report.worst_violation == 0.0
+
+    def test_crossings_on_singular_hermitian_part(self, violating):
+        """At each crossing, H + H^H has a (near-)zero eigenvalue."""
+        simo = pole_residue_to_simo(violating)
+        report = characterize_immittance_passivity(violating)
+        for w in report.crossings:
+            h = simo.transfer(1j * w)
+            eigs = np.linalg.eigvalsh(h + h.conj().T)
+            assert np.min(np.abs(eigs)) < 1e-5 * max(1.0, np.abs(eigs).max())
+
+    def test_serial_parallel_agree(self, violating):
+        a = characterize_immittance_passivity(violating, num_threads=1)
+        b = characterize_immittance_passivity(violating, num_threads=3)
+        assert a.passive == b.passive
+        assert len(a.bands) == len(b.bands)
+
+    def test_summary(self, violating, passive):
+        assert "NOT passive" in characterize_immittance_passivity(violating).summary()
+        assert "PASSIVE" in characterize_immittance_passivity(passive).summary()
+
+    def test_indefinite_d_rejected(self):
+        model = random_macromodel(8, 2, seed=45, sigma_target=None)
+        with pytest.raises(ValueError, match="positive definite"):
+            characterize_immittance_passivity(model)

@@ -1,0 +1,75 @@
+"""Unit tests for sampling-based passivity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.passivity.metrics import (
+    grid_passivity_margin,
+    peak_singular_value_on_grid,
+    refine_peak,
+    singular_values_on_grid,
+)
+from repro.synth import random_macromodel
+
+
+@pytest.fixture(scope="module")
+def violating():
+    return random_macromodel(10, 3, seed=51, sigma_target=1.1)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return np.linspace(0.0, 15.0, 400)
+
+
+class TestSingularValues:
+    def test_shape_and_order(self, violating, grid):
+        sv = singular_values_on_grid(violating, grid)
+        assert sv.shape == (grid.size, violating.num_ports)
+        assert np.all(np.diff(sv, axis=1) <= 1e-12)  # descending per row
+
+    def test_matches_direct_svd(self, violating):
+        freqs = np.array([1.0, 3.0])
+        sv = singular_values_on_grid(violating, freqs)
+        direct = np.linalg.svd(violating.transfer(3.0j), compute_uv=False)
+        np.testing.assert_allclose(sv[1], direct)
+
+
+class TestPeak:
+    def test_peak_above_one_for_violating(self, violating, grid):
+        peak, freq = peak_singular_value_on_grid(violating, grid)
+        assert peak > 1.0
+        assert 0.0 <= freq <= grid[-1]
+
+    def test_margin_sign(self, violating, grid):
+        assert grid_passivity_margin(violating, grid) < 0.0
+        passive = random_macromodel(10, 3, seed=52, sigma_target=0.9)
+        assert grid_passivity_margin(passive, grid) > 0.0
+
+
+class TestRefinePeak:
+    def test_finds_interior_maximum(self, violating, grid):
+        coarse_peak, coarse_freq = peak_singular_value_on_grid(violating, grid)
+        lo = max(0.0, coarse_freq - 0.5)
+        hi = coarse_freq + 0.5
+        w, s = refine_peak(violating, lo, hi)
+        assert s >= coarse_peak - 1e-9
+        assert lo <= w <= hi
+
+    def test_refined_is_local_max(self, violating):
+        simo = pole_residue_to_simo(violating)
+        w, s = refine_peak(simo, 0.1, 12.0, coarse_points=65)
+        for dw in (-1e-4, 1e-4):
+            sv = np.linalg.svd(simo.transfer(1j * (w + dw)), compute_uv=False)[0]
+            assert sv <= s + 1e-6
+
+    def test_empty_interval_rejected(self, violating):
+        with pytest.raises(ValueError, match="empty"):
+            refine_peak(violating, 2.0, 1.0)
+
+    def test_works_on_simo_input(self, violating):
+        simo = pole_residue_to_simo(violating)
+        w1, s1 = refine_peak(violating, 0.5, 2.0)
+        w2, s2 = refine_peak(simo, 0.5, 2.0)
+        assert s1 == pytest.approx(s2, rel=1e-9)

@@ -1,0 +1,78 @@
+"""Unit tests for the adaptive-sampling characterization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.characterization import characterize_passivity
+from repro.passivity.sampling import sampled_violations
+from repro.synth import random_macromodel
+
+
+@pytest.fixture(scope="module")
+def violating():
+    return random_macromodel(10, 3, seed=5, sigma_target=1.06)
+
+
+@pytest.fixture(scope="module")
+def passive():
+    return random_macromodel(10, 3, seed=6, sigma_target=0.9)
+
+
+class TestSeededSampling:
+    def test_finds_violation(self, violating):
+        report = sampled_violations(violating, 15.0)
+        assert not report.passive
+        assert len(report.violations) >= 1
+        assert report.max_sigma > 1.0
+
+    def test_interval_agrees_with_hamiltonian(self, violating):
+        sampled = sampled_violations(violating, 15.0)
+        exact = characterize_passivity(violating)
+        # Each sampled interval must intersect an exact band.
+        for lo, hi in sampled.violations:
+            assert any(
+                band.lo <= hi and lo <= band.hi for band in exact.bands
+            ), (lo, hi)
+
+    def test_passive_model(self, passive):
+        report = sampled_violations(passive, 15.0)
+        assert report.passive
+        assert report.max_sigma < 1.0
+
+    def test_evaluation_budget_respected(self, violating):
+        report = sampled_violations(violating, 15.0, max_evaluations=200)
+        assert report.evaluations <= 200 + 3  # small overshoot per split
+
+
+class TestBlindSampling:
+    def test_blind_scan_can_miss_narrow_violations(self, violating):
+        """The documented failure mode: a coarse blind scan misses the
+        high-Q violation the Hamiltonian test finds — the reason the
+        algebraic characterization exists."""
+        blind = sampled_violations(
+            violating, 15.0, seed_resonances=False, initial_points=64
+        )
+        exact = characterize_passivity(violating)
+        assert not exact.passive
+        assert blind.passive  # blind scan sees nothing
+
+    def test_blind_scan_cheap(self, violating):
+        blind = sampled_violations(violating, 15.0, seed_resonances=False)
+        seeded = sampled_violations(violating, 15.0)
+        assert blind.evaluations < seeded.evaluations
+
+
+class TestValidation:
+    def test_bad_omega_max(self, passive):
+        with pytest.raises(ValueError):
+            sampled_violations(passive, 0.0)
+
+    def test_bad_initial_points(self, passive):
+        with pytest.raises(ValueError):
+            sampled_violations(passive, 10.0, initial_points=0)
+
+    def test_simo_input(self, violating):
+        from repro.macromodel import pole_residue_to_simo
+
+        report = sampled_violations(pole_residue_to_simo(violating), 15.0)
+        assert not report.passive

@@ -1,0 +1,82 @@
+"""Property-based round-trip tests for fitting, realization, and file I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.synth import random_macromodel
+from repro.touchstone.reader import parse_touchstone
+from repro.touchstone.writer import format_touchstone
+from repro.vectfit.vector_fitting import vector_fit
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SLOW
+@given(seed=st.integers(0, 10_000), ports=st.integers(1, 3))
+def test_vector_fit_exact_recovery_property(seed, ports):
+    """Sampling an exact rational model and refitting recovers it."""
+    truth = random_macromodel(8, ports, seed=seed, sigma_target=None)
+    freqs = np.linspace(0.02, 14.0, 200)
+    fit = vector_fit(freqs, truth.frequency_response(freqs), num_poles=8)
+    assert fit.rms_error < 1e-7
+    # Transfer matrices agree off the sampling grid too.
+    probe = 1j * 7.37
+    np.testing.assert_allclose(
+        fit.model.transfer(probe), truth.transfer(probe), atol=1e-6
+    )
+
+
+@SLOW
+@given(seed=st.integers(0, 10_000))
+def test_simo_realization_transfer_property(seed):
+    """pole/residue -> SIMO -> dense state space all agree pointwise."""
+    model = random_macromodel(6, 2, seed=seed, sigma_target=None)
+    simo = pole_residue_to_simo(model)
+    dense = simo.to_statespace()
+    w = 0.1 + (seed % 97) * 0.1
+    h0 = model.transfer(1j * w)
+    np.testing.assert_allclose(simo.transfer(1j * w), h0, atol=1e-9)
+    np.testing.assert_allclose(dense.transfer(1j * w), h0, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ports=st.integers(1, 4),
+    points=st.integers(2, 12),
+    fmt=st.sampled_from(["RI", "MA", "DB"]),
+)
+def test_touchstone_roundtrip_property(seed, ports, points, fmt):
+    """write -> parse is lossless for any size/format combination."""
+    rng = np.random.default_rng(seed)
+    freqs = np.sort(rng.uniform(1e5, 1e9, points))
+    while np.any(np.diff(freqs) <= 0):  # enforce strict monotonicity
+        freqs = np.sort(rng.uniform(1e5, 1e9, points))
+    s = rng.standard_normal((points, ports, ports)) + 1j * rng.standard_normal(
+        (points, ports, ports)
+    )
+    text = format_touchstone(freqs, s, fmt=fmt)
+    back = parse_touchstone(text, num_ports=ports)
+    np.testing.assert_allclose(back.matrices, s, atol=1e-7)
+    np.testing.assert_allclose(back.freqs_hz, freqs, rtol=1e-9)
+
+
+@SLOW
+@given(seed=st.integers(0, 10_000))
+def test_conversion_roundtrip_property(seed):
+    """SS -> pole/residue -> SS preserves the transfer matrix."""
+    from repro.macromodel.conversion import statespace_to_pole_residue
+
+    model = random_macromodel(6, 2, seed=seed, sigma_target=None)
+    ss = pole_residue_to_simo(model).to_statespace()
+    back = statespace_to_pole_residue(ss)
+    probe = 1j * (1.0 + seed % 11)
+    np.testing.assert_allclose(back.transfer(probe), ss.transfer(probe), atol=1e-8)
+    assert back.is_real_model()

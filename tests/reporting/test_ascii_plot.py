@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plot import ascii_series, sigma_plot
+from repro.synth import random_macromodel
+
+
+class TestAsciiSeries:
+    def test_basic_render(self):
+        x = np.linspace(0, 1, 20)
+        y = x**2
+        chart = ascii_series(x, y, width=40, height=8, title="parabola")
+        lines = chart.splitlines()
+        assert lines[0] == "parabola"
+        assert len([l for l in lines if "|" in l]) == 8
+
+    def test_hline_rendered(self):
+        x = np.linspace(0, 1, 10)
+        y = np.linspace(0, 2, 10)
+        chart = ascii_series(x, y, hline=1.0, width=30, height=10)
+        assert any(set(line.split("|")[-1].strip()) <= {"-", "*"} and "-" in line
+                   for line in chart.splitlines() if "|" in line)
+
+    def test_markers_present(self):
+        x = np.linspace(0, 1, 5)
+        y = np.ones(5)
+        chart = ascii_series(x, y, width=20, height=5)
+        assert "*" in chart
+
+    def test_footer_shows_range(self):
+        x = np.linspace(2.0, 8.0, 10)
+        chart = ascii_series(x, x, width=30, height=5)
+        assert "2" in chart.splitlines()[-1]
+        assert "8" in chart.splitlines()[-1]
+
+    def test_constant_series_ok(self):
+        x = np.linspace(0, 1, 4)
+        chart = ascii_series(x, np.full(4, 3.0), width=20, height=5)
+        assert "*" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(np.arange(3), np.arange(4))
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(np.array([1.0]), np.array([1.0]))
+
+
+class TestSigmaPlot:
+    def test_plot_of_model(self):
+        model = random_macromodel(8, 2, seed=61, sigma_target=1.05)
+        freqs = np.linspace(0.01, 15.0, 100)
+        chart = sigma_plot(model, freqs, width=40, height=8)
+        assert "sigma_max" in chart
+        assert "----" in chart  # unit threshold line
+
+    def test_band_annotation(self):
+        model = random_macromodel(8, 2, seed=61, sigma_target=1.05)
+        freqs = np.linspace(0.01, 15.0, 50)
+        chart = sigma_plot(model, freqs, mark_bands=[(1.0, 2.0)])
+        assert "violation bands" in chart
+        assert "[1, 2]" in chart

@@ -1,0 +1,36 @@
+"""Smoke tests for the experiment drivers' command-line entry points."""
+
+import pytest
+
+from repro.reporting.fig6 import main as fig6_main
+from repro.reporting.table1 import main as table1_main
+
+
+class TestTable1Main:
+    def test_subset_run(self, capsys):
+        code = table1_main(
+            ["--scale", "0.03", "--threads", "2", "--cases", "1", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Case 1" in out
+        assert "eta_proj" in out
+
+    def test_multiple_cases(self, capsys):
+        code = table1_main(
+            ["--scale", "0.03", "--threads", "2", "--cases", "1,2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Case 2" in out
+
+
+class TestFig6Main:
+    def test_small_sweep(self, capsys):
+        code = fig6_main(
+            ["--scale", "0.02", "--max-threads", "2", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eta_proj" in out
+        assert "projected speedup" in out

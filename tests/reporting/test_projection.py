@@ -1,0 +1,103 @@
+"""Unit tests for the multicore speedup projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ShiftRecord, SingleShiftResult, SolveResult
+from repro.reporting.projection import (
+    SpeedupProjection,
+    project_speedup,
+    simulate_makespan,
+)
+
+
+class TestSimulateMakespan:
+    def test_empty(self):
+        assert simulate_makespan([], 4) == 0.0
+
+    def test_single_worker_is_sum(self):
+        assert simulate_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_perfect_split(self):
+        assert simulate_makespan([1.0, 1.0, 1.0, 1.0], 2) == 2.0
+
+    def test_long_task_dominates(self):
+        # One 10-unit task dominates regardless of worker count.
+        assert simulate_makespan([10.0, 1.0, 1.0], 8) == 10.0
+
+    def test_list_scheduling_order_matters(self):
+        # Greedy in-order assignment: [3, 3, 2, 2] on 2 workers -> 5.
+        assert simulate_makespan([3.0, 3.0, 2.0, 2.0], 2) == 5.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([-1.0], 2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 0)
+
+
+def _solve_result(applies_per_shift, total_applies, threads=4):
+    records = []
+    for i, applies in enumerate(applies_per_shift):
+        result = SingleShiftResult(
+            shift=1j * i,
+            radius=1.0,
+            eigenvalues=np.empty(0, complex),
+            restarts=1,
+            converged=True,
+            applies=applies,
+        )
+        records.append(
+            ShiftRecord(
+                index=i,
+                center=float(i),
+                interval=(i - 0.5, i + 0.5),
+                result=result,
+                worker=0,
+                elapsed=0.0,
+            )
+        )
+    return SolveResult(
+        omegas=np.empty(0),
+        eigenvalues=np.empty(0, complex),
+        band=(0.0, float(max(len(applies_per_shift), 1))),
+        shifts=records,
+        work={"operator_applies": total_applies},
+        elapsed=1.0,
+        num_threads=threads,
+        strategy="queue",
+    )
+
+
+class TestProjectSpeedup:
+    def test_equal_work_ideal_is_thread_count(self):
+        serial = _solve_result([25] * 4, 100, threads=1)
+        parallel = _solve_result([25] * 4, 100, threads=4)
+        proj = project_speedup(serial, parallel, 4)
+        assert proj.eta_ideal == pytest.approx(4.0)
+        assert proj.eta_makespan == pytest.approx(100 / 25)
+
+    def test_superlinear_when_parallel_does_less_work(self):
+        """The paper's superlinear effect: W_T < W_1 via shift elimination."""
+        serial = _solve_result([25] * 4, 100, threads=1)
+        parallel = _solve_result([20] * 4, 80, threads=4)
+        proj = project_speedup(serial, parallel, 4)
+        assert proj.eta_ideal > 4.0
+
+    def test_tail_idle_reduces_makespan_speedup(self):
+        serial = _solve_result([30] * 3, 90, threads=1)
+        # One long shift (60) and two short: makespan 60 on 4 workers.
+        parallel = _solve_result([60, 15, 15], 90, threads=4)
+        proj = project_speedup(serial, parallel, 4)
+        assert proj.eta_makespan == pytest.approx(90 / 60)
+        assert proj.eta_makespan < proj.eta_ideal
+
+    def test_is_dataclass_with_counts(self):
+        serial = _solve_result([10], 10, threads=1)
+        parallel = _solve_result([10], 10, threads=2)
+        proj = project_speedup(serial, parallel, 2)
+        assert isinstance(proj, SpeedupProjection)
+        assert proj.work_serial == 10
+        assert proj.work_parallel == 10

@@ -1,0 +1,100 @@
+"""Unit tests for table/figure formatting and the experiment drivers."""
+
+import pytest
+
+from repro.core.options import SolverOptions
+from repro.reporting.fig6 import run_fig6
+from repro.reporting.table1 import run_case, run_table1
+from repro.reporting.tables import Fig6Point, Table1Row, format_fig6, format_table1
+from repro.synth.workloads import TABLE1_CASES
+
+
+def make_row(**overrides):
+    base = dict(
+        case_name="Case 1",
+        order=1000,
+        ports=20,
+        nlambda=6,
+        tau1=13.7,
+        tau_t_mean=0.65,
+        tau_t_max=0.84,
+        eta_wall=21.0,
+        eta_work=1.3,
+        eta_proj=20.8,
+        shifts=30,
+        eliminated=5,
+        paper_nlambda=6,
+        paper_eta=21.028,
+    )
+    base.update(overrides)
+    return Table1Row(**base)
+
+
+class TestFormatting:
+    def test_table1_layout(self):
+        text = format_table1([make_row()], num_threads=16)
+        lines = text.splitlines()
+        assert "tau16[s]" in lines[0]
+        assert "Case 1" in lines[2]
+        assert "21.028" in lines[2]
+
+    def test_table1_missing_paper_refs(self):
+        text = format_table1(
+            [make_row(paper_nlambda=None, paper_eta=None)], num_threads=4
+        )
+        assert text.splitlines()[2].rstrip().endswith("-")
+
+    def test_fig6_layout(self):
+        points = [
+            Fig6Point(1, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0),
+            Fig6Point(2, 1.8, 0.1, 1.9, 0.05, 1.95, 0.05),
+        ]
+        text = format_fig6(points)
+        assert "eta_proj" in text
+        assert "projected speedup" in text
+        assert "|" in text.splitlines()[-1]
+
+
+class TestDrivers:
+    """Tiny-scale smoke runs of the actual experiment drivers."""
+
+    @pytest.fixture(scope="class")
+    def quick_options(self):
+        return SolverOptions(krylov_dim=40, num_wanted=4)
+
+    def test_run_case_row_fields(self, quick_options):
+        row = run_case(
+            TABLE1_CASES[0],
+            scale=0.04,
+            num_threads=2,
+            repeats=1,
+            options=quick_options,
+        )
+        assert row.order == 40  # 1000 * 0.04
+        assert row.ports == 20
+        assert row.tau1 > 0
+        assert row.eta_proj > 0
+        assert row.shifts > 0
+
+    def test_run_table1_subset(self, quick_options):
+        rows = run_table1(
+            cases=TABLE1_CASES[:2],
+            scale=0.04,
+            num_threads=2,
+            repeats=1,
+            options=quick_options,
+        )
+        assert len(rows) == 2
+        assert rows[0].case_name == "Case 1"
+
+    def test_run_fig6_points(self, quick_options):
+        points = run_fig6(
+            scale=0.03,
+            threads=(1, 2),
+            repeats=2,
+            options=quick_options,
+        )
+        assert [p.threads for p in points] == [1, 2]
+        for p in points:
+            assert p.eta_proj_mean > 0
+            assert p.eta_proj_std >= 0

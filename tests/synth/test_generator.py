@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic macromodel generator."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.poles import conjugate_pairs_complete, is_stable
+from repro.passivity.metrics import peak_singular_value_on_grid
+from repro.synth.generator import (
+    random_macromodel,
+    random_pole_set,
+    random_simo_macromodel,
+    scale_to_sigma_target,
+)
+
+
+class TestRandomPoleSet:
+    def test_count_exact(self, rng):
+        for n in (1, 2, 5, 10, 17):
+            assert random_pole_set(n, rng).size == n
+
+    def test_stable(self, rng):
+        assert is_stable(random_pole_set(20, rng))
+
+    def test_conjugate_complete(self, rng):
+        assert conjugate_pairs_complete(random_pole_set(15, rng))
+
+    def test_band_respected(self, rng):
+        poles = random_pole_set(30, rng, band=(1.0, 5.0))
+        w0 = poles.imag[poles.imag > 0]
+        assert np.all(w0 >= 1.0 - 1e-9)
+        assert np.all(w0 <= 5.0 + 1e-9)
+
+    def test_invalid_band_rejected(self, rng):
+        with pytest.raises(ValueError, match="band"):
+            random_pole_set(4, rng, band=(5.0, 1.0))
+
+
+class TestRandomMacromodel:
+    def test_shapes(self):
+        model = random_macromodel(8, 3, seed=1)
+        assert model.num_poles == 8
+        assert model.num_ports == 3
+
+    def test_reproducible(self):
+        a = random_macromodel(8, 2, seed=5)
+        b = random_macromodel(8, 2, seed=5)
+        np.testing.assert_array_equal(a.poles, b.poles)
+        np.testing.assert_array_equal(a.residues, b.residues)
+
+    def test_real_and_stable(self):
+        model = random_macromodel(10, 2, seed=2)
+        assert model.is_stable()
+        assert model.is_real_model()
+
+    def test_sigma_target_violating(self):
+        model = random_macromodel(10, 3, seed=3, sigma_target=1.1)
+        # High-Q violations are narrower than a uniform grid spacing;
+        # sample around each resonance explicitly.
+        resonances = model.poles[model.poles.imag > 0]
+        clusters = np.array(
+            [r.imag + k * abs(r.real) for r in resonances for k in (-1, 0, 1)]
+        )
+        grid = np.unique(np.concatenate([np.linspace(0, 15, 800), clusters]))
+        peak, _ = peak_singular_value_on_grid(model, grid)
+        assert peak > 1.0
+
+    def test_sigma_target_passive(self):
+        model = random_macromodel(10, 3, seed=3, sigma_target=0.9)
+        grid = np.linspace(0, 15, 800)
+        peak, _ = peak_singular_value_on_grid(model, grid)
+        assert peak < 1.0
+
+    def test_no_target_skips_scaling(self):
+        model = random_macromodel(6, 2, seed=4, sigma_target=None)
+        assert model.num_poles == 6
+
+    def test_d_norm_exact(self):
+        model = random_macromodel(6, 2, seed=4, d_norm=0.25)
+        assert np.linalg.norm(model.d, 2) == pytest.approx(0.25)
+
+
+class TestRandomSimoMacromodel:
+    @pytest.mark.parametrize("order,ports", [(20, 4), (23, 5), (50, 7), (13, 13)])
+    def test_exact_order(self, order, ports):
+        simo = random_simo_macromodel(order, ports, seed=6, sigma_target=None)
+        assert simo.order == order
+        assert simo.num_ports == ports
+
+    def test_order_below_ports_rejected(self):
+        with pytest.raises(ValueError):
+            random_simo_macromodel(3, 5, seed=0)
+
+    def test_stable(self):
+        simo = random_simo_macromodel(30, 4, seed=7, sigma_target=None)
+        assert simo.is_stable()
+
+    def test_sigma_target_respected(self):
+        simo = random_simo_macromodel(40, 4, seed=8, sigma_target=1.06)
+        grid = np.linspace(0, 15, 800)
+        peak, _ = peak_singular_value_on_grid(simo, grid)
+        assert peak > 1.0
+
+
+class TestScaleToSigmaTarget:
+    def test_target_hit(self, rng):
+        model = random_macromodel(8, 2, seed=9, sigma_target=None)
+        grid = np.linspace(0, 15, 500)
+        responses = model.frequency_response(grid)
+        s = scale_to_sigma_target(model.d, responses, 1.05)
+        scaled = model.d[None] + s * (responses - model.d[None])
+        peak = np.linalg.svd(scaled, compute_uv=False).max()
+        assert peak == pytest.approx(1.05, rel=1e-4)
+
+    def test_target_below_d_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            scale_to_sigma_target(0.5 * np.eye(2), np.zeros((3, 2, 2)), 0.3)

@@ -1,0 +1,70 @@
+"""Unit tests for the Table I workload definitions."""
+
+import pytest
+
+from repro.synth.workloads import TABLE1_CASES, build_case, fig6_case
+
+
+class TestCaseSpecs:
+    def test_twelve_cases(self):
+        assert len(TABLE1_CASES) == 12
+
+    def test_sizes_match_paper(self):
+        """The (n, p) pairs are copied verbatim from Table I."""
+        expected = [
+            (1000, 20), (1000, 20), (1000, 20), (1980, 18),
+            (2240, 56), (1728, 18), (1734, 83), (1792, 56),
+            (1702, 56), (4150, 83), (1792, 56), (2432, 83),
+        ]
+        assert [(c.order, c.ports) for c in TABLE1_CASES] == expected
+
+    def test_passive_cases_marked(self):
+        """Cases 4 and 6 have N_lambda = 0 in the paper -> passive targets."""
+        by_id = {c.case_id: c for c in TABLE1_CASES}
+        assert by_id[4].paper_nlambda == 0
+        assert by_id[4].sigma_target < 1.0
+        assert by_id[6].paper_nlambda == 0
+        assert by_id[6].sigma_target < 1.0
+
+    def test_violating_cases_target_above_one(self):
+        for case in TABLE1_CASES:
+            if case.paper_nlambda > 0:
+                assert case.sigma_target > 1.0
+
+    def test_names(self):
+        assert TABLE1_CASES[0].name == "Case 1"
+
+
+class TestBuildCase:
+    def test_full_scale_exact_order(self):
+        spec = TABLE1_CASES[0]
+        model = build_case(spec, scale=1.0)
+        assert model.order == spec.order
+        assert model.num_ports == spec.ports
+
+    def test_scaled_order(self):
+        spec = TABLE1_CASES[0]
+        model = build_case(spec, scale=0.1)
+        assert model.order == 100
+        assert model.num_ports == spec.ports
+
+    def test_scale_floor_is_port_count(self):
+        spec = TABLE1_CASES[6]  # p = 83
+        model = build_case(spec, scale=0.001)
+        assert model.order == spec.ports
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_case(TABLE1_CASES[0], scale=0.0)
+
+    def test_reproducible(self):
+        import numpy as np
+
+        a = build_case(TABLE1_CASES[1], scale=0.05)
+        b = build_case(TABLE1_CASES[1], scale=0.05)
+        np.testing.assert_array_equal(a.c, b.c)
+
+
+def test_fig6_case_is_case5():
+    model = fig6_case(scale=0.05)
+    assert model.num_ports == 56

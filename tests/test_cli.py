@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.synth import random_macromodel
+from repro.touchstone import read_touchstone, write_touchstone
+
+
+@pytest.fixture(scope="module")
+def violating_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "device.s2p"
+    model = random_macromodel(10, 2, seed=33, sigma_target=1.04)
+    freqs = np.linspace(0.05, 14.0, 250)
+    write_touchstone(path, freqs / (2 * np.pi), model.frequency_response(freqs))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def passive_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "passive.s2p"
+    model = random_macromodel(10, 2, seed=34, sigma_target=0.9)
+    freqs = np.linspace(0.05, 14.0, 250)
+    write_touchstone(path, freqs / (2 * np.pi), model.frequency_response(freqs))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check", "x.s2p"])
+        assert args.poles == 30
+        assert args.threads == 1
+
+    def test_enforce_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["enforce", "x.s2p"])
+
+
+class TestInfo:
+    def test_info_output(self, violating_file, capsys):
+        assert main(["info", violating_file]) == 0
+        out = capsys.readouterr().out
+        assert "ports:      2" in out
+        assert "max sigma" in out
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["info", "/nonexistent/file.s2p"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_violating_exit_code(self, violating_file, capsys):
+        code = main(["check", violating_file, "--poles", "10", "--threads", "2"])
+        assert code == 2
+        assert "NOT passive" in capsys.readouterr().out
+
+    def test_passive_exit_code(self, passive_file, capsys):
+        code = main(["check", passive_file, "--poles", "10"])
+        assert code == 0
+        assert "PASSIVE" in capsys.readouterr().out
+
+
+class TestEnforce:
+    def test_enforce_writes_passive_file(self, violating_file, tmp_path, capsys):
+        out_path = str(tmp_path / "fixed.s2p")
+        code = main(
+            ["enforce", violating_file, "--poles", "10", "--out", out_path]
+        )
+        assert code == 0
+        data = read_touchstone(out_path)
+        peak = np.linalg.svd(data.matrices, compute_uv=False).max()
+        assert peak < 1.0
+
+
+class TestHinf:
+    def test_hinf_reports_norm(self, violating_file, capsys):
+        code = main(["hinf", violating_file, "--poles", "10", "--rtol", "1e-4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "||H||_inf" in out
+        # The device was built with peak sigma ~1.04.
+        norm = float(out.split("||H||_inf = ")[1].split()[0])
+        assert norm == pytest.approx(1.04, abs=0.01)

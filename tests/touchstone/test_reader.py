@@ -1,0 +1,125 @@
+"""Unit tests for the Touchstone parser."""
+
+import numpy as np
+import pytest
+
+from repro.touchstone.reader import parse_touchstone, read_touchstone
+
+
+SIMPLE_1PORT = """! demo file
+# HZ S RI R 50
+1e6 0.5 -0.1
+2e6 0.4 -0.2
+"""
+
+
+class TestOptionLine:
+    def test_defaults(self):
+        # Spec defaults: GHZ S MA R 50.
+        text = "# \n1.0 0.5 0.0\n"
+        data = parse_touchstone(text, num_ports=1)
+        assert data.freqs_hz[0] == pytest.approx(1e9)
+        assert data.z0 == 50.0
+        assert data.parameter == "S"
+
+    def test_explicit_options(self):
+        data = parse_touchstone(SIMPLE_1PORT, num_ports=1)
+        assert data.freqs_hz[0] == pytest.approx(1e6)
+        assert data.matrices[0, 0, 0] == pytest.approx(0.5 - 0.1j)
+
+    def test_units(self):
+        for unit, scale in [("HZ", 1.0), ("KHZ", 1e3), ("MHZ", 1e6), ("GHZ", 1e9)]:
+            text = f"# {unit} S RI R 50\n2.0 0.1 0.0\n"
+            data = parse_touchstone(text, num_ports=1)
+            assert data.freqs_hz[0] == pytest.approx(2.0 * scale)
+
+    def test_resistance(self):
+        text = "# HZ S RI R 75\n1.0 0.1 0.0\n"
+        assert parse_touchstone(text, num_ports=1).z0 == 75.0
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError, match="unknown token"):
+            parse_touchstone("# HZ S RI Q 50\n1.0 0.1 0.0\n", num_ports=1)
+
+    def test_v2_keywords_rejected(self):
+        with pytest.raises(ValueError, match="v2"):
+            parse_touchstone("[Version] 2.0\n# HZ S RI R 50\n", num_ports=1)
+
+
+class TestFormats:
+    def test_ma(self):
+        text = "# HZ S MA R 50\n1.0 2.0 90.0\n"
+        data = parse_touchstone(text, num_ports=1)
+        np.testing.assert_allclose(data.matrices[0, 0, 0], 2.0j, atol=1e-12)
+
+    def test_db(self):
+        text = "# HZ S DB R 50\n1.0 20.0 0.0\n"
+        data = parse_touchstone(text, num_ports=1)
+        np.testing.assert_allclose(data.matrices[0, 0, 0], 10.0, atol=1e-12)
+
+
+class TestLayout:
+    def test_two_port_column_major_quirk(self):
+        # Record order is S11 S21 S12 S22 for 2-ports.
+        text = (
+            "# HZ S RI R 50\n"
+            "1.0  11 0  21 0  12 0  22 0\n"
+        )
+        data = parse_touchstone(text, num_ports=2)
+        np.testing.assert_allclose(
+            data.matrices[0].real, [[11.0, 12.0], [21.0, 22.0]]
+        )
+
+    def test_three_port_row_major(self):
+        values = " ".join(f"{i + 1} 0" for i in range(9))
+        text = f"# HZ S RI R 50\n1.0 {values}\n"
+        data = parse_touchstone(text, num_ports=3)
+        np.testing.assert_allclose(
+            data.matrices[0].real,
+            [[1, 2, 3], [4, 5, 6], [7, 8, 9]],
+        )
+
+    def test_wrapped_records(self):
+        text = (
+            "# HZ S RI R 50\n"
+            "1.0 1 0 2 0 3 0 4 0\n"
+            "    5 0 6 0 7 0 8 0\n"
+            "    9 0\n"
+        )
+        data = parse_touchstone(text, num_ports=3)
+        assert data.matrices.shape == (1, 3, 3)
+        assert data.matrices[0, 2, 2] == 9.0
+
+    def test_comments_stripped(self):
+        text = "! header\n# HZ S RI R 50\n1.0 0.1 0.0 ! trailing\n"
+        data = parse_touchstone(text, num_ports=1)
+        assert data.matrices.shape == (1, 1, 1)
+
+    def test_port_inference(self):
+        values = " ".join("0.1 0.0" for _ in range(4))
+        text = f"# HZ S RI R 50\n1.0 {values}\n2.0 {values}\n"
+        data = parse_touchstone(text)
+        assert data.num_ports == 2
+
+    def test_inconsistent_length_rejected(self):
+        text = "# HZ S RI R 50\n1.0 0.1 0.0 0.3\n"
+        with pytest.raises(ValueError):
+            parse_touchstone(text, num_ports=1)
+
+    def test_decreasing_frequency_rejected(self):
+        text = "# HZ S RI R 50\n2.0 0.1 0.0\n1.0 0.1 0.0\n"
+        with pytest.raises(ValueError, match="increasing"):
+            parse_touchstone(text, num_ports=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            parse_touchstone("! nothing here\n# HZ S RI R 50\n", num_ports=1)
+
+
+class TestReadFile:
+    def test_suffix_port_detection(self, tmp_path):
+        path = tmp_path / "demo.s1p"
+        path.write_text(SIMPLE_1PORT)
+        data = read_touchstone(path)
+        assert data.num_ports == 1
+        assert data.freqs_rad[0] == pytest.approx(2 * np.pi * 1e6)

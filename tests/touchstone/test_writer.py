@@ -1,0 +1,79 @@
+"""Unit tests for the Touchstone writer and round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.touchstone.reader import parse_touchstone, read_touchstone
+from repro.touchstone.writer import format_touchstone, write_touchstone
+
+
+@pytest.fixture
+def samples(rng):
+    freqs = np.linspace(1e6, 1e9, 6)
+    s = rng.standard_normal((6, 3, 3)) + 1j * rng.standard_normal((6, 3, 3))
+    return freqs, s
+
+
+class TestFormat:
+    def test_option_line_first_noncomment(self, samples):
+        text = format_touchstone(*samples, comment="hello")
+        lines = text.splitlines()
+        assert lines[0] == "! hello"
+        assert lines[1].startswith("# HZ S RI")
+
+    def test_wrapping_max_four_complex_per_line(self, samples):
+        text = format_touchstone(*samples)
+        for line in text.splitlines():
+            if line.startswith(("#", "!")):
+                continue
+            values = line.split()
+            # freq + up to 4 complex pairs, or continuation of 4 pairs.
+            assert len(values) <= 9
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="K, p, p"):
+            format_touchstone([1.0], np.zeros((1, 2, 3)))
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="frequencies"):
+            format_touchstone([1.0, 2.0], np.zeros((1, 1, 1)))
+
+    def test_unknown_format(self, samples):
+        with pytest.raises(ValueError, match="format"):
+            format_touchstone(*samples, fmt="XY")
+
+    def test_unknown_unit(self, samples):
+        with pytest.raises(ValueError, match="unit"):
+            format_touchstone(*samples, unit="THZ")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("ports", [1, 2, 3, 4])
+    @pytest.mark.parametrize("fmt", ["RI", "MA", "DB"])
+    def test_lossless(self, rng, ports, fmt):
+        freqs = np.linspace(1e6, 5e8, 5)
+        s = rng.standard_normal((5, ports, ports)) + 1j * rng.standard_normal(
+            (5, ports, ports)
+        )
+        text = format_touchstone(freqs, s, fmt=fmt, unit="MHZ")
+        back = parse_touchstone(text, num_ports=ports)
+        np.testing.assert_allclose(back.matrices, s, atol=1e-8)
+        np.testing.assert_allclose(back.freqs_hz, freqs, rtol=1e-10)
+
+    def test_file_roundtrip(self, tmp_path, samples):
+        freqs, s = samples
+        path = write_touchstone(tmp_path / "test.s3p", freqs, s, z0=75.0)
+        back = read_touchstone(path)
+        assert back.z0 == 75.0
+        np.testing.assert_allclose(back.matrices, s, atol=1e-9)
+
+    def test_two_port_quirk_roundtrip(self, rng):
+        freqs = np.array([1e6])
+        s = np.array([[[1.0, 2.0], [3.0, 4.0]]], dtype=complex)
+        text = format_touchstone(freqs, s)
+        # Raw record must be S11 S21 S12 S22.
+        data_line = [l for l in text.splitlines() if not l.startswith(("#", "!"))][0]
+        reals = [float(tok) for tok in data_line.split()][1::2]
+        assert reals == [1.0, 3.0, 2.0, 4.0]
+        back = parse_touchstone(text, num_ports=2)
+        np.testing.assert_allclose(back.matrices, s)

@@ -1,0 +1,38 @@
+"""Unit tests for the logging shim."""
+
+import logging
+
+from repro.utils.logging import enable_debug_logging, get_logger
+
+
+class TestGetLogger:
+    def test_root_package_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger(self):
+        assert get_logger("scheduler").name == "repro.scheduler"
+
+    def test_children_propagate_to_root(self):
+        child = get_logger("single_shift")
+        assert child.parent.name.startswith("repro") or child.parent.name == "root"
+
+
+class TestEnableDebugLogging:
+    def test_sets_level(self):
+        logger = enable_debug_logging(logging.INFO)
+        assert logger.level == logging.INFO
+        # Restore quiet default for other tests.
+        logger.setLevel(logging.WARNING)
+
+    def test_idempotent_handler_attachment(self):
+        a = enable_debug_logging()
+        count_first = len(a.handlers)
+        b = enable_debug_logging()
+        assert len(b.handlers) == count_first
+        b.setLevel(logging.WARNING)
+
+    def test_debug_messages_flow(self, caplog):
+        logger = get_logger("test_channel")
+        with caplog.at_level(logging.DEBUG, logger="repro.test_channel"):
+            logger.debug("scheduler claimed segment %d", 7)
+        assert "claimed segment 7" in caplog.text

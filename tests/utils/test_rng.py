@@ -1,0 +1,70 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomStream, as_generator
+
+
+class TestAsGenerator:
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_from_int_reproducible(self):
+        a = as_generator(42).standard_normal(4)
+        b = as_generator(42).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_random_stream(self):
+        stream = RandomStream(7)
+        assert as_generator(stream) is stream.generator
+
+
+class TestRandomStream:
+    def test_reproducible_with_seed(self):
+        a = RandomStream(1).real_vector(8)
+        b = RandomStream(1).real_vector(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(1).real_vector(8)
+        b = RandomStream(2).real_vector(8)
+        assert not np.allclose(a, b)
+
+    def test_complex_vector_unit_norm(self):
+        v = RandomStream(3).complex_vector(16)
+        assert v.dtype == complex
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_real_vector_unit_norm(self):
+        v = RandomStream(3).real_vector(16)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_keyed_spawn_is_order_independent(self):
+        root = RandomStream(5)
+        # Consume some randomness before spawning.
+        root.real_vector(4)
+        child_late = root.spawn(key=17).real_vector(8)
+        child_early = RandomStream(5).spawn(key=17).real_vector(8)
+        np.testing.assert_array_equal(child_late, child_early)
+
+    def test_keyed_spawns_differ_by_key(self):
+        root = RandomStream(5)
+        a = root.spawn(key=1).real_vector(8)
+        b = root.spawn(key=2).real_vector(8)
+        assert not np.allclose(a, b)
+
+    def test_unkeyed_spawn_differs_from_parent(self):
+        root = RandomStream(5)
+        child = root.spawn()
+        assert not np.allclose(root.real_vector(8), child.real_vector(8))
+
+    def test_spawn_does_not_disturb_parent_stream(self):
+        a = RandomStream(9)
+        b = RandomStream(9)
+        a.spawn(key=3)  # keyed spawn must not consume parent entropy
+        np.testing.assert_array_equal(a.real_vector(8), b.real_vector(8))

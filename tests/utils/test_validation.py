@@ -1,0 +1,164 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation as v
+
+
+class TestEnsureMatrix:
+    def test_accepts_2d(self):
+        out = v.ensure_matrix([[1.0, 2.0], [3.0, 4.0]], "m")
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            v.ensure_matrix([1.0, 2.0], "m")
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            v.ensure_matrix(np.zeros((2, 2, 2)), "m")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            v.ensure_matrix([[np.nan, 0.0], [0.0, 0.0]], "m")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            v.ensure_matrix([[np.inf, 0.0], [0.0, 0.0]], "m")
+
+    def test_dtype_coercion(self):
+        out = v.ensure_matrix([[1, 2], [3, 4]], "m", dtype=complex)
+        assert out.dtype == complex
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            v.ensure_matrix([1.0], "myarg")
+
+
+class TestEnsureVector:
+    def test_accepts_1d(self):
+        out = v.ensure_vector([1.0, 2.0], "x")
+        assert out.shape == (2,)
+
+    def test_scalar_promoted(self):
+        out = v.ensure_vector(3.0, "x")
+        assert out.shape == (1,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            v.ensure_vector(np.zeros((2, 2)), "x")
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            v.ensure_vector([], "x")
+
+    def test_allows_empty_when_requested(self):
+        out = v.ensure_vector([], "x", allow_empty=True)
+        assert out.size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            v.ensure_vector([np.nan], "x")
+
+
+class TestEnsureSquare:
+    def test_accepts_square(self):
+        assert v.ensure_square(np.eye(3), "m").shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            v.ensure_square(np.zeros((2, 3)), "m")
+
+
+class TestEnsureReal:
+    def test_real_passthrough(self):
+        out = v.ensure_real(np.array([1.0, 2.0]), "x")
+        assert not np.iscomplexobj(out)
+
+    def test_complex_with_zero_imag_ok(self):
+        out = v.ensure_real(np.array([1.0 + 0j]), "x")
+        assert not np.iscomplexobj(out)
+
+    def test_complex_with_nonzero_imag_rejected(self):
+        with pytest.raises(ValueError, match="real"):
+            v.ensure_real(np.array([1.0 + 1e-3j]), "x")
+
+
+class TestScalarValidators:
+    def test_positive_int_accepts(self):
+        assert v.ensure_positive_int(5, "n") == 5
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            v.ensure_positive_int(0, "n")
+
+    def test_positive_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v.ensure_positive_int(-1, "n")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            v.ensure_positive_int(1.5, "n")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            v.ensure_positive_int(True, "n")
+
+    def test_nonnegative_int_accepts_zero(self):
+        assert v.ensure_nonnegative_int(0, "n") == 0
+
+    def test_nonnegative_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v.ensure_nonnegative_int(-2, "n")
+
+    def test_positive_float_accepts(self):
+        assert v.ensure_positive_float(0.5, "x") == 0.5
+
+    def test_positive_float_rejects_zero(self):
+        with pytest.raises(ValueError):
+            v.ensure_positive_float(0.0, "x")
+
+    def test_positive_float_rejects_inf(self):
+        with pytest.raises(ValueError):
+            v.ensure_positive_float(float("inf"), "x")
+
+    def test_positive_float_rejects_string(self):
+        with pytest.raises(TypeError):
+            v.ensure_positive_float("1.0", "x")
+
+    def test_nonnegative_float_accepts_zero(self):
+        assert v.ensure_nonnegative_float(0.0, "x") == 0.0
+
+    def test_probability_bounds(self):
+        assert v.ensure_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            v.ensure_probability(1.1, "p")
+
+    def test_in_range(self):
+        assert v.ensure_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            v.ensure_in_range(2.0, "x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            v.ensure_in_range(-0.1, "x", 0.0, 1.0)
+
+
+class TestSortedFrequencies:
+    def test_accepts_increasing(self):
+        out = v.ensure_sorted_frequencies([0.0, 1.0, 2.0])
+        assert out.size == 3
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            v.ensure_sorted_frequencies([1.0, 0.5])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="increasing"):
+            v.ensure_sorted_frequencies([1.0, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            v.ensure_sorted_frequencies([-1.0, 0.0])
+
+    def test_single_point_ok(self):
+        assert v.ensure_sorted_frequencies([2.0]).size == 1

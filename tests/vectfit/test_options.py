@@ -1,0 +1,32 @@
+"""Unit tests for VectorFittingOptions."""
+
+import pytest
+
+from repro.vectfit.options import VectorFittingOptions
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        opts = VectorFittingOptions()
+        assert opts.iterations > 0
+        assert opts.enforce_stability
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            VectorFittingOptions(iterations=0)
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(ValueError, match="weighting"):
+            VectorFittingOptions(weighting="sqrt")
+
+    def test_real_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            VectorFittingOptions(real_pole_fraction=1.5)
+
+    def test_negative_damping_rejected(self):
+        with pytest.raises(ValueError):
+            VectorFittingOptions(initial_damping_ratio=-0.1)
+
+    def test_with_replaces(self):
+        opts = VectorFittingOptions().with_(iterations=5)
+        assert opts.iterations == 5

@@ -1,0 +1,136 @@
+"""Unit tests for Vector Fitting."""
+
+import numpy as np
+import pytest
+
+from repro.synth import random_macromodel
+from repro.vectfit.options import VectorFittingOptions
+from repro.vectfit.vector_fitting import FitResult, initial_poles, vector_fit
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return random_macromodel(10, 2, seed=81, sigma_target=None)
+
+
+@pytest.fixture(scope="module")
+def samples(truth):
+    freqs = np.linspace(0.01, 15.0, 240)
+    return freqs, truth.frequency_response(freqs)
+
+
+class TestInitialPoles:
+    def test_count(self):
+        poles = initial_poles(np.linspace(0.1, 10, 50), 8)
+        assert poles.size == 8
+
+    def test_stable(self):
+        poles = initial_poles(np.linspace(0.1, 10, 50), 8)
+        assert np.all(poles.real < 0)
+
+    def test_conjugate_complete(self):
+        from repro.macromodel.poles import conjugate_pairs_complete
+
+        poles = initial_poles(np.linspace(0.1, 10, 50), 9, real_fraction=0.2)
+        assert conjugate_pairs_complete(poles)
+
+    def test_spread_covers_band(self):
+        poles = initial_poles(np.linspace(0.1, 10, 50), 10)
+        w0 = poles.imag[poles.imag > 0]
+        assert w0.max() == pytest.approx(10.0, rel=0.01)
+
+
+class TestExactRecovery:
+    def test_machine_precision_fit(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles)
+        assert fit.rms_error < 1e-9
+        assert fit.converged
+
+    def test_pole_recovery(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles)
+        remaining = list(fit.model.poles)
+        for pole in truth.poles:
+            dist = [abs(pole - q) for q in remaining]
+            j = int(np.argmin(dist))
+            assert dist[j] < 1e-6 * max(1.0, abs(pole))
+            remaining.pop(j)
+
+    def test_d_recovery(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles)
+        np.testing.assert_allclose(fit.model.d, truth.d, atol=1e-8)
+
+    def test_result_metadata(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles)
+        assert isinstance(fit, FitResult)
+        assert len(fit.pole_history) == fit.iterations + 1
+        assert fit.max_error >= fit.rms_error
+
+
+class TestRobustness:
+    def test_noisy_fit(self, truth, samples, rng):
+        freqs, responses = samples
+        noisy = responses + 1e-3 * (
+            rng.standard_normal(responses.shape)
+            + 1j * rng.standard_normal(responses.shape)
+        )
+        fit = vector_fit(freqs, noisy, num_poles=truth.num_poles)
+        assert fit.rms_error < 5e-3
+
+    def test_model_is_stable(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles)
+        assert fit.model.is_stable()
+
+    def test_model_is_real(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles)
+        assert fit.model.is_real_model()
+
+    def test_overmodeling_still_accurate(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(freqs, responses, num_poles=truth.num_poles + 4)
+        assert fit.rms_error < 1e-6
+
+    def test_scalar_input(self):
+        model = random_macromodel(6, 1, seed=82, sigma_target=None)
+        freqs = np.linspace(0.01, 12.0, 150)
+        samples = model.frequency_response(freqs)[:, 0, 0]
+        fit = vector_fit(freqs, samples, num_poles=6)
+        assert fit.rms_error < 1e-8
+        assert fit.model.num_ports == 1
+
+    def test_inverse_magnitude_weighting(self, truth, samples):
+        freqs, responses = samples
+        fit = vector_fit(
+            freqs,
+            responses,
+            num_poles=truth.num_poles,
+            options=VectorFittingOptions(weighting="inverse_magnitude"),
+        )
+        assert fit.rms_error < 1e-8
+
+
+class TestValidation:
+    def test_shape_mismatch(self, samples):
+        freqs, responses = samples
+        with pytest.raises(ValueError, match="samples"):
+            vector_fit(freqs[:-1], responses, num_poles=4)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="p, p"):
+            vector_fit(np.linspace(1, 2, 10), np.zeros((10, 2, 3)), num_poles=2)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="too few"):
+            vector_fit(np.linspace(1, 2, 3), np.zeros((3, 1, 1)), num_poles=10)
+
+    def test_start_pole_count_checked(self, samples):
+        freqs, responses = samples
+        with pytest.raises(ValueError, match="start_poles"):
+            vector_fit(
+                freqs, responses, num_poles=6, start_poles=np.array([-1.0 + 0j])
+            )
