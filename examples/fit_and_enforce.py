@@ -7,12 +7,15 @@ characterized with the Hamiltonian eigensolver; if it is not passive, the
 residue-perturbation enforcement loop repairs it; the repaired model is
 re-verified both algebraically and on a dense frequency grid.
 
+The whole flow is one fluent `Macromodel` session; each numbered step
+below reads the corresponding stage result off the session.
+
 Run:  python examples/fit_and_enforce.py
 """
 
 import numpy as np
 
-from repro import characterize_passivity, enforce_passivity, vector_fit
+from repro import Macromodel, RunConfig
 from repro.passivity.metrics import grid_passivity_margin
 from repro.synth import random_macromodel
 
@@ -26,10 +29,14 @@ def main() -> None:
     samples = device.frequency_response(freqs)
     print(f"device: {device}, sampled at {freqs.size} frequencies")
 
+    session = Macromodel.from_samples(
+        freqs, samples, config=RunConfig(num_threads=4)
+    )
+
     # ------------------------------------------------------------------
     # 1. Rational fitting (Vector Fitting, ref. [1] of the paper).
     # ------------------------------------------------------------------
-    fit = vector_fit(freqs, samples, num_poles=14)
+    fit = session.fit(num_poles=14).fit_result
     print(
         f"\nvector fitting: rms error {fit.rms_error:.3e},"
         f" {fit.iterations} pole-relocation sweeps,"
@@ -39,7 +46,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. Passivity characterization (the paper's core algorithm).
     # ------------------------------------------------------------------
-    report = characterize_passivity(fit.model, num_threads=4)
+    report = session.check_passivity().passivity_report
     print(f"\ncharacterization: {report.summary()}")
     solve = report.solve
     print(
@@ -51,7 +58,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 3. Enforcement (refs [8], [17]: iterative residue perturbation).
     # ------------------------------------------------------------------
-    enforced = enforce_passivity(fit.model, num_threads=4)
+    enforced = session.enforce().enforcement_result
     print(
         f"\nenforcement: passive={enforced.passive}"
         f" after {enforced.iterations} iteration(s);"
@@ -62,14 +69,14 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 4. Verification.
     # ------------------------------------------------------------------
-    final_report = characterize_passivity(enforced.model, num_threads=4)
+    final_report = session.check_passivity().passivity_report
     grid = np.linspace(0.0, 25.0, 3000)
-    margin = grid_passivity_margin(enforced.model, grid)
+    margin = grid_passivity_margin(session.model, grid)
     print(f"\nre-check: {final_report.summary()}")
     print(f"dense-grid margin 1 - max sigma = {margin:.4e} (positive = passive)")
 
     # Accuracy preservation: compare against the original samples.
-    fitted = enforced.model.frequency_response(freqs)
+    fitted = session.model.frequency_response(freqs)
     rel_err = np.linalg.norm(fitted - samples) / np.linalg.norm(samples)
     print(f"relative deviation from measured data: {rel_err:.3e}")
 

@@ -1,15 +1,18 @@
-"""Quickstart: characterize the passivity of an interconnect macromodel.
+"""Quickstart: the Macromodel session facade end to end.
 
 Builds a small synthetic scattering macromodel (the kind rational fitting
-produces), runs the parallel Hamiltonian eigensolver to find all unit
-singular-value crossings, and prints the resulting passivity report.
+produces), then drives the paper's whole workflow through one fluent
+session: characterize passivity with the parallel Hamiltonian
+eigensolver, enforce passivity, and inspect the machine-readable result.
 
 Run:  python examples/quickstart.py
 """
 
+import json
+
 import numpy as np
 
-from repro import characterize_passivity, find_imaginary_eigenvalues
+from repro import Macromodel, RunConfig
 from repro.synth import random_macromodel
 
 
@@ -19,13 +22,22 @@ def main() -> None:
     model = random_macromodel(20, 4, seed=42, sigma_target=1.05)
     print(f"model: {model}")
 
-    # --- Low-level API: just the imaginary Hamiltonian eigenvalues -------
-    result = find_imaginary_eigenvalues(model, num_threads=4)
+    # One frozen config carries every cross-cutting knob (threads,
+    # strategy, representation, band).  It can also come from dicts
+    # (RunConfig.from_dict) or the environment (RunConfig.from_env).
+    config = RunConfig(num_threads=4)
+
+    # --- The pipeline: sweep, characterize, then enforce -----------------
+    session = Macromodel.from_pole_residue(model, config=config)
+
+    # Low-level access first: the raw crossing frequencies of the
+    # (still non-passive) model, straight from the eigensolver.
+    result = session.find_crossings().solve_result
     print(f"\nsweep: {result.summary()}")
     print(f"crossing frequencies Omega = {np.round(result.omegas, 6)}")
 
-    # --- High-level API: full passivity report ---------------------------
-    report = characterize_passivity(model, num_threads=4)
+    session.check_passivity()
+    report = session.passivity_report
     print(f"\n{report.summary()}")
     for band in report.bands:
         print(
@@ -33,7 +45,19 @@ def main() -> None:
             f" peak sigma = {band.peak_sigma:.4f} at w = {band.peak_freq:.4f}"
         )
 
-    # The crossings are exactly where a singular value touches 1:
+    if not session.is_passive:
+        session.enforce()
+        print(f"\nafter enforcement: passive = {session.is_passive}")
+
+    print(f"\n{session.summary()}")
+
+    # --- Machine consumption: everything is JSON-serializable ------------
+    payload = session.to_dict()
+    print("\nsession payload keys:", sorted(payload))
+    print("passivity payload:", json.dumps(payload["passivity"])[:100], "...")
+
+    # The crossings of the *original* model are exactly where a singular
+    # value touches 1:
     print("\nverification (singular values at each crossing):")
     for w in report.crossings:
         sv = np.linalg.svd(model.transfer(1j * w), compute_uv=False)

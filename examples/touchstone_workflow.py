@@ -7,8 +7,9 @@ Mirrors how the library slots into a real signal-integrity flow:
 3. the macromodel is characterized and (if needed) made passive;
 4. the passive model is resampled and written back to a new ``.sNp``.
 
-Since this repository is self-contained, step 0 synthesizes the input
-file from a random device model.
+Steps 1-4 are one fluent `Macromodel` session.  Since this repository is
+self-contained, step 0 synthesizes the input file from a random device
+model.
 
 Run:  python examples/touchstone_workflow.py
 """
@@ -18,13 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import (
-    characterize_passivity,
-    enforce_passivity,
-    read_touchstone,
-    vector_fit,
-    write_touchstone,
-)
+from repro import Macromodel, RunConfig, read_touchstone, write_touchstone
 from repro.synth import random_macromodel
 
 
@@ -49,7 +44,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 1. Read it back (real flows start here).
     # ------------------------------------------------------------------
-    data = read_touchstone(raw_path)
+    session = Macromodel.from_touchstone(raw_path, config=RunConfig(num_threads=2))
+    data = session.data
     print(
         f"read {data.num_ports}-port {data.parameter}-parameters,"
         f" {data.freqs_hz.size} points, z0={data.z0} ohm"
@@ -58,18 +54,16 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. Identify the macromodel.
     # ------------------------------------------------------------------
-    fit = vector_fit(data.freqs_rad, data.matrices, num_poles=12)
-    print(f"fit: rms error {fit.rms_error:.2e} over the band")
+    session.fit(num_poles=12)
+    print(f"fit: rms error {session.fit_result.rms_error:.2e} over the band")
 
     # ------------------------------------------------------------------
     # 3. Check and enforce passivity.
     # ------------------------------------------------------------------
-    report = characterize_passivity(fit.model, num_threads=2)
+    report = session.check_passivity().passivity_report
     print(f"characterization: {report.summary()}")
-    model = fit.model
-    if not report.passive:
-        enforced = enforce_passivity(model, num_threads=2)
-        model = enforced.model
+    if not session.is_passive:
+        enforced = session.enforce().enforcement_result
         print(
             f"enforced in {enforced.iterations} iteration(s);"
             f" now passive={enforced.passive}"
@@ -79,10 +73,10 @@ def main() -> None:
     # 4. Export the passive model on a denser grid.
     # ------------------------------------------------------------------
     dense_rad = np.linspace(0.05, 20.0, 500)
-    out_path = write_touchstone(
-        workdir / "device_passive.s2p",
-        dense_rad / (2.0 * np.pi),
-        model.frequency_response(dense_rad),
+    out_path = workdir / "device_passive.s2p"
+    session.to_touchstone(
+        out_path,
+        freqs_hz=dense_rad / (2.0 * np.pi),
         fmt="RI",
         comment="passive macromodel resampled by repro",
     )

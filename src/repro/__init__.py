@@ -2,34 +2,64 @@
 and enforcement of large interconnect macromodels.
 
 Reproduction of L. Gobbato, A. Chinea, S. Grivet-Talocia, DATE 2011
-(DOI 10.1109/DATE.2011.5763011).  See DESIGN.md for the system inventory
-and EXPERIMENTS.md for the paper-vs-measured results.
+(DOI 10.1109/DATE.2011.5763011).
 
-Typical flow::
+The recommended entry point is the :class:`Macromodel` session facade,
+which drives the paper's whole workflow — fit, characterize, enforce,
+export — as one fluent pipeline over a single :class:`RunConfig`::
 
-    from repro import (
-        vector_fit, characterize_passivity, enforce_passivity,
-        find_imaginary_eigenvalues,
+    from repro import Macromodel, RunConfig
+
+    session = (
+        Macromodel.from_touchstone("device.s4p")
+        .configure(num_threads=8)
+        .fit(num_poles=40)
+        .check_passivity()
     )
+    if not session.is_passive:
+        session.enforce().to_touchstone("device_passive.s4p")
+    print(session.summary())
+    payload = session.to_dict()          # JSON-serializable
 
-    fit = vector_fit(freqs_rad, samples, num_poles=40)   # identify model
-    report = characterize_passivity(fit.model, num_threads=8)
-    if not report.passive:
-        result = enforce_passivity(fit.model, num_threads=8)
+Configuration can come from code, dictionaries, or the environment::
+
+    config = RunConfig.from_env()        # REPRO_NUM_THREADS=8 repro check ...
+    config = RunConfig.from_dict({"num_threads": 8, "strategy": "queue"})
+    config = config.merged(representation="immittance")
+
+Scheduling strategies are pluggable: ``bisection`` / ``queue`` /
+``static`` ship registered in :mod:`repro.core.registry`, and new
+backends join via :func:`register_strategy` without touching the solver.
+
+The historical free functions (``vector_fit``, ``characterize_passivity``,
+``enforce_passivity``, ``find_imaginary_eigenvalues``) remain importable
+from this package as deprecated shims; new code should use the facade.
 """
 
+import warnings as _warnings
+
+from repro.api import (
+    Macromodel,
+    RunConfig,
+    StrategySpec,
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+)
 from repro.core.options import SolverOptions
 from repro.core.results import SolveResult
-from repro.core.solver import find_imaginary_eigenvalues
+from repro.core.solver import find_imaginary_eigenvalues as _find_imaginary_eigenvalues
+from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
 from repro.macromodel.statespace import StateSpace
+from repro.passivity.characterization import PassivityReport
 from repro.passivity.characterization import (
-    PassivityReport,
-    characterize_passivity,
+    characterize_passivity as _characterize_passivity,
 )
-from repro.passivity.enforcement import EnforcementResult, enforce_passivity
+from repro.passivity.enforcement import EnforcementResult
+from repro.passivity.enforcement import enforce_passivity as _enforce_passivity
 from repro.passivity.hinf import HinfResult, hinf_norm
 from repro.passivity.immittance import (
     ImmittancePassivityReport,
@@ -37,28 +67,85 @@ from repro.passivity.immittance import (
 )
 from repro.touchstone.reader import read_touchstone
 from repro.touchstone.writer import write_touchstone
-from repro.vectfit.vector_fitting import vector_fit
+from repro.vectfit.vector_fitting import vector_fit as _vector_fit
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def _deprecated_shim(name, impl, replacement):
+    """Wrap a legacy free function in a DeprecationWarning-emitting shim."""
+
+    def shim(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    shim.__name__ = name
+    shim.__qualname__ = name
+    shim.__doc__ = (
+        f"Deprecated alias of :func:`{impl.__module__}.{impl.__name__}`;"
+        f" use {replacement} instead.\n\n{impl.__doc__ or ''}"
+    )
+    shim.__wrapped__ = impl
+    return shim
+
+
+#: Deprecated: use ``Macromodel.from_samples(...).fit(...)`` instead.
+vector_fit = _deprecated_shim(
+    "vector_fit", _vector_fit, "Macromodel.from_samples(...).fit(...)"
+)
+#: Deprecated: use ``Macromodel.from_pole_residue(...).check_passivity()``.
+characterize_passivity = _deprecated_shim(
+    "characterize_passivity",
+    _characterize_passivity,
+    "Macromodel.from_pole_residue(...).check_passivity()",
+)
+#: Deprecated: use ``Macromodel.from_pole_residue(...).enforce()``.
+enforce_passivity = _deprecated_shim(
+    "enforce_passivity",
+    _enforce_passivity,
+    "Macromodel.from_pole_residue(...).enforce()",
+)
+#: Deprecated: use ``Macromodel.find_crossings()`` or ``repro.solve``.
+find_imaginary_eigenvalues = _deprecated_shim(
+    "find_imaginary_eigenvalues",
+    _find_imaginary_eigenvalues,
+    "Macromodel.from_pole_residue(...).find_crossings() or repro.solve(model, config)",
+)
 
 __all__ = [
     "__version__",
+    # Facade + configuration (the recommended API).
+    "Macromodel",
+    "RunConfig",
     "SolverOptions",
+    "solve",
+    # Strategy registry.
+    "StrategySpec",
+    "available_strategies",
+    "register_strategy",
+    "resolve_strategy",
+    # Model and result types.
     "SolveResult",
-    "find_imaginary_eigenvalues",
     "PoleResidueModel",
     "SimoRealization",
     "StateSpace",
     "pole_residue_to_simo",
     "PassivityReport",
-    "characterize_passivity",
     "EnforcementResult",
-    "enforce_passivity",
     "HinfResult",
     "hinf_norm",
     "ImmittancePassivityReport",
     "characterize_immittance_passivity",
+    # File I/O.
     "read_touchstone",
     "write_touchstone",
+    # Deprecated free functions (shims).
     "vector_fit",
+    "characterize_passivity",
+    "enforce_passivity",
+    "find_imaginary_eigenvalues",
 ]

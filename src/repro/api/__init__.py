@@ -1,0 +1,43 @@
+"""High-level session API: the :class:`Macromodel` facade.
+
+This package is the recommended entry point of the library::
+
+    from repro.api import Macromodel, RunConfig
+
+    report = (
+        Macromodel.from_touchstone("device.s4p")
+        .configure(num_threads=8)
+        .fit(num_poles=40)
+        .check_passivity()
+        .passivity_report
+    )
+
+It re-exports the building blocks the facade is made of: the single
+:class:`~repro.core.config.RunConfig` carrying every cross-cutting knob,
+and the pluggable strategy registry
+(:func:`~repro.core.registry.register_strategy` /
+:func:`~repro.core.registry.resolve_strategy`) through which new sweep
+backends plug into the solver without touching the dispatcher.
+"""
+
+from repro.api.session import Macromodel
+from repro.core.config import RunConfig
+from repro.core.options import SolverOptions
+from repro.core.registry import (
+    StrategySpec,
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
+
+__all__ = [
+    "Macromodel",
+    "RunConfig",
+    "SolverOptions",
+    "StrategySpec",
+    "available_strategies",
+    "register_strategy",
+    "resolve_strategy",
+    "unregister_strategy",
+]

@@ -1,0 +1,538 @@
+"""The :class:`Macromodel` session facade.
+
+One object drives the paper's whole workflow (Sec. IV): load frequency
+data, identify a rational macromodel, characterize its passivity with the
+parallel Hamiltonian eigensolver, enforce passivity when needed, and
+export the repaired model — as a fluent pipeline::
+
+    from repro.api import Macromodel, RunConfig
+
+    session = (
+        Macromodel.from_touchstone("device.s4p")
+        .configure(num_threads=8)
+        .fit(num_poles=40)
+        .check_passivity()
+    )
+    if not session.is_passive:
+        session.enforce().to_touchstone("device_passive.s4p")
+    print(session.summary())
+
+Every stage records its result object; :meth:`Macromodel.to_dict` returns
+the whole session state as one JSON-serializable payload for machine
+consumers.  All cross-cutting knobs come from a single frozen
+:class:`~repro.core.config.RunConfig`, overridable per call
+(``.check_passivity(num_threads=16)``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.results import SolveResult
+from repro.core.solver import solve
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.macromodel.simo import SimoRealization
+from repro.passivity.characterization import PassivityReport, characterize_passivity
+from repro.passivity.enforcement import EnforcementResult, enforce_passivity
+from repro.passivity.hinf import HinfResult, hinf_norm
+from repro.passivity.immittance import (
+    ImmittancePassivityReport,
+    characterize_immittance_passivity,
+)
+from repro.touchstone.reader import TouchstoneData, read_touchstone
+from repro.touchstone.writer import write_touchstone
+from repro.utils.serialization import to_jsonable
+from repro.utils.validation import ensure_sorted_frequencies
+from repro.vectfit.vector_fitting import FitResult, vector_fit
+
+__all__ = ["Macromodel"]
+
+ModelLike = Union[PoleResidueModel, SimoRealization]
+
+
+def _config_for_parameter(
+    parameter: str, config: Optional[RunConfig], source: str
+) -> RunConfig:
+    """Resolve the session config against the data's parameter type.
+
+    S-parameter data defaults to the scattering test, anything else
+    (Y/Z/hybrid) to the immittance test.  An explicit config wins, with a
+    warning when it contradicts the data.
+    """
+    data_rep = "scattering" if parameter.upper() == "S" else "immittance"
+    if config is None:
+        return RunConfig(representation=data_rep)
+    if config.representation != data_rep:
+        warnings.warn(
+            f"{source} holds {parameter}-parameters (expected"
+            f" representation {data_rep!r}) but the config requests"
+            f" {config.representation!r}; the config wins — pass a"
+            " matching representation to silence this",
+            UserWarning,
+            stacklevel=3,
+        )
+    return config
+
+
+class Macromodel:
+    """Fluent session over the fit → characterize → enforce → export flow.
+
+    Instances are created through the ``from_*`` constructors; every
+    pipeline stage mutates the session in place and returns ``self`` so
+    stages chain.  Stage results stay accessible afterwards through the
+    ``fit_result`` / ``passivity_report`` / ``enforcement_result`` /
+    ``hinf_result`` / ``solve_result`` properties.
+    """
+
+    def __init__(
+        self,
+        *,
+        model: Optional[ModelLike] = None,
+        data: Optional[TouchstoneData] = None,
+        config: Optional[RunConfig] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        self._config = config if config is not None else RunConfig()
+        self._model: Optional[ModelLike] = model
+        self._data = data
+        self._source = source
+        self._fit: Optional[FitResult] = None
+        self._report: Optional[Union[PassivityReport, ImmittancePassivityReport]] = None
+        self._report_model: Optional[ModelLike] = None
+        self._report_config: Optional[RunConfig] = None
+        self._enforcement: Optional[EnforcementResult] = None
+        self._hinf: Optional[HinfResult] = None
+        self._solve: Optional[SolveResult] = None
+        self._exports: list = []
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_touchstone(
+        cls,
+        path: Union[str, Path],
+        *,
+        num_ports: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+    ) -> "Macromodel":
+        """Start a session from a Touchstone ``.sNp`` file.
+
+        The file's parameter type picks the default representation:
+        S-parameter files get the scattering (``sigma = 1``) test, Y/Z
+        (and hybrid) files the immittance positive-realness test.  An
+        explicit ``config`` wins, with a warning when it contradicts the
+        file's parameter type.
+        """
+        data = read_touchstone(path, num_ports=num_ports)
+        config = _config_for_parameter(data.parameter, config, str(path))
+        return cls(data=data, config=config, source=str(path))
+
+    @classmethod
+    def from_samples(
+        cls,
+        freqs_rad,
+        samples,
+        *,
+        parameter: str = "S",
+        z0: float = 50.0,
+        config: Optional[RunConfig] = None,
+    ) -> "Macromodel":
+        """Start a session from raw frequency samples.
+
+        Parameters
+        ----------
+        freqs_rad:
+            Strictly increasing sample frequencies in rad/s.
+        samples:
+            Transfer-matrix samples, shape ``(K, p, p)`` complex.
+        parameter:
+            Parameter-type letter the samples represent (``"S"`` default,
+            ``"Y"``/``"Z"`` for immittance data).  Like
+            :meth:`from_touchstone`, non-S data defaults the session to
+            the immittance test, and exports carry the right option line.
+        z0:
+            Reference resistance recorded for exports.
+        """
+        freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
+        samples = np.asarray(samples, dtype=complex)
+        data = TouchstoneData(
+            freqs_hz=freqs_rad / (2.0 * np.pi),
+            matrices=samples,
+            parameter=parameter,
+            z0=float(z0),
+        )
+        config = _config_for_parameter(parameter, config, "the sample set")
+        return cls(data=data, config=config, source="<samples>")
+
+    @classmethod
+    def from_pole_residue(
+        cls,
+        model: ModelLike,
+        *,
+        config: Optional[RunConfig] = None,
+    ) -> "Macromodel":
+        """Start a session from an existing macromodel (skips fitting)."""
+        if not isinstance(model, (PoleResidueModel, SimoRealization)):
+            raise TypeError(
+                "expected PoleResidueModel or SimoRealization,"
+                f" got {type(model).__name__}"
+            )
+        return cls(model=model, config=config, source="<model>")
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def config(self) -> RunConfig:
+        """The session's run configuration."""
+        return self._config
+
+    def configure(
+        self, config: Optional[RunConfig] = None, **overrides: Any
+    ) -> "Macromodel":
+        """Replace or override the session configuration (fluent)."""
+        base = config if config is not None else self._config
+        self._config = base.merged(**overrides) if overrides else base
+        return self
+
+    def _run_config(self, overrides: dict) -> RunConfig:
+        return self._config.merged(**overrides) if overrides else self._config
+
+    def _full_axis_config(self, overrides: dict) -> RunConfig:
+        """Per-call config for stages whose verdict must cover the whole axis.
+
+        Session-level ``omega_min`` / ``omega_max`` are a characterization
+        knob and are dropped here; explicitly passing them as per-call
+        overrides is left in place so the underlying function can reject
+        them loudly.
+        """
+        config = self._run_config(overrides)
+        if not ("omega_min" in overrides or "omega_max" in overrides):
+            config = config.merged(omega_min=0.0, omega_max=None)
+        return config
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def fit(self, num_poles: int = 30, **fit_kwargs: Any) -> "Macromodel":
+        """Identify a rational macromodel from the loaded samples.
+
+        Extra keyword arguments are forwarded to
+        :func:`~repro.vectfit.vector_fitting.vector_fit` (e.g.
+        ``options=VectorFittingOptions(...)``).
+        """
+        if self._data is None:
+            raise RuntimeError(
+                "no sample data loaded; start the session with"
+                " from_touchstone()/from_samples(), or use"
+                " from_pole_residue() to skip fitting"
+            )
+        self._fit = vector_fit(
+            self._data.freqs_rad,
+            self._data.matrices,
+            num_poles=num_poles,
+            **fit_kwargs,
+        )
+        self._model = self._fit.model
+        # Any stage results computed for a previous model are stale now.
+        self._report = None
+        self._report_model = None
+        self._report_config = None
+        self._enforcement = None
+        self._solve = None
+        self._hinf = None
+        return self
+
+    def check_passivity(self, **overrides: Any) -> "Macromodel":
+        """Run the Hamiltonian passivity characterization (Sec. II).
+
+        Dispatches on ``config.representation``: the scattering
+        (``sigma = 1``) test by default, the immittance
+        (positive-realness) test when the config says so.
+        """
+        config = self._run_config(overrides)
+        model = self._require_model()
+        if config.representation == "immittance":
+            self._report = characterize_immittance_passivity(model, config=config)
+        else:
+            self._report = characterize_passivity(model, config=config)
+        self._report_model = model
+        self._report_config = config
+        return self
+
+    def enforce(
+        self,
+        *,
+        margin: float = 0.002,
+        max_iterations: int = 25,
+        d_max_sigma: float = 0.999,
+        **overrides: Any,
+    ) -> "Macromodel":
+        """Perturb residues until the Hamiltonian test certifies passivity.
+
+        Replaces the session model with the enforced one; the final
+        characterization becomes the session's passivity report.  A
+        scattering report from an immediately preceding
+        :meth:`check_passivity` on the same model seeds the loop's first
+        iteration, so the recommended ``check → enforce`` pipeline does
+        not pay for the initial eigensweep twice.  Like :meth:`hinf`,
+        session-level ``omega_min`` / ``omega_max`` are dropped (the
+        enforcement verdict must certify the whole axis); passing them as
+        per-call overrides is an error.
+        """
+        model = self._require_model()
+        if isinstance(model, SimoRealization):
+            raise TypeError(
+                "enforcement perturbs pole/residue models; this session"
+                " holds a structured realization — start from a"
+                " PoleResidueModel (e.g. via fit())"
+            )
+        config = self._full_axis_config(overrides)
+        # Seed iteration 0 with the prior check only when that check was a
+        # full-axis scattering sweep of the very model being enforced.
+        initial_report = None
+        if (
+            self._report_model is model
+            and isinstance(self._report, PassivityReport)
+            and self._report_config is not None
+            and not self._report_config.is_band_limited
+        ):
+            initial_report = self._report
+        self._enforcement = enforce_passivity(
+            model,
+            margin=margin,
+            max_iterations=max_iterations,
+            d_max_sigma=d_max_sigma,
+            config=config,
+            initial_report=initial_report,
+        )
+        self._model = self._enforcement.model
+        if self._enforcement.reports:
+            self._report = self._enforcement.reports[-1]
+            self._report_model = self._model
+            self._report_config = config
+        # Sweep/norm results of the pre-enforcement model no longer
+        # describe the session model; drop them so to_dict() stays
+        # self-consistent (re-run find_crossings()/hinf() if needed).
+        self._solve = None
+        self._hinf = None
+        return self
+
+    def hinf(self, *, rtol: float = 1e-6, **overrides: Any) -> "Macromodel":
+        """Compute the H-infinity norm by Hamiltonian gamma-bisection.
+
+        The session's ``omega_min`` / ``omega_max`` are a characterization
+        knob and do not apply here (the norm is a supremum over the whole
+        axis; the sweep band is chosen per gamma internally), so this
+        stage drops them rather than failing a pipeline that band-limits
+        its :meth:`check_passivity`.  Passing them as per-call overrides
+        is still an error.
+        """
+        config = self._full_axis_config(overrides)
+        self._hinf = hinf_norm(self._require_model(), rtol=rtol, config=config)
+        return self
+
+    def find_crossings(self, **overrides: Any) -> "Macromodel":
+        """Run the raw eigensolver sweep (no band classification)."""
+        config = self._run_config(overrides)
+        self._solve = solve(self._require_model(), config)
+        return self
+
+    def to_touchstone(
+        self,
+        path: Union[str, Path],
+        *,
+        freqs_hz=None,
+        num_points: int = 400,
+        fmt: str = "RI",
+        z0: Optional[float] = None,
+        parameter: Optional[str] = None,
+        comment: Optional[str] = None,
+    ) -> "Macromodel":
+        """Export the current model's frequency response to a ``.sNp`` file.
+
+        Parameters
+        ----------
+        path:
+            Output file path.
+        freqs_hz:
+            Export grid in Hz; defaults to the input grid when the session
+            started from samples, else to a linear grid of ``num_points``
+            spanning the characterized (or pole-derived) band.
+        parameter:
+            Parameter-type letter for the Touchstone option line; defaults
+            to the input file's type (so a Y-parameter session exports
+            Y-parameters), or ``"S"`` for model-only sessions.
+        """
+        model = self._require_model()
+        if freqs_hz is None:
+            if self._data is not None:
+                freqs_hz = self._data.freqs_hz
+            else:
+                freqs_hz = self._default_grid_hz(model, num_points)
+        freqs_hz = np.asarray(freqs_hz, dtype=float)
+        response = model.frequency_response(2.0 * np.pi * freqs_hz)
+        if z0 is None:
+            z0 = self._data.z0 if self._data is not None else 50.0
+        if parameter is None:
+            parameter = self._data.parameter if self._data is not None else "S"
+        if comment is None:
+            comment = f"macromodel exported by repro (source: {self._source or 'n/a'})"
+        write_touchstone(
+            path, freqs_hz, response, parameter=parameter, fmt=fmt, z0=z0,
+            comment=comment,
+        )
+        self._exports.append(str(path))
+        return self
+
+    def _default_grid_hz(self, model: ModelLike, num_points: int) -> np.ndarray:
+        if self._report is not None and self._report.solve is not None:
+            top_rad = self._report.solve.band[1]
+        elif self._solve is not None:
+            top_rad = self._solve.band[1]
+        else:
+            poles = model.poles if isinstance(model, PoleResidueModel) else model.poles()
+            top_rad = 1.5 * float(np.abs(poles).max()) if np.size(poles) else 1.0
+        top_hz = max(top_rad, 1e-9) / (2.0 * np.pi)
+        return np.linspace(top_hz / num_points, top_hz, num_points)
+
+    # -- accessors ----------------------------------------------------------
+
+    def _require_model(self) -> ModelLike:
+        if self._model is None:
+            raise RuntimeError(
+                "no model available yet; call fit() first (sessions started"
+                " from from_pole_residue() already have one)"
+            )
+        return self._model
+
+    @property
+    def model(self) -> Optional[ModelLike]:
+        """The current macromodel (fitted, then possibly enforced)."""
+        return self._model
+
+    @property
+    def data(self) -> Optional[TouchstoneData]:
+        """The loaded sample data, when the session started from data."""
+        return self._data
+
+    @property
+    def fit_result(self) -> Optional[FitResult]:
+        """Vector Fitting outcome of the last :meth:`fit`."""
+        return self._fit
+
+    @property
+    def passivity_report(self) -> Optional[Union[PassivityReport, ImmittancePassivityReport]]:
+        """Most recent passivity characterization.
+
+        A :class:`PassivityReport` for the scattering test, an
+        :class:`ImmittancePassivityReport` when the session config asked
+        for the immittance representation.
+        """
+        return self._report
+
+    # Short alias used throughout the docs.
+    report = passivity_report
+
+    @property
+    def enforcement_result(self) -> Optional[EnforcementResult]:
+        """Outcome of the last :meth:`enforce`."""
+        return self._enforcement
+
+    @property
+    def hinf_result(self) -> Optional[HinfResult]:
+        """Outcome of the last :meth:`hinf`."""
+        return self._hinf
+
+    @property
+    def solve_result(self) -> Optional[SolveResult]:
+        """Outcome of the last :meth:`find_crossings`."""
+        return self._solve
+
+    @property
+    def is_passive(self) -> Optional[bool]:
+        """Passivity verdict; ``None`` before any characterization."""
+        if self._report is None:
+            return None
+        return self._report.passive
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the session state."""
+        lines = [f"Macromodel session (source: {self._source or 'n/a'})"]
+        lines.append(
+            f"  config: threads={self._config.num_threads}"
+            f" strategy={self._config.strategy!r}"
+            f" representation={self._config.representation!r}"
+        )
+        if self._data is not None:
+            lines.append(
+                f"  data: {self._data.num_ports} ports,"
+                f" {self._data.freqs_hz.size} samples,"
+                f" band {self._data.freqs_hz[0]:.6g}..{self._data.freqs_hz[-1]:.6g} Hz"
+            )
+        if self._fit is not None:
+            lines.append(
+                f"  fit: {self._fit.model.num_poles} poles,"
+                f" rms error {self._fit.rms_error:.3e},"
+                f" max error {self._fit.max_error:.3e}"
+            )
+        if self._model is not None:
+            lines.append(f"  model: {self._model!r}")
+        if self._enforcement is not None:
+            verdict = "passive" if self._enforcement.passive else "NOT passive"
+            lines.append(
+                f"  enforcement: {verdict} after"
+                f" {self._enforcement.iterations} iteration(s),"
+                f" perturbation norm {self._enforcement.perturbation_norm:.3e}"
+            )
+        if self._report is not None:
+            lines.append(f"  passivity: {self._report.summary()}")
+        if self._hinf is not None:
+            lines.append(
+                f"  hinf: {self._hinf.norm:.8f}"
+                f" (bracket [{self._hinf.lower:.8f}, {self._hinf.upper:.8f}])"
+            )
+        if self._solve is not None:
+            lines.append(f"  sweep: {self._solve.summary()}")
+        for path in self._exports:
+            lines.append(f"  exported: {path}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the whole session."""
+        payload: dict = {
+            "source": self._source,
+            "config": self._config.to_dict(),
+            "is_passive": self.is_passive,
+            "exports": list(self._exports),
+        }
+        if self._model is not None and isinstance(self._model, PoleResidueModel):
+            payload["model"] = self._model.to_dict()
+        if self._fit is not None:
+            payload["fit"] = self._fit.to_dict(include_model=False)
+        if self._report is not None:
+            payload["passivity"] = self._report.to_dict()
+        if self._enforcement is not None:
+            payload["enforcement"] = self._enforcement.to_dict(include_model=False)
+        if self._hinf is not None:
+            payload["hinf"] = self._hinf.to_dict()
+        if self._solve is not None:
+            payload["solve"] = self._solve.to_dict(include_shifts=False)
+        return to_jsonable(payload)
+
+    def __repr__(self) -> str:
+        stages = []
+        if self._fit is not None:
+            stages.append("fit")
+        if self._report is not None:
+            stages.append("checked")
+        if self._enforcement is not None:
+            stages.append("enforced")
+        state = "+".join(stages) if stages else "new"
+        return f"Macromodel(source={self._source!r}, state={state})"

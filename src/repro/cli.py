@@ -2,34 +2,62 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro info    device.s4p
-    python -m repro check   device.s4p --poles 40 --threads 8
-    python -m repro enforce device.s4p --poles 40 --out passive.s4p
-    python -m repro hinf    device.s4p --poles 40
+    repro info       device.s4p
+    repro check      device.s4p --poles 40 --threads 8
+    repro enforce    device.s4p --poles 40 --out passive.s4p
+    repro hinf       device.s4p --poles 40
+    repro strategies
 
-``check`` fits a rational macromodel to the file and runs the Hamiltonian
-passivity characterization; ``enforce`` additionally repairs the model and
-writes the resampled passive response; ``hinf`` computes the H-infinity
-norm by Hamiltonian bisection; ``info`` summarizes the file.
+(``python -m repro ...`` works identically.)  ``check`` fits a rational
+macromodel to the file and runs the Hamiltonian passivity
+characterization; ``enforce`` additionally repairs the model and writes
+the resampled passive response; ``hinf`` computes the H-infinity norm by
+Hamiltonian bisection; ``info`` summarizes the file; ``strategies`` lists
+the registered scheduling strategies.
+
+The CLI is a thin shell over the :class:`~repro.api.Macromodel` facade.
+The fitting commands (``check`` / ``enforce`` / ``hinf``) accept
+``--threads`` / ``--strategy`` / ``--representation``, honour the
+``REPRO_*`` environment variables through
+:meth:`~repro.core.config.RunConfig.from_env`, and support ``--json``
+to print the session's machine-readable
+:meth:`~repro.api.Macromodel.to_dict` payload; ``info`` and
+``strategies`` are plain inspection commands with no solver knobs.
+Configuration layers lowest-to-highest: the file's parameter type
+(S → scattering, Y/Z → immittance), then ``REPRO_*``, then typed flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.options import SolverOptions
-from repro.passivity.characterization import characterize_passivity
-from repro.passivity.enforcement import enforce_passivity
-from repro.passivity.hinf import hinf_norm
-from repro.touchstone.reader import read_touchstone
-from repro.touchstone.writer import write_touchstone
-from repro.vectfit.vector_fitting import vector_fit
+from repro.api import Macromodel, available_strategies
+from repro.core.config import RunConfig
+from repro.core.registry import AUTO_DESCRIPTION, get_strategy
+from repro.hamiltonian.operator import REPRESENTATIONS
 
 __all__ = ["main", "build_parser"]
+
+
+class _TrackedStore(argparse.Action):
+    """Store action that records which flags the user actually passed.
+
+    Parser defaults keep their documented values (so ``args.threads`` is
+    1 when omitted), while ``args._explicit`` lets the config layer give
+    explicitly-typed flags precedence over ``REPRO_*`` environment
+    variables — including ``--threads 1`` / ``--strategy auto``.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        if not hasattr(namespace, "_explicit"):
+            namespace._explicit = set()
+        namespace._explicit.add(self.dest)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,7 +74,35 @@ def build_parser() -> argparse.ArgumentParser:
     def add_fit_args(p):
         p.add_argument("path", help="input .sNp file")
         p.add_argument("--poles", type=int, default=30, help="model order")
-        p.add_argument("--threads", type=int, default=1, help="solver threads")
+        p.add_argument(
+            "--threads",
+            type=int,
+            default=1,
+            action=_TrackedStore,
+            help="solver threads",
+        )
+        p.add_argument(
+            "--strategy",
+            default="auto",
+            choices=available_strategies(),
+            action=_TrackedStore,
+            help="scheduling strategy (default: auto)",
+        )
+        p.add_argument(
+            "--representation",
+            default="scattering",
+            choices=REPRESENTATIONS,
+            action=_TrackedStore,
+            help=(
+                "transfer representation (default: from the file's"
+                " parameter type — S: scattering, Y/Z: immittance)"
+            ),
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the machine-readable session payload",
+        )
 
     check = sub.add_parser("check", help="fit a macromodel and test passivity")
     add_fit_args(check)
@@ -64,21 +120,75 @@ def build_parser() -> argparse.ArgumentParser:
     hinf = sub.add_parser("hinf", help="H-infinity norm via Hamiltonian bisection")
     add_fit_args(hinf)
     hinf.add_argument("--rtol", type=float, default=1e-6, help="bracket tolerance")
+
+    sub.add_parser("strategies", help="list registered scheduling strategies")
     return parser
 
 
-def _fit_model(args) -> tuple:
-    data = read_touchstone(args.path)
-    fit = vector_fit(data.freqs_rad, data.matrices, num_poles=args.poles)
-    print(
+def _session_config(args, base: Optional[RunConfig] = None) -> RunConfig:
+    """Layer the config: ``base`` < ``REPRO_*`` environment < typed flags.
+
+    Flags the user did not type do not override the environment, so
+    ``REPRO_NUM_THREADS=8 repro check dev.s2p`` uses 8 threads while
+    ``repro check dev.s2p --threads 1`` always forces a serial run.
+    """
+    config = RunConfig.from_env(base=base)
+    explicit = getattr(args, "_explicit", set())
+    overrides = {}
+    if "threads" in explicit:
+        overrides["num_threads"] = args.threads
+    if "strategy" in explicit:
+        overrides["strategy"] = args.strategy
+    if "representation" in explicit:
+        overrides["representation"] = args.representation
+    return config.merged(**overrides) if overrides else config
+
+
+def _fit_session(args, *, scattering_only: bool = False) -> Macromodel:
+    # Opening the file first lets its parameter type (S vs Y/Z) choose
+    # the default representation; env vars and flags layer on top.
+    session = Macromodel.from_touchstone(args.path)
+    session.configure(_session_config(args, base=session.config))
+    if scattering_only and session.config.representation != "scattering":
+        # Fail before paying for the fit.
+        raise ValueError(
+            f"the {args.command} command works on the scattering-domain"
+            f" sigma but this session resolved to"
+            f" {session.config.representation!r} (the file holds"
+            f" {session.data.parameter}-parameters); pass"
+            " --representation scattering to override"
+        )
+    # Also resolve the strategy/thread combination before the fit, so
+    # e.g. --strategy bisection --threads 4 fails in milliseconds.
+    session.config.resolved_strategy()
+    session.fit(num_poles=args.poles)
+    fit = session.fit_result
+    _say(
+        args,
         f"fit: {args.poles} poles, rms error {fit.rms_error:.3e},"
-        f" max error {fit.max_error:.3e}"
+        f" max error {fit.max_error:.3e}",
     )
-    return data, fit
+    return session
+
+
+def _say(args, message: str) -> None:
+    """Human-readable progress line.
+
+    Under ``--json`` these go to stderr so stdout stays a single
+    parseable JSON document; otherwise they go to stdout as usual.
+    """
+    stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(message, file=stream)
+
+
+def _maybe_json(args, session: Macromodel) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(session.to_dict(), indent=2, sort_keys=True))
 
 
 def _cmd_info(args) -> int:
-    data = read_touchstone(args.path)
+    session = Macromodel.from_touchstone(args.path)
+    data = session.data
     sv = np.linalg.svd(data.matrices, compute_uv=False)
     print(f"file:       {args.path}")
     print(f"ports:      {data.num_ports}")
@@ -92,64 +202,92 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    data, fit = _fit_model(args)
-    report = characterize_passivity(fit.model, num_threads=args.threads)
-    print(report.summary())
+    session = _fit_session(args).check_passivity()
+    report = session.passivity_report
+    _say(args, report.summary())
     solve = report.solve
-    print(
+    _say(
+        args,
         f"eigensolver: {solve.shifts_processed} shifts,"
         f" {solve.work['operator_applies']} operator applies,"
-        f" {solve.elapsed:.3f}s"
+        f" {solve.elapsed:.3f}s",
     )
     if getattr(args, "plot", False):
-        from repro.reporting.ascii_plot import sigma_plot
+        # The ASCII plot draws sigma against the unit threshold — a
+        # scattering-domain picture that would contradict an immittance
+        # verdict, so it is skipped for immittance sessions.
+        if session.config.representation != "scattering":
+            _say(args, "(--plot shows the scattering sigma sweep; skipped"
+                       " for the immittance test)")
+        else:
+            from repro.reporting.ascii_plot import sigma_plot
 
-        top = max(solve.band[1], float(data.freqs_rad[-1]))
-        grid = np.linspace(float(data.freqs_rad[0]), top, 300)
-        print()
-        print(
-            sigma_plot(
-                fit.model,
-                grid,
-                mark_bands=[(b.lo, b.hi) for b in report.bands],
+            top = max(solve.band[1], float(session.data.freqs_rad[-1]))
+            grid = np.linspace(float(session.data.freqs_rad[0]), top, 300)
+            _say(args, "")
+            _say(
+                args,
+                sigma_plot(
+                    session.model,
+                    grid,
+                    mark_bands=[(b.lo, b.hi) for b in report.bands],
+                ),
             )
-        )
+    _maybe_json(args, session)
     return 0 if report.passive else 2
 
 
 def _cmd_enforce(args) -> int:
-    data, fit = _fit_model(args)
-    result = enforce_passivity(
-        fit.model, num_threads=args.threads, margin=args.margin
-    )
+    session = _fit_session(args, scattering_only=True).enforce(margin=args.margin)
+    result = session.enforcement_result
     if not result.passive:
-        print("enforcement FAILED to reach passivity within the iteration cap")
+        _say(args, "enforcement FAILED to reach passivity within the iteration cap")
+        _maybe_json(args, session)
         return 3
-    print(
+    _say(
+        args,
         f"enforced in {result.iterations} iteration(s),"
-        f" perturbation norm {result.perturbation_norm:.3e}"
+        f" perturbation norm {result.perturbation_norm:.3e}",
     )
-    write_touchstone(
+    session.to_touchstone(
         args.out,
-        data.freqs_hz,
-        result.model.frequency_response(data.freqs_rad),
-        fmt="RI",
-        z0=data.z0,
         comment=f"passive macromodel exported by repro (from {args.path})",
     )
-    print(f"wrote {args.out}")
+    _say(args, f"wrote {args.out}")
+    _maybe_json(args, session)
     return 0
 
 
 def _cmd_hinf(args) -> int:
-    _, fit = _fit_model(args)
-    result = hinf_norm(fit.model, rtol=args.rtol, num_threads=args.threads)
-    print(
+    session = _fit_session(args, scattering_only=True).hinf(rtol=args.rtol)
+    result = session.hinf_result
+    _say(
+        args,
         f"||H||_inf = {result.norm:.8f}"
         f"   (bracket [{result.lower:.8f}, {result.upper:.8f}],"
-        f" {result.bisections} Hamiltonian sweeps)"
+        f" {result.bisections} Hamiltonian sweeps)",
     )
-    print(f"attained near w = {result.peak_freq:.6g} rad/s")
+    _say(args, f"attained near w = {result.peak_freq:.6g} rad/s")
+    _maybe_json(args, session)
+    return 0
+
+
+def _cmd_strategies(args) -> int:
+    for name in available_strategies(include_auto=False):
+        spec = get_strategy(name)
+        if spec.max_threads == 1:
+            threads = "1 thread"
+        elif spec.min_threads > 1:
+            threads = f">= {spec.min_threads} threads"
+            if spec.max_threads is not None:
+                threads += f", <= {spec.max_threads}"
+        elif spec.max_threads is not None:
+            threads = f"<= {spec.max_threads} threads"
+        else:
+            threads = "any thread count"
+        print(f"{spec.name:<12} [{threads}] {spec.description}")
+    print(f"{'auto':<12} [resolves] {AUTO_DESCRIPTION}")
+    print(f"representations: {', '.join(REPRESENTATIONS)}")
     return 0
 
 
@@ -158,6 +296,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "enforce": _cmd_enforce,
     "hinf": _cmd_hinf,
+    "strategies": _cmd_strategies,
 }
 
 

@@ -13,21 +13,38 @@ Layering (bottom up):
   covered-shift elimination, startup ordering, termination);
 * :mod:`repro.core.serial` / :mod:`repro.core.parallel` -- single-thread
   and multi-thread drivers over the same scheduler;
-* :mod:`repro.core.solver` -- the public API
-  :func:`find_imaginary_eigenvalues`.
+* :mod:`repro.core.registry` -- the pluggable strategy registry the
+  drivers register into;
+* :mod:`repro.core.config` -- the single :class:`RunConfig` carrying all
+  cross-cutting knobs;
+* :mod:`repro.core.solver` -- the public API :func:`solve` /
+  :func:`find_imaginary_eigenvalues`, dispatching through the registry.
 """
 
+from repro.core.config import RunConfig
 from repro.core.options import SolverOptions
+from repro.core.registry import (
+    StrategySpec,
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+)
 from repro.core.results import ShiftRecord, SingleShiftResult, SolveResult
 from repro.core.single_shift import SingleShiftSolver, estimate_spectral_bound
-from repro.core.solver import find_imaginary_eigenvalues
+from repro.core.solver import find_imaginary_eigenvalues, solve
 
 __all__ = [
+    "RunConfig",
     "SolverOptions",
+    "StrategySpec",
+    "available_strategies",
+    "register_strategy",
+    "resolve_strategy",
     "SingleShiftResult",
     "ShiftRecord",
     "SolveResult",
     "SingleShiftSolver",
     "estimate_spectral_bound",
     "find_imaginary_eigenvalues",
+    "solve",
 ]

@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.utils.serialization import to_jsonable
+
 __all__ = ["SingleShiftResult", "ShiftRecord", "SolveResult"]
 
 
@@ -52,6 +54,17 @@ class SingleShiftResult:
         """True when ``point`` lies inside the certified disk."""
         return abs(point - self.shift) <= self.radius + slack
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of this shift result."""
+        return {
+            "shift": to_jsonable(complex(self.shift)),
+            "radius": float(self.radius),
+            "eigenvalues": to_jsonable(self.eigenvalues),
+            "restarts": int(self.restarts),
+            "converged": bool(self.converged),
+            "applies": int(self.applies),
+        }
+
 
 @dataclass(frozen=True)
 class ShiftRecord:
@@ -79,6 +92,17 @@ class ShiftRecord:
     result: SingleShiftResult
     worker: int
     elapsed: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of this scheduler record."""
+        return {
+            "index": int(self.index),
+            "center": float(self.center),
+            "interval": [float(self.interval[0]), float(self.interval[1])],
+            "result": self.result.to_dict(),
+            "worker": int(self.worker),
+            "elapsed": float(self.elapsed),
+        }
 
 
 @dataclass(frozen=True)
@@ -164,6 +188,31 @@ class SolveResult:
         if cursor < hi - slack:
             gaps.append((cursor, hi))
         return gaps
+
+    def to_dict(self, *, include_shifts: bool = True) -> dict:
+        """JSON-serializable dictionary of the sweep outcome.
+
+        Parameters
+        ----------
+        include_shifts:
+            Include the per-shift provenance records (may be large);
+            the aggregate fields are always present.
+        """
+        payload = {
+            "omegas": to_jsonable(self.omegas),
+            "eigenvalues": to_jsonable(self.eigenvalues),
+            "band": [float(self.band[0]), float(self.band[1])],
+            "work": {str(k): int(v) for k, v in self.work.items()},
+            "elapsed": float(self.elapsed),
+            "num_threads": int(self.num_threads),
+            "strategy": self.strategy,
+            "num_crossings": self.num_crossings,
+            "is_passive_candidate": self.is_passive_candidate,
+            "shifts_processed": self.shifts_processed,
+        }
+        if include_shifts:
+            payload["shifts"] = [record.to_dict() for record in self.shifts]
+        return payload
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -30,8 +30,12 @@ from repro.core.results import ShiftRecord, SolveResult
 from repro.core.scheduler import BandScheduler, Segment
 from repro.core.single_shift import SingleShiftSolver
 from repro.utils.rng import RandomStream
+from repro.utils.validation import ensure_choice
 
 __all__ = ["solve_serial"]
+
+#: Low-level scheduling loops this driver implements.
+SERIAL_STRATEGIES = ("bisection", "queue")
 
 
 def solve_serial(
@@ -65,8 +69,7 @@ def solve_serial(
     SolveResult
     """
     options = options if options is not None else SolverOptions()
-    if strategy not in ("bisection", "queue"):
-        raise ValueError(f"unknown serial strategy {strategy!r}")
+    ensure_choice(strategy, "serial strategy", SERIAL_STRATEGIES)
     simo, op, work = prepare_operator(model, representation)
     root_stream = RandomStream(options.seed)
     omega_min, omega_max = resolve_band(

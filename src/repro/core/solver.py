@@ -1,23 +1,61 @@
 """Public entry point of the Hamiltonian eigensolver.
 
-:func:`find_imaginary_eigenvalues` dispatches to the serial bisection
-driver, the single-worker queue driver, or the multi-thread dynamic
-scheduler, and returns a :class:`~repro.core.results.SolveResult` whose
-``omegas`` attribute holds the complete set of non-negative crossing
-frequencies (the paper's ``Omega`` on the upper half axis).
+:func:`solve` is the canonical engine: it takes a
+:class:`~repro.core.config.RunConfig`, resolves the scheduling strategy
+through the pluggable registry (:mod:`repro.core.registry`), and returns
+a :class:`~repro.core.results.SolveResult` whose ``omegas`` attribute
+holds the complete set of non-negative crossing frequencies (the paper's
+``Omega`` on the upper half axis).
+
+:func:`find_imaginary_eigenvalues` is the historical keyword-argument
+spelling, kept as a thin adapter over :func:`solve`; new code should go
+through the :class:`~repro.api.Macromodel` facade or call :func:`solve`
+with an explicit config.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.config import RunConfig
 from repro.core.drivers import ModelInput
 from repro.core.options import SolverOptions
-from repro.core.parallel import solve_parallel
+from repro.core.registry import resolve_strategy
 from repro.core.results import SolveResult
-from repro.core.serial import solve_serial
 
-__all__ = ["find_imaginary_eigenvalues"]
+__all__ = ["solve", "find_imaginary_eigenvalues"]
+
+
+def solve(model: ModelInput, config: Optional[RunConfig] = None, **overrides) -> SolveResult:
+    """Compute all purely imaginary Hamiltonian eigenvalues under ``config``.
+
+    Parameters
+    ----------
+    model:
+        :class:`~repro.macromodel.rational.PoleResidueModel` or
+        :class:`~repro.macromodel.simo.SimoRealization`.
+    config:
+        The run configuration; defaults apply when omitted.
+    **overrides:
+        Per-call :meth:`RunConfig.merged` overrides, e.g.
+        ``solve(model, num_threads=8)``.
+
+    Returns
+    -------
+    SolveResult
+    """
+    config = config if config is not None else RunConfig()
+    if overrides:
+        config = config.merged(**overrides)
+    spec = resolve_strategy(config.strategy, config.num_threads)
+    return spec.driver(
+        model,
+        num_threads=config.num_threads,
+        representation=config.representation,
+        omega_min=config.omega_min,
+        omega_max=config.omega_max,
+        options=config.options,
+    )
 
 
 def find_imaginary_eigenvalues(
@@ -38,6 +76,9 @@ def find_imaginary_eigenvalues(
     singular (immittance).  An empty result certifies passivity under the
     strict asymptotic condition of eq. (4).
 
+    Keyword-argument adapter over :func:`solve`; the arguments are exactly
+    the fields of :class:`~repro.core.config.RunConfig`.
+
     Parameters
     ----------
     model:
@@ -48,11 +89,10 @@ def find_imaginary_eigenvalues(
     representation:
         ``"scattering"`` (default) or ``"immittance"``.
     strategy:
-        * ``"auto"`` — ``"bisection"`` when ``num_threads == 1``, else the
-          dynamic ``"queue"`` scheduler;
-        * ``"bisection"`` — classical sequential bisection (serial only);
-        * ``"queue"`` — dynamic scheduler (any thread count);
-        * ``"static"`` — static pre-distributed grid (ablation baseline).
+        Any name registered in :mod:`repro.core.registry` (built-ins:
+        ``"bisection"``, ``"queue"``, ``"static"``) or ``"auto"`` —
+        ``"bisection"`` when ``num_threads == 1``, else the dynamic
+        ``"queue"`` scheduler.
     omega_min, omega_max:
         Search band on the frequency axis; ``omega_max=None`` estimates
         the upper edge from the largest Hamiltonian eigenvalue magnitude
@@ -75,54 +115,12 @@ def find_imaginary_eigenvalues(
     >>> result.omegas.shape[0] == result.num_crossings
     True
     """
-    options = options if options is not None else SolverOptions()
-    if strategy == "auto":
-        strategy = "bisection" if num_threads == 1 else "queue"
-
-    if strategy == "bisection":
-        if num_threads != 1:
-            raise ValueError(
-                "the classical bisection strategy is inherently sequential;"
-                " use strategy='queue' for multi-threaded sweeps"
-            )
-        return solve_serial(
-            model,
-            representation=representation,
-            strategy="bisection",
-            omega_min=omega_min,
-            omega_max=omega_max,
-            options=options,
-        )
-    if strategy == "queue":
-        if num_threads == 1:
-            return solve_serial(
-                model,
-                representation=representation,
-                strategy="queue",
-                omega_min=omega_min,
-                omega_max=omega_max,
-                options=options,
-            )
-        return solve_parallel(
-            model,
-            num_threads=num_threads,
-            representation=representation,
-            omega_min=omega_min,
-            omega_max=omega_max,
-            options=options,
-            dynamic=True,
-        )
-    if strategy == "static":
-        return solve_parallel(
-            model,
-            num_threads=num_threads,
-            representation=representation,
-            omega_min=omega_min,
-            omega_max=omega_max,
-            options=options,
-            dynamic=False,
-        )
-    raise ValueError(
-        f"unknown strategy {strategy!r}; expected 'auto', 'bisection',"
-        " 'queue', or 'static'"
+    config = RunConfig(
+        num_threads=num_threads,
+        representation=representation,
+        strategy=strategy,
+        omega_min=omega_min,
+        omega_max=omega_max,
+        options=options if options is not None else SolverOptions(),
     )
+    return solve(model, config)

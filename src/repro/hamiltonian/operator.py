@@ -28,10 +28,13 @@ from repro.hamiltonian.dense import (
 )
 from repro.macromodel.simo import SimoRealization
 from repro.utils.timing import WorkCounter
+from repro.utils.validation import ensure_choice
 
-__all__ = ["HamiltonianOperator"]
+__all__ = ["HamiltonianOperator", "REPRESENTATIONS"]
 
-_REPRESENTATIONS = ("scattering", "immittance")
+#: Canonical transfer-representation names; the single source of truth
+#: consumed by :class:`~repro.core.config.RunConfig` validation and the CLI.
+REPRESENTATIONS = ("scattering", "immittance")
 
 
 class HamiltonianOperator:
@@ -62,11 +65,7 @@ class HamiltonianOperator:
     ) -> None:
         if not isinstance(simo, SimoRealization):
             raise TypeError(f"expected SimoRealization, got {type(simo).__name__}")
-        if representation not in _REPRESENTATIONS:
-            raise ValueError(
-                f"unknown representation {representation!r}; expected one of"
-                f" {_REPRESENTATIONS}"
-            )
+        ensure_choice(representation, "representation", REPRESENTATIONS)
         self.simo = simo
         self.representation = representation
         self.work = work

@@ -22,6 +22,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.macromodel.poles import is_stable, partition_poles
+from repro.utils.serialization import to_jsonable
 from repro.utils.validation import ensure_matrix, ensure_sorted_frequencies, ensure_vector
 
 __all__ = ["PoleResidueModel"]
@@ -191,6 +192,17 @@ class PoleResidueModel:
     def with_d(self, d_new: np.ndarray) -> "PoleResidueModel":
         """Return a new model with the constant term replaced."""
         return PoleResidueModel(self.poles.copy(), self.residues.copy(), d_new)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary (poles, residues, direct term)."""
+        return {
+            "num_ports": self.num_ports,
+            "num_poles": self.num_poles,
+            "order": self.order,
+            "poles": to_jsonable(self.poles),
+            "residues": to_jsonable(self.residues),
+            "d": to_jsonable(self.d),
+        }
 
     def __repr__(self) -> str:
         return (

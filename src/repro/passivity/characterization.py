@@ -15,13 +15,15 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.config import RunConfig, require_scattering
 from repro.core.options import SolverOptions
 from repro.core.results import SolveResult
-from repro.core.solver import find_imaginary_eigenvalues
+from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
 from repro.passivity.metrics import refine_peak
+from repro.utils.serialization import to_jsonable
 
 __all__ = [
     "ViolationBand",
@@ -63,6 +65,17 @@ class ViolationBand:
         """How far the peak exceeds the threshold (``peak_sigma - 1``)."""
         return self.peak_sigma - 1.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of this violation band."""
+        return {
+            "lo": float(self.lo),
+            "hi": float(self.hi),
+            "peak_freq": float(self.peak_freq),
+            "peak_sigma": float(self.peak_sigma),
+            "width": float(self.width),
+            "severity": float(self.severity),
+        }
+
 
 @dataclass(frozen=True)
 class PassivityReport:
@@ -71,8 +84,12 @@ class PassivityReport:
     Attributes
     ----------
     passive:
-        True when no violation band exists (Omega empty, or crossings of
-        even-order touching only — resolved by segment sampling).
+        True when no violation band exists *within the swept band*
+        (Omega empty, or crossings of even-order touching only —
+        resolved by segment sampling).  For a full-axis sweep (the
+        default) this is the paper's passivity certificate; when the
+        sweep was band-limited (``band_limited``), it only speaks for
+        the swept interval.
     crossings:
         Sorted non-negative crossing frequencies (the set Omega).
     bands:
@@ -82,6 +99,10 @@ class PassivityReport:
     solve:
         The underlying eigensolver result (work counters, shifts, ...),
         or None when crossings were supplied externally.
+    band_limited:
+        True when the characterization swept a user-restricted band
+        (``omega_min > 0`` or an explicit ``omega_max``), so ``passive``
+        is an in-band statement, not a whole-axis certificate.
     """
 
     passive: bool
@@ -89,6 +110,7 @@ class PassivityReport:
     bands: Tuple[ViolationBand, ...]
     asymptotic_margin: float
     solve: Optional[SolveResult]
+    band_limited: bool = False
 
     @property
     def worst_violation(self) -> float:
@@ -97,17 +119,48 @@ class PassivityReport:
             return 0.0
         return max(band.severity for band in self.bands)
 
+    def to_dict(self, *, include_solve: bool = False) -> dict:
+        """JSON-serializable dictionary of the characterization outcome.
+
+        Parameters
+        ----------
+        include_solve:
+            Also embed the full eigensolver provenance (``solve``); the
+            aggregate work counters are always present when available.
+        """
+        payload = {
+            "passive": bool(self.passive),
+            "band_limited": bool(self.band_limited),
+            "crossings": to_jsonable(self.crossings),
+            "bands": [band.to_dict() for band in self.bands],
+            "asymptotic_margin": float(self.asymptotic_margin),
+            "worst_violation": float(self.worst_violation),
+        }
+        if self.solve is not None:
+            payload["work"] = {str(k): int(v) for k, v in self.solve.work.items()}
+            if include_solve:
+                payload["solve"] = self.solve.to_dict()
+        return payload
+
     def summary(self) -> str:
         """One-line human-readable summary."""
+        scope = ""
+        if self.band_limited and self.solve is not None:
+            scope = (
+                f" in band [{self.solve.band[0]:.4g},"
+                f" {self.solve.band[1]:.4g}] only"
+            )
+        elif self.band_limited:
+            scope = " in the swept band only"
         if self.passive:
             return (
-                f"PASSIVE (no unit-threshold crossings;"
+                f"PASSIVE{scope} (no unit-threshold crossings;"
                 f" asymptotic margin {self.asymptotic_margin:.4f})"
             )
         spans = ", ".join(
             f"[{b.lo:.4g}, {b.hi:.4g}] peak {b.peak_sigma:.4f}" for b in self.bands
         )
-        return f"NOT passive: {len(self.bands)} violation band(s): {spans}"
+        return f"NOT passive{scope}: {len(self.bands)} violation band(s): {spans}"
 
 
 def _as_simo(model: ModelLike) -> SimoRealization:
@@ -124,6 +177,7 @@ def violation_bands_from_crossings(
     model: ModelLike,
     crossings: Sequence[float],
     *,
+    omega_min: float = 0.0,
     omega_max: Optional[float] = None,
     threshold: float = 1.0,
 ) -> List[ViolationBand]:
@@ -135,6 +189,9 @@ def violation_bands_from_crossings(
         The macromodel (used for singular-value sampling).
     crossings:
         Sorted non-negative crossing frequencies.
+    omega_min:
+        Lower edge of the swept band; segments below it were not swept
+        and are never classified (0.0 for the standard full sweep).
     omega_max:
         Upper edge for the last finite segment; defaults to
         ``1.5 * max(crossings)`` (the asymptotic tail is passive by eq. 4
@@ -152,7 +209,8 @@ def violation_bands_from_crossings(
     crossings = np.sort(np.asarray(list(crossings), dtype=float))
     if crossings.size == 0:
         return []
-    edges = [0.0] if crossings[0] > 0.0 else []
+    omega_min = float(omega_min)
+    edges = [omega_min] if crossings[0] > omega_min else []
     edges.extend(crossings.tolist())
     top = omega_max if omega_max is not None else 1.5 * float(crossings[-1])
     if top > edges[-1]:
@@ -191,6 +249,7 @@ def characterize_passivity(
     strategy: str = "auto",
     options: Optional[SolverOptions] = None,
     omega_max: Optional[float] = None,
+    config: Optional[RunConfig] = None,
 ) -> PassivityReport:
     """Run the complete Hamiltonian-based passivity characterization.
 
@@ -200,7 +259,15 @@ def characterize_passivity(
         Pole/residue model or structured realization (scattering
         representation).
     num_threads, strategy, options, omega_max:
-        Forwarded to :func:`~repro.core.solver.find_imaginary_eigenvalues`.
+        Forwarded to the eigensolver (ignored when ``config`` is given).
+    config:
+        A full :class:`~repro.core.config.RunConfig`; when provided it
+        supersedes the individual keyword knobs.  This function is the
+        scattering-domain (``sigma = 1``) test: a config requesting the
+        immittance representation is rejected — use
+        :func:`~repro.passivity.immittance.characterize_immittance_passivity`
+        (the :class:`~repro.api.Macromodel` facade dispatches on the
+        representation automatically).
 
     Returns
     -------
@@ -213,22 +280,33 @@ def characterize_passivity(
     >>> characterize_passivity(model).passive
     True
     """
+    if config is None:
+        config = RunConfig.from_legacy(
+            num_threads=num_threads,
+            strategy=strategy,
+            omega_max=omega_max,
+            options=options,
+        )
+    else:
+        require_scattering(
+            config,
+            "characterize_passivity",
+            hint="use characterize_immittance_passivity for immittance models",
+        )
     simo = _as_simo(model)
-    solve = find_imaginary_eigenvalues(
-        simo,
-        num_threads=num_threads,
-        strategy=strategy,
-        options=options,
-        omega_max=omega_max,
-    )
+    result = solve(simo, config)
     margin = 1.0 - float(np.linalg.norm(simo.d, 2)) if simo.d.size else 1.0
     bands = violation_bands_from_crossings(
-        simo, solve.omegas, omega_max=solve.band[1]
+        simo,
+        result.omegas,
+        omega_min=result.band[0],
+        omega_max=result.band[1],
     )
     return PassivityReport(
         passive=len(bands) == 0,
-        crossings=solve.omegas,
+        crossings=result.omegas,
         bands=tuple(bands),
         asymptotic_margin=margin,
-        solve=solve,
+        solve=result,
+        band_limited=config.is_band_limited,
     )

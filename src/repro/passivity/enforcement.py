@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.config import RunConfig, require_full_axis, require_scattering
 from repro.core.options import SolverOptions
 from repro.macromodel.poles import partition_poles
 from repro.macromodel.rational import PoleResidueModel
@@ -94,6 +95,26 @@ class EnforcementResult:
     history: Tuple[float, ...]
     perturbation_norm: float
     reports: Tuple[PassivityReport, ...]
+
+    def to_dict(self, *, include_model: bool = True) -> dict:
+        """JSON-serializable dictionary of the enforcement outcome.
+
+        Parameters
+        ----------
+        include_model:
+            Embed the final model's pole/residue data (omit for compact
+            telemetry payloads).
+        """
+        payload = {
+            "passive": bool(self.passive),
+            "iterations": int(self.iterations),
+            "history": [float(h) for h in self.history],
+            "perturbation_norm": float(self.perturbation_norm),
+            "reports": [report.to_dict() for report in self.reports],
+        }
+        if include_model:
+            payload["model"] = self.model.to_dict()
+        return payload
 
 
 def _peak_constraints(
@@ -186,6 +207,8 @@ def enforce_passivity(
     num_threads: int = 1,
     options: Optional[SolverOptions] = None,
     d_max_sigma: float = 0.999,
+    config: Optional[RunConfig] = None,
+    initial_report: Optional[PassivityReport] = None,
 ) -> EnforcementResult:
     """Perturb residues until the Hamiltonian test certifies passivity.
 
@@ -204,6 +227,19 @@ def enforce_passivity(
         Eigensolver options.
     d_max_sigma:
         Cap applied to ``sigma(D)`` up front (eq. 4).
+    config:
+        A full :class:`~repro.core.config.RunConfig` for the embedded
+        characterizations; supersedes ``num_threads`` / ``options``.
+        Band-limited configs are rejected: the final verdict certifies
+        the whole axis, so an in-band-only check would be unsound.
+    initial_report:
+        A :class:`PassivityReport` of ``model`` computed beforehand
+        (e.g. by the facade's ``check_passivity``); reused for iteration
+        0 instead of re-running the eigensweep.  Used only when the
+        direct-term clipping left the model unchanged *and* the report
+        shows violations — a passive seed is ignored so that every
+        ``passive=True`` verdict this function returns is backed by its
+        own full-axis characterization.
 
     Returns
     -------
@@ -221,18 +257,38 @@ def enforce_passivity(
     """
     ensure_in_range(margin, "margin", 0.0, 0.5)
     ensure_positive_int(max_iterations, "max_iterations")
+    if config is None:
+        config = RunConfig.from_legacy(num_threads=num_threads, options=options)
+    else:
+        require_scattering(config, "passivity enforcement")
+        require_full_axis(config, "passivity enforcement (a passivity certificate)")
 
     d_clipped = clip_direct_term(model.d, max_sigma=d_max_sigma)
     current = model.with_d(d_clipped)
+    # The caller's pre-computed report stands in for iteration 0 only when
+    # the direct-term clipping did not alter the model it was computed on,
+    # and only when it reports violations: a passive seed would end the
+    # loop without any sweep of our own, so the final passive=True verdict
+    # would rest entirely on a report we cannot validate (it might have
+    # been band-limited, or computed on a different model).  A non-passive
+    # seed merely chooses the first perturbation targets; every passive
+    # verdict below comes from a fresh full-axis characterization.
+    if initial_report is not None and (
+        initial_report.passive
+        or initial_report.band_limited
+        or not np.array_equal(d_clipped, model.d)
+    ):
+        initial_report = None
     total_norm = 0.0
     history: List[float] = []
     reports: List[PassivityReport] = []
 
     iterations = 0
     for iterations in range(max_iterations + 1):
-        report = characterize_passivity(
-            current, num_threads=num_threads, options=options
-        )
+        if iterations == 0 and initial_report is not None:
+            report = initial_report
+        else:
+            report = characterize_passivity(current, config=config)
         reports.append(report)
         history.append(report.worst_violation)
         if report.passive:

@@ -18,8 +18,9 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.config import RunConfig, require_full_axis, require_scattering
 from repro.core.options import SolverOptions
-from repro.core.solver import find_imaginary_eigenvalues
+from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoColumn, SimoRealization
@@ -51,6 +52,17 @@ class HinfResult:
     upper: float
     peak_freq: float
     bisections: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of the bisection outcome."""
+        peak = float(self.peak_freq)
+        return {
+            "norm": float(self.norm),
+            "lower": float(self.lower),
+            "upper": float(self.upper),
+            "peak_freq": peak if np.isfinite(peak) else None,
+            "bisections": int(self.bisections),
+        }
 
 
 def _scaled_simo(model: Union[PoleResidueModel, SimoRealization], gamma: float) -> SimoRealization:
@@ -84,6 +96,7 @@ def hinf_norm(
     options: Optional[SolverOptions] = None,
     max_bisections: int = 60,
     grid_points: int = 128,
+    config: Optional[RunConfig] = None,
 ) -> HinfResult:
     """Compute ``||H||_inf`` by gamma-bisection with the Hamiltonian oracle.
 
@@ -101,6 +114,12 @@ def hinf_norm(
         Safety cap on oracle calls.
     grid_points:
         Size of the coarse grid used for the initial lower bound.
+    config:
+        A full :class:`~repro.core.config.RunConfig` for the embedded
+        sweeps; supersedes ``num_threads`` / ``options``.  The
+        ``strategy`` is honored (``"auto"`` resolves per thread count as
+        usual); explicit ``omega_min`` / ``omega_max`` are rejected —
+        the norm is a supremum over the whole axis.
 
     Returns
     -------
@@ -115,6 +134,11 @@ def hinf_norm(
     crossings exist at level ``gamma`` iff ``||H||_inf > gamma``.
     """
     ensure_positive_float(rtol, "rtol")
+    if config is None:
+        config = RunConfig.from_legacy(num_threads=num_threads, options=options)
+    else:
+        require_scattering(config, "the H-infinity norm")
+        require_full_axis(config, "the H-infinity norm (a supremum)")
     simo = model if isinstance(model, SimoRealization) else pole_residue_to_simo(model)
     if not simo.is_stable():
         raise ValueError("H-infinity norm via Hamiltonian test requires a stable model")
@@ -136,12 +160,7 @@ def hinf_norm(
 
     def has_crossings(gamma: float):
         scaled = _scaled_simo(simo, gamma)
-        result = find_imaginary_eigenvalues(
-            scaled,
-            num_threads=num_threads,
-            strategy="queue" if num_threads > 1 else "bisection",
-            options=options,
-        )
+        result = solve(scaled, config)
         return result.num_crossings > 0, result
 
     bisections = 0

@@ -17,12 +17,14 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.options import SolverOptions
 from repro.core.results import SolveResult
-from repro.core.solver import find_imaginary_eigenvalues
+from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
+from repro.utils.serialization import to_jsonable
 
 __all__ = [
     "ImmittanceViolationBand",
@@ -64,6 +66,16 @@ class ImmittanceViolationBand:
         """Violation depth: ``-min_eig`` (positive for true violations)."""
         return -self.min_eig
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of this violation band."""
+        return {
+            "lo": float(self.lo),
+            "hi": float(self.hi),
+            "trough_freq": float(self.trough_freq),
+            "min_eig": float(self.min_eig),
+            "severity": float(self.severity),
+        }
+
 
 @dataclass(frozen=True)
 class ImmittancePassivityReport:
@@ -72,19 +84,25 @@ class ImmittancePassivityReport:
     Attributes
     ----------
     passive:
-        True when ``H + H^H`` stays positive semidefinite on the band.
+        True when ``H + H^H`` stays positive semidefinite *on the swept
+        band* — a whole-axis certificate only for the default full sweep
+        (see ``band_limited``).
     crossings:
         Zero-crossing frequencies (the immittance Omega set).
     bands:
         Violation bands (empty when passive).
     solve:
         The underlying eigensolver result.
+    band_limited:
+        True when the sweep was user-restricted (``omega_min > 0`` or an
+        explicit ``omega_max``), so ``passive`` is an in-band statement.
     """
 
     passive: bool
     crossings: np.ndarray
     bands: Tuple[ImmittanceViolationBand, ...]
     solve: Optional[SolveResult]
+    band_limited: bool = False
 
     @property
     def worst_violation(self) -> float:
@@ -93,14 +111,37 @@ class ImmittancePassivityReport:
             return 0.0
         return max(band.severity for band in self.bands)
 
+    def to_dict(self, *, include_solve: bool = False) -> dict:
+        """JSON-serializable dictionary of the characterization outcome."""
+        payload = {
+            "passive": bool(self.passive),
+            "band_limited": bool(self.band_limited),
+            "crossings": to_jsonable(self.crossings),
+            "bands": [band.to_dict() for band in self.bands],
+            "worst_violation": float(self.worst_violation),
+        }
+        if self.solve is not None:
+            payload["work"] = {str(k): int(v) for k, v in self.solve.work.items()}
+            if include_solve:
+                payload["solve"] = self.solve.to_dict()
+        return payload
+
     def summary(self) -> str:
         """One-line human-readable summary."""
+        scope = ""
+        if self.band_limited and self.solve is not None:
+            scope = (
+                f" in band [{self.solve.band[0]:.4g},"
+                f" {self.solve.band[1]:.4g}] only"
+            )
+        elif self.band_limited:
+            scope = " in the swept band only"
         if self.passive:
-            return "PASSIVE (H + H^H positive semidefinite on the band)"
+            return f"PASSIVE{scope} (H + H^H positive semidefinite on the band)"
         spans = ", ".join(
             f"[{b.lo:.4g}, {b.hi:.4g}] min eig {b.min_eig:.4g}" for b in self.bands
         )
-        return f"NOT passive (immittance): {len(self.bands)} band(s): {spans}"
+        return f"NOT passive (immittance){scope}: {len(self.bands)} band(s): {spans}"
 
 
 def _as_simo(model: ModelLike) -> SimoRealization:
@@ -152,6 +193,7 @@ def characterize_immittance_passivity(
     strategy: str = "auto",
     options: Optional[SolverOptions] = None,
     omega_max: Optional[float] = None,
+    config: Optional[RunConfig] = None,
 ) -> ImmittancePassivityReport:
     """Full algebraic positive-realness characterization.
 
@@ -161,26 +203,33 @@ def characterize_immittance_passivity(
         Immittance macromodel; ``D + D^T`` must be positive definite (the
         asymptotic condition playing the role of eq. 4).
     num_threads, strategy, options, omega_max:
-        Forwarded to the eigensolver.
+        Forwarded to the eigensolver (ignored when ``config`` is given).
+    config:
+        A full :class:`~repro.core.config.RunConfig`; the representation
+        is forced to ``"immittance"``.
 
     Returns
     -------
     ImmittancePassivityReport
     """
+    if config is None:
+        config = RunConfig.from_legacy(
+            num_threads=num_threads,
+            strategy=strategy,
+            omega_max=omega_max,
+            options=options,
+        )
+    config = config.merged(representation="immittance")
     simo = _as_simo(model)
-    solve = find_imaginary_eigenvalues(
-        simo,
-        num_threads=num_threads,
-        strategy=strategy,
-        representation="immittance",
-        options=options,
-        omega_max=omega_max,
-    )
-    crossings = solve.omegas
+    result = solve(simo, config)
+    crossings = result.omegas
     bands: List[ImmittanceViolationBand] = []
     if crossings.size:
-        edges = ([0.0] if crossings[0] > 0.0 else []) + list(crossings)
-        top = solve.band[1]
+        # Segments below the swept band's lower edge were not swept and
+        # are never classified (mirrors violation_bands_from_crossings).
+        omega_lo = result.band[0]
+        edges = ([omega_lo] if crossings[0] > omega_lo else []) + list(crossings)
+        top = result.band[1]
         if top > edges[-1]:
             edges.append(top)
         current_lo: Optional[float] = None
@@ -207,5 +256,6 @@ def characterize_immittance_passivity(
         passive=len(bands) == 0,
         crossings=crossings,
         bands=tuple(bands),
-        solve=solve,
+        solve=result,
+        band_limited=config.is_band_limited,
     )

@@ -1,0 +1,65 @@
+"""Conversion of result objects to JSON-serializable primitives.
+
+Every public result type (``SolveResult``, ``PassivityReport``,
+``EnforcementResult``, ``HinfResult``, ``FitResult``, ...) exposes a
+``to_dict()`` built on :func:`to_jsonable`, so machine consumers (the CLI
+``--json`` flag, logging pipelines, services) get one uniform contract:
+
+* numpy scalars become Python ints/floats;
+* complex numbers become ``{"re": ..., "im": ...}`` objects;
+* numpy arrays become (nested) lists, element-converted recursively;
+* dataclasses, mappings, and sequences recurse;
+* non-finite floats become ``None`` (JSON has no NaN/Inf).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["to_jsonable"]
+
+
+def _float(value: float) -> Any:
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _complex(value: complex) -> Any:
+    return {"re": _float(value.real), "im": _float(value.imag)}
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable primitives."""
+    if obj is None or isinstance(obj, (bool, str, int)):
+        return obj
+    if isinstance(obj, float):
+        return _float(obj)
+    if isinstance(obj, complex):
+        return _complex(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return _float(obj)
+    if isinstance(obj, np.complexfloating):
+        return _complex(complex(obj))
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(item) for item in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        to_dict = getattr(obj, "to_dict", None)
+        if callable(to_dict):
+            return to_dict()
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    raise TypeError(f"cannot convert {type(obj).__name__} to a JSON-serializable value")

@@ -23,6 +23,7 @@ __all__ = [
     "ensure_nonnegative_float",
     "ensure_probability",
     "ensure_in_range",
+    "ensure_choice",
     "ensure_sorted_frequencies",
 ]
 
@@ -153,6 +154,22 @@ def ensure_in_range(value, name: str, lo: float, hi: float) -> float:
     value = float(value)
     if not np.isfinite(value) or not (lo <= value <= hi):
         raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def ensure_choice(value, name: str, choices) -> str:
+    """Validate a string against a fixed set of allowed values.
+
+    The single error message lists every valid choice, so all callers
+    (config validation, registries, operators) reject unknown strings the
+    same way.
+    """
+    if not isinstance(value, str):
+        raise TypeError(f"{name} must be a string, got {type(value).__name__}")
+    choices = tuple(choices)
+    if value not in choices:
+        listed = ", ".join(repr(c) for c in choices)
+        raise ValueError(f"unknown {name} {value!r}; valid choices: {listed}")
     return value
 
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.macromodel.poles import make_stable, partition_poles
 from repro.macromodel.rational import PoleResidueModel
+from repro.utils.serialization import to_jsonable
 from repro.utils.validation import ensure_positive_int, ensure_sorted_frequencies
 from repro.vectfit.options import VectorFittingOptions
 
@@ -64,6 +65,20 @@ class FitResult:
     iterations: int
     converged: bool
     pole_history: Tuple[np.ndarray, ...]
+
+    def to_dict(self, *, include_model: bool = True) -> dict:
+        """JSON-serializable dictionary of the fit outcome."""
+        payload = {
+            "rms_error": float(self.rms_error),
+            "max_error": float(self.max_error),
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+            "num_poles": int(self.model.num_poles),
+            "num_ports": int(self.model.num_ports),
+        }
+        if include_model:
+            payload["model"] = self.model.to_dict()
+        return payload
 
 
 def initial_poles(

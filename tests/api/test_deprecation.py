@@ -1,0 +1,76 @@
+"""The legacy free functions keep working as deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.synth import random_macromodel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_macromodel(8, 2, seed=5, sigma_target=1.03)
+
+
+def call_and_catch(func, *args, **kwargs):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = func(*args, **kwargs)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    return result, deprecations
+
+
+class TestShimsWarn:
+    def test_find_imaginary_eigenvalues(self, model):
+        result, warns = call_and_catch(
+            repro.find_imaginary_eigenvalues, model, num_threads=2
+        )
+        assert warns and "Macromodel" in str(warns[0].message)
+        assert result.strategy == "queue"
+        assert result.num_crossings > 0
+
+    def test_characterize_passivity(self, model):
+        report, warns = call_and_catch(repro.characterize_passivity, model)
+        assert warns
+        assert report.passive is False
+
+    def test_enforce_passivity(self, model):
+        result, warns = call_and_catch(repro.enforce_passivity, model)
+        assert warns
+        assert result.passive is True
+
+    def test_vector_fit(self, model):
+        freqs = np.linspace(0.05, 14.0, 120)
+        fit, warns = call_and_catch(
+            repro.vector_fit, freqs, model.frequency_response(freqs), num_poles=8
+        )
+        assert warns
+        assert fit.rms_error < 1e-6
+
+
+class TestShimsDelegate:
+    def test_results_match_facade(self, model):
+        legacy, _ = call_and_catch(repro.characterize_passivity, model)
+        session = repro.Macromodel.from_pole_residue(model).check_passivity()
+        facade = session.passivity_report
+        np.testing.assert_allclose(
+            np.sort(legacy.crossings), np.sort(facade.crossings), atol=1e-6
+        )
+        assert legacy.passive == facade.passive
+
+    def test_submodule_functions_do_not_warn(self, model):
+        from repro.passivity.characterization import characterize_passivity
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            characterize_passivity(model)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ], "the internal implementation must stay warning-free"
+
+    def test_wrapped_attribute_points_at_impl(self):
+        from repro.passivity.enforcement import enforce_passivity as impl
+
+        assert repro.enforce_passivity.__wrapped__ is impl

@@ -1,0 +1,111 @@
+"""Unit tests for the pluggable strategy registry."""
+
+import pytest
+
+from repro.core.registry import (
+    StrategySpec,
+    available_strategies,
+    ensure_strategy,
+    get_strategy,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
+
+
+class TestBuiltins:
+    def test_builtins_registered(self):
+        names = available_strategies()
+        assert names[0] == "auto"
+        assert {"bisection", "queue", "static"} <= set(names)
+
+    def test_auto_resolution_serial(self):
+        assert resolve_strategy("auto", 1).name == "bisection"
+
+    def test_auto_resolution_parallel(self):
+        assert resolve_strategy("auto", 4).name == "queue"
+
+    def test_explicit_resolution(self):
+        assert resolve_strategy("static", 3).name == "static"
+
+    def test_bisection_multithread_rejected(self):
+        with pytest.raises(ValueError, match="sequential"):
+            resolve_strategy("bisection", 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            resolve_strategy("bogus", 1)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="bisection"):
+            ensure_strategy("bogus")
+
+    def test_get_strategy_rejects_auto(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            get_strategy("auto")
+
+    def test_spec_metadata(self):
+        spec = get_strategy("bisection")
+        assert isinstance(spec, StrategySpec)
+        assert spec.max_threads == 1
+        assert spec.supports_threads(1)
+        assert not spec.supports_threads(2)
+
+
+class TestPluginMechanism:
+    def test_register_resolve_unregister(self):
+        calls = []
+
+        @register_strategy("testonly", min_threads=2, description="test plugin")
+        def driver(model, *, num_threads, representation, omega_min, omega_max, options):
+            calls.append(num_threads)
+            return "sentinel"
+
+        try:
+            assert "testonly" in available_strategies()
+            spec = resolve_strategy("testonly", 2)
+            assert spec.driver is driver
+            assert (
+                spec.driver(
+                    None,
+                    num_threads=2,
+                    representation="scattering",
+                    omega_min=0.0,
+                    omega_max=None,
+                    options=None,
+                )
+                == "sentinel"
+            )
+            assert calls == [2]
+            with pytest.raises(ValueError, match="num_threads"):
+                resolve_strategy("testonly", 1)
+        finally:
+            unregister_strategy("testonly")
+        assert "testonly" not in available_strategies()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy("queue")(lambda *a, **k: None)
+
+    def test_auto_reserved(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy("auto")(lambda *a, **k: None)
+
+    def test_registered_plugin_reachable_from_solver(self, small_model):
+        from repro.core.solver import solve
+
+        seen = {}
+
+        @register_strategy("recording")
+        def driver(model, *, num_threads, representation, omega_min, omega_max, options):
+            seen["model"] = model
+            seen["num_threads"] = num_threads
+            return "driver-result"
+
+        try:
+            result = solve(small_model, strategy="recording", num_threads=7)
+        finally:
+            unregister_strategy("recording")
+        assert result == "driver-result"
+        assert seen["model"] is small_model
+        assert seen["num_threads"] == 7
