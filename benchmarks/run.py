@@ -1,0 +1,309 @@
+#!/usr/bin/env python
+"""Benchmark runner: tracked perf baseline for the characterization flow.
+
+Produces ``BENCH_pipeline.json`` (repo root by default) holding
+
+* the **sweep** micro-benchmark — a dense frequency sweep (default 1000
+  points, p = 4, n ~ 400) timed twice: once through the historical
+  per-point scalar path (``transfer`` + one SVD per point in a Python
+  loop) and once through the batched multi-shift path (``transfer_many``
+  + one stacked SVD), with the measured speedup and the max elementwise
+  deviation between the two;
+* per-stage **pipeline** timings (vector fitting, Hamiltonian
+  characterization, enforcement, adaptive-sampling baseline) with the
+  stages' abstract :class:`~repro.utils.timing.WorkCounter` units;
+* optionally the pytest-benchmark suites of this directory, executed at
+  the same ``BENCH_SCALE`` with their JSON report folded in.
+
+Examples::
+
+    python benchmarks/run.py                      # sweep + pipeline
+    python benchmarks/run.py --scale 0.02 --sweep-points 100 --sweep-poles 16
+    python benchmarks/run.py --suites bench_pipeline.py bench_shift_invert.py
+    python benchmarks/run.py --suites all         # every bench_*.py file
+
+The scale knob mirrors ``REPRO_BENCH_SCALE`` (see ``_config.py``); the
+flag wins when both are given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+for entry in (str(ROOT / "src"), str(BENCH_DIR)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import numpy as np  # noqa: E402
+
+from repro.core.options import SolverOptions  # noqa: E402
+from repro.macromodel.realization import pole_residue_to_simo  # noqa: E402
+from repro.passivity.characterization import characterize_passivity  # noqa: E402
+from repro.passivity.enforcement import enforce_passivity  # noqa: E402
+from repro.passivity.sampling import sampled_violations  # noqa: E402
+from repro.synth.generator import random_macromodel  # noqa: E402
+from repro.vectfit.vector_fitting import vector_fit  # noqa: E402
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best-of-N wall time of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sweep_benchmark(
+    *, points: int = 1000, num_poles: int = 100, ports: int = 4, repeats: int = 3
+) -> Dict:
+    """Dense-sweep micro-benchmark: looped scalar path vs batched path.
+
+    The looped reference reproduces the pre-batching implementation
+    exactly — one O(n p) structured ``transfer`` plus one small SVD per
+    frequency point, all driven from Python — so the recorded speedup is
+    an honest before/after of this PR's kernel layer.
+    """
+    model = random_macromodel(num_poles, ports, seed=777, sigma_target=1.05)
+    simo = pole_residue_to_simo(model)
+    omegas = np.linspace(0.01, 16.0, points)
+    s_pts = 1j * omegas
+
+    def looped() -> np.ndarray:
+        sig = np.empty(points)
+        for i, s in enumerate(s_pts):
+            h = simo.transfer(s)
+            sig[i] = np.linalg.svd(h, compute_uv=False)[0]
+        return sig
+
+    def batched() -> np.ndarray:
+        h = simo.transfer_many(s_pts)
+        return np.linalg.svd(h, compute_uv=False)[:, 0]
+
+    sig_loop = looped()
+    sig_batch = batched()
+    max_diff = float(np.max(np.abs(sig_loop - sig_batch))) if points else 0.0
+
+    looped_s = _best_of(repeats, looped)
+    batched_s = _best_of(repeats, batched)
+    return {
+        "points": int(points),
+        "ports": int(ports),
+        "order": int(simo.order),
+        "repeats": int(repeats),
+        "looped_seconds": looped_s,
+        "batched_seconds": batched_s,
+        "speedup": looped_s / batched_s if batched_s > 0 else float("inf"),
+        "max_abs_diff": max_diff,
+    }
+
+
+def run_pipeline_stages(*, scale: float, threads: int = 2) -> List[Dict]:
+    """Time each pipeline stage once, harvesting its work counters."""
+    num_poles = max(8, int(40 * scale * 10))
+    source = random_macromodel(num_poles, 4, seed=777, sigma_target=1.05)
+    freqs = np.linspace(0.01, 16.0, 300)
+    options = SolverOptions()
+    stages: List[Dict] = []
+
+    t0 = time.perf_counter()
+    samples = source.frequency_response(freqs)
+    stages.append(
+        {
+            "name": "frequency_response",
+            "seconds": time.perf_counter() - t0,
+            "work": None,
+            "extra": {"points": int(freqs.size), "ports": 4},
+        }
+    )
+
+    t0 = time.perf_counter()
+    fit = vector_fit(freqs, samples, num_poles=source.num_poles)
+    stages.append(
+        {
+            "name": "vector_fit",
+            "seconds": time.perf_counter() - t0,
+            "work": None,
+            "extra": {
+                "num_poles": int(source.num_poles),
+                "rms_error": float(fit.rms_error),
+                "iterations": int(fit.iterations),
+            },
+        }
+    )
+
+    t0 = time.perf_counter()
+    report = characterize_passivity(source, num_threads=threads, options=options)
+    stages.append(
+        {
+            "name": "characterization",
+            "seconds": time.perf_counter() - t0,
+            "work": dict(report.solve.work) if report.solve is not None else None,
+            "extra": {"passive": bool(report.passive), "bands": len(report.bands)},
+        }
+    )
+
+    t0 = time.perf_counter()
+    enforcement = enforce_passivity(source, num_threads=threads, options=options)
+    enforcement_work: Dict[str, int] = {}
+    for rep in enforcement.reports:
+        if rep.solve is not None:
+            for key, value in rep.solve.work.items():
+                enforcement_work[key] = enforcement_work.get(key, 0) + int(value)
+    stages.append(
+        {
+            "name": "enforcement",
+            "seconds": time.perf_counter() - t0,
+            "work": enforcement_work or None,
+            "extra": {
+                "passive": bool(enforcement.passive),
+                "iterations": int(enforcement.iterations),
+            },
+        }
+    )
+
+    t0 = time.perf_counter()
+    sampling = sampled_violations(source, 16.0)
+    stages.append(
+        {
+            "name": "sampling_baseline",
+            "seconds": time.perf_counter() - t0,
+            "work": {"transfer_evaluations": int(sampling.evaluations)},
+            "extra": {
+                "passive": bool(sampling.passive),
+                "violations": len(sampling.violations),
+            },
+        }
+    )
+    return stages
+
+
+def _resolve_suites(tokens: Sequence[str]) -> List[str]:
+    if not tokens or list(tokens) == ["none"]:
+        return []
+    if list(tokens) == ["all"]:
+        return sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+    return list(tokens)
+
+
+def run_pytest_suites(suites: Sequence[str], *, scale: float) -> Optional[Dict]:
+    """Execute the named pytest-benchmark suites; return their JSON report."""
+    if not suites:
+        return None
+    try:
+        import pytest_benchmark  # noqa: F401
+    except ImportError:
+        print("pytest-benchmark not installed; skipping suites", file=sys.stderr)
+        return {"skipped": "pytest-benchmark not installed", "suites": list(suites)}
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest_bench.json"
+        env = dict(os.environ)
+        env["REPRO_BENCH_SCALE"] = str(scale)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(ROOT / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *[str(BENCH_DIR / name) for name in suites],
+            "-q",
+            f"--benchmark-json={json_path}",
+        ]
+        proc = subprocess.run(cmd, cwd=str(ROOT), env=env)
+        payload: Dict = {"suites": list(suites), "exit_code": proc.returncode}
+        if json_path.exists():
+            report = json.loads(json_path.read_text())
+            payload["benchmarks"] = [
+                {
+                    "name": entry.get("name"),
+                    "mean_seconds": entry.get("stats", {}).get("mean"),
+                    "stddev_seconds": entry.get("stats", {}).get("stddev"),
+                    "rounds": entry.get("stats", {}).get("rounds"),
+                    "extra_info": entry.get("extra_info", {}),
+                }
+                for entry in report.get("benchmarks", [])
+            ]
+        return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.05")),
+        help="model-order scale factor (default: REPRO_BENCH_SCALE or 0.05)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=ROOT / "BENCH_pipeline.json",
+        help="output JSON path (default: repo-root BENCH_pipeline.json)",
+    )
+    parser.add_argument("--sweep-points", type=int, default=1000)
+    parser.add_argument("--sweep-poles", type=int, default=100)
+    parser.add_argument("--sweep-ports", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument(
+        "--suites",
+        nargs="*",
+        default=["none"],
+        help="pytest-benchmark suites to run ('all', 'none', or file names;"
+        " default none — the sweep and pipeline stages always run)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"sweep benchmark: {args.sweep_points} points, p={args.sweep_ports},"
+        f" n={args.sweep_poles * args.sweep_ports}...",
+        file=sys.stderr,
+    )
+    sweep = run_sweep_benchmark(
+        points=args.sweep_points,
+        num_poles=args.sweep_poles,
+        ports=args.sweep_ports,
+    )
+    print(
+        f"  looped {sweep['looped_seconds']:.4f}s  batched"
+        f" {sweep['batched_seconds']:.4f}s  speedup {sweep['speedup']:.1f}x"
+        f"  (max |diff| {sweep['max_abs_diff']:.2e})",
+        file=sys.stderr,
+    )
+
+    print(f"pipeline stages (scale={args.scale})...", file=sys.stderr)
+    stages = run_pipeline_stages(scale=args.scale, threads=args.threads)
+    for stage in stages:
+        print(f"  {stage['name']:<20} {stage['seconds']:.4f}s", file=sys.stderr)
+
+    pytest_payload = run_pytest_suites(_resolve_suites(args.suites), scale=args.scale)
+
+    payload = {
+        "schema": "repro-bench-pipeline/1",
+        "created_unix": time.time(),
+        "bench_scale": args.scale,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "sweep": sweep,
+        "stages": stages,
+        "pytest": pytest_payload,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

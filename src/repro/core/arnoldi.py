@@ -229,19 +229,20 @@ def ritz_pairs(
         raise ValueError(f"unknown sort_by {sort_by!r}")
     if max_pairs is not None:
         order = order[: int(max_pairs)]
+    # Lift all selected Hessenberg eigenvectors to the full space with one
+    # BLAS-3 product instead of one BLAS-2 product per pair.
+    lifted = fact.basis @ vectors[:, order]  # (n, len(order))
+    norms = np.linalg.norm(lifted, axis=0)
     pairs: List[RitzPair] = []
-    for idx in order:
-        y = vectors[:, idx]
-        x = fact.basis @ y
-        xnorm = np.linalg.norm(x)
-        if xnorm == 0.0:
+    for j, idx in enumerate(order):
+        if norms[j] == 0.0:
             continue
         pairs.append(
             RitzPair(
                 value=complex(values[idx]),
-                vector=x / xnorm,
+                vector=lifted[:, j] / norms[j],
                 residual_estimate=float(residuals[idx]),
-                hess_vector=y,
+                hess_vector=vectors[:, idx],
             )
         )
     return pairs

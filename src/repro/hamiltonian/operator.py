@@ -132,11 +132,20 @@ class HamiltonianOperator:
 
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Apply ``M`` to a vector of length 2n in O(n p)."""
+        """Apply ``M`` to a vector ``(2n,)`` or a block ``(2n, k)`` in O(n p k).
+
+        The structured SIMO kernels broadcast over trailing columns, so a
+        ``k``-column block costs one pass of BLAS-level operations instead
+        of ``k`` Python-level applications; blocked applies are counted as
+        ``k`` work units.
+        """
         x = np.asarray(x)
         n = self.order
-        if x.shape != (2 * n,):
-            raise ValueError(f"expected vector of length {2 * n}, got shape {x.shape}")
+        if x.ndim not in (1, 2) or x.shape[0] != 2 * n:
+            raise ValueError(
+                f"expected vector of length {2 * n} or block (2n, k),"
+                f" got shape {x.shape}"
+            )
         simo = self.simo
         x1, x2 = x[:n], x[n:]
         cx = simo.apply_c(x1)
@@ -157,7 +166,7 @@ class HamiltonianOperator:
             y2 = simo.apply_ct(t) - simo.apply_a(x2, transpose=True)
 
         if self.work is not None:
-            self.work.add(operator_applies=1)
+            self.work.add(operator_applies=1 if x.ndim == 1 else x.shape[1])
         return np.concatenate([y1, y2])
 
     def __call__(self, x: np.ndarray) -> np.ndarray:

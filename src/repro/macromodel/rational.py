@@ -75,6 +75,8 @@ class PoleResidueModel:
         object.__setattr__(self, "poles", poles)
         object.__setattr__(self, "residues", residues)
         object.__setattr__(self, "d", d)
+        # Complex-cast direct term, computed once for the evaluation hot path.
+        object.__setattr__(self, "_d_complex", d.astype(complex))
         # Validate conjugate completeness early (raises ValueError if broken).
         partition_poles(poles)
 
@@ -148,14 +150,19 @@ class PoleResidueModel:
     def transfer(self, s: complex) -> np.ndarray:
         """Evaluate the transfer matrix ``H(s)`` at a single complex point."""
         terms = self.residues / (s - self.poles)[:, None, None]
-        out = self.d.astype(complex) + terms.sum(axis=0)
+        out = self._d_complex + terms.sum(axis=0)
         return out
 
     def transfer_many(self, s_values) -> np.ndarray:
-        """Evaluate ``H`` on an array of points; returns ``(K, p, p)``."""
+        """Evaluate ``H`` on an array of points via the Cauchy-matrix einsum.
+
+        Returns ``(K, p, p)`` in one shot: the ``(K, M)`` Cauchy matrix
+        ``1 / (s_k - p_m)`` is contracted against the residue stack with a
+        single einsum — no per-point Python loop.
+        """
         s_arr = ensure_vector(s_values, "s_values", dtype=complex)
         denom = s_arr[:, None] - self.poles[None, :]  # (K, M)
-        return self.d[None].astype(complex) + np.einsum(
+        return self._d_complex[None] + np.einsum(
             "km,mij->kij", 1.0 / denom, self.residues
         )
 

@@ -15,6 +15,28 @@ Globally ``A = blkdiag{A_k}``, ``B = blkdiag{u_k}``, ``C = [C_1 ... C_p]``
 resolvent solves ``(A - theta I)^{-1} x`` cost O(n), transfer evaluations
 and the Gramian-like products needed by the Sherman-Morrison-Woodbury
 shift-invert cost O(n p).
+
+Kernel complexity and batching
+------------------------------
+
+Every kernel broadcasts over trailing right-hand-side columns (``k``), and
+the frequency-sweep kernels additionally broadcast over a *shift* axis
+(``K`` evaluation points) so sweeps run as a handful of vectorized numpy
+passes instead of per-point Python loops:
+
+======================================  ==========  ==========================
+kernel                                  cost        batched form
+======================================  ==========  ==========================
+``apply_a/apply_b/apply_bt/apply_c``    O(n k)      ``(n, k)`` blocks broadcast
+``solve_shifted``                       O(n k)      ``solve_shifted_many`` —
+                                                    ``(K, n[, k])``, shared rhs
+``gamma`` / ``transfer``                O(n p)      ``gamma_many`` /
+                                                    ``transfer_many`` — one
+                                                    ``(K, n)`` Cauchy divide
+                                                    plus ``p`` GEMMs into
+                                                    ``(K, p, p)``
+``frequency_response``                  O(K n p)    loop-free over the grid
+======================================  ==========  ==========================
 """
 
 from __future__ import annotations
@@ -217,6 +239,31 @@ class SimoRealization:
         self.b = b
         self.c = c
         self.col_of_state = col_of_state
+        # Complex-cast direct term, computed once: transfer evaluations are
+        # hot-path kernels and must not pay an astype per call.
+        self._d_complex = d.astype(complex)
+
+        # Cauchy expansion of gamma for the multi-shift transfer sweep:
+        # gamma(s)[:, j] = -sum_{state in col j} res[:, state] / (s - pole).
+        # Real poles carry their residue column directly (B entry 1); a 2x2
+        # pair block with B entries (2, 0) and output columns (c0, c1) is
+        # algebraically r/(s-q) + conj(r)/(s-conj(q)) with r = c0 + j*c1.
+        cauchy_poles = np.zeros(n, dtype=complex)
+        cauchy_res = np.zeros((p, n), dtype=complex)
+        if self.real_pos.size:
+            cauchy_poles[self.real_pos] = self.real_val
+            cauchy_res[:, self.real_pos] = c[:, self.real_pos]
+        if self.pair_pos.size:
+            q = self.pair_alpha + 1j * self.pair_beta
+            cauchy_poles[self.pair_pos] = q
+            cauchy_poles[self.pair_pos + 1] = np.conj(q)
+            r_vec = c[:, self.pair_pos] + 1j * c[:, self.pair_pos + 1]
+            cauchy_res[:, self.pair_pos] = r_vec
+            cauchy_res[:, self.pair_pos + 1] = np.conj(r_vec)
+        self._cauchy_poles = cauchy_poles
+        # (n, p) contiguous, pre-negated: gamma contractions are then plain
+        # GEMMs with no per-call copies.
+        self._cauchy_res_neg_t = np.ascontiguousarray(-cauchy_res.T)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -311,6 +358,52 @@ class SimoRealization:
                 out[self.pair_pos + 1] = solved[:, 1, :]
         return out
 
+    def solve_shifted_many(
+        self, shifts, rhs: np.ndarray, *, transpose: bool = False
+    ) -> np.ndarray:
+        """Solve ``(A - shift_k I) x_k = rhs`` for a whole batch of shifts.
+
+        The structured solves are elementwise diagonal/2x2-rotation
+        operations, so the shift axis broadcasts for free: ``K`` solves cost
+        one vectorized pass instead of ``K`` Python-level kernel calls.
+
+        Parameters
+        ----------
+        shifts:
+            1-D array of ``K`` complex shifts.
+        rhs:
+            Shared right-hand side, shape ``(n,)`` or ``(n, j)``.
+        transpose:
+            Solve against ``A^T`` instead of ``A``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(K, n)`` or ``(K, n, j)``.
+
+        Raises
+        ------
+        ZeroDivisionError
+            If any shift coincides with a pole of the realization.
+        """
+        shifts = ensure_vector(shifts, "shifts", dtype=complex)
+        rhs = np.asarray(rhs)
+        out = np.zeros(
+            (shifts.size,) + rhs.shape,
+            dtype=np.result_type(rhs.dtype, shifts.dtype),
+        )
+        if self.real_pos.size:
+            out[:, self.real_pos] = la.solve_shifted_diagonal_many(
+                self.real_val, shifts, rhs[self.real_pos]
+            )
+        if self.pair_pos.size:
+            beta = -self.pair_beta if transpose else self.pair_beta
+            stacked = np.stack([rhs[self.pair_pos], rhs[self.pair_pos + 1]], axis=1)
+            solved = la.solve_shifted_rot2_many(self.pair_alpha, beta, shifts, stacked)
+            out[:, self.pair_pos] = solved[:, :, 0]
+            out[:, self.pair_pos + 1] = solved[:, :, 1]
+        return out
+
     def apply_b(self, u: np.ndarray) -> np.ndarray:
         """Compute ``B u`` for ``u`` of shape ``(p,)`` or ``(p, k)`` — O(n)."""
         u = np.asarray(u)
@@ -357,12 +450,41 @@ class SimoRealization:
 
     def transfer(self, s: complex) -> np.ndarray:
         """Evaluate ``H(s) = D - C (A - s I)^{-1} B`` in O(n p)."""
-        return self.d.astype(complex) - self.gamma(s)
+        return self._d_complex - self.gamma(s)
+
+    def gamma_many(self, shifts) -> np.ndarray:
+        """Compute ``C (A - shift_k I)^{-1} B`` for a batch; ``(K, p, p)``.
+
+        Uses the realization's precomputed Cauchy expansion: one ``(K, n)``
+        complex divide builds all resolvent factors, and ``p`` per-column
+        BLAS-3 contractions assemble the ``(K, p, p)`` result — O(K n p)
+        total with no per-shift Python overhead.
+        """
+        shifts = ensure_vector(shifts, "shifts", dtype=complex)
+        denom = shifts[:, None] - self._cauchy_poles[None, :]  # (K, n)
+        # all() is the cheap exact-singularity test: |z| == 0 iff z == 0.
+        if denom.size and not np.all(denom):
+            raise ZeroDivisionError(
+                "shift coincides with a pole of the realization;"
+                " shifted block is singular"
+            )
+        inv = 1.0 / denom
+        out = np.empty(
+            (shifts.size, self.num_ports, self.num_ports), dtype=complex
+        )
+        for j in range(self.num_ports):
+            sl = slice(self.col_starts[j], self.col_starts[j + 1])
+            out[:, :, j] = inv[:, sl] @ self._cauchy_res_neg_t[sl]
+        return out
 
     def transfer_many(self, s_values) -> np.ndarray:
-        """Evaluate ``H`` on an array of points; returns ``(K, p, p)``."""
+        """Evaluate ``H`` on an array of points; returns ``(K, p, p)``.
+
+        Loop-free multi-shift evaluation: all ``K`` points are solved in one
+        broadcast pass (see :meth:`solve_shifted_many`).
+        """
         s_arr = ensure_vector(s_values, "s_values", dtype=complex)
-        return np.stack([self.transfer(s) for s in s_arr])
+        return self._d_complex[None] - self.gamma_many(s_arr)
 
     def frequency_response(self, freqs_rad) -> np.ndarray:
         """Evaluate ``H(j w)`` on an angular-frequency grid; ``(K, p, p)``."""

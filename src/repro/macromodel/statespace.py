@@ -61,6 +61,10 @@ class StateSpace:
         object.__setattr__(self, "b", b)
         object.__setattr__(self, "c", c)
         object.__setattr__(self, "d", d)
+        # Complex casts computed once; transfer evaluation is called in
+        # tight sweeps and must not re-cast on every point.
+        object.__setattr__(self, "_b_complex", b.astype(complex))
+        object.__setattr__(self, "_d_complex", d.astype(complex))
 
     # ------------------------------------------------------------------
     @property
@@ -90,15 +94,40 @@ class StateSpace:
         """Evaluate ``H(s)`` with one dense solve (O(n^3))."""
         n = self.order
         if n == 0:
-            return self.d.astype(complex)
+            return self._d_complex.copy()
         shifted = s * np.eye(n) - self.a
-        x = np.linalg.solve(shifted, self.b.astype(complex))
-        return self.d.astype(complex) + self.c @ x
+        x = np.linalg.solve(shifted, self._b_complex)
+        return self._d_complex + self.c @ x
+
+    def transfer_many(self, s_values, *, max_chunk_bytes: int = 1 << 27) -> np.ndarray:
+        """Evaluate ``H`` on an array of points; returns ``(K, p, p)``.
+
+        The shifted systems are solved as *stacked* LAPACK calls — one
+        batched ``numpy.linalg.solve`` over ``(chunk, n, n)`` instead of a
+        Python loop of ``K`` dense solves.  Chunking bounds the transient
+        ``(chunk, n, n)`` workspace at roughly ``max_chunk_bytes``.
+        """
+        s_arr = np.asarray(s_values, dtype=complex).reshape(-1)
+        n = self.order
+        p = self.num_ports
+        if n == 0 or s_arr.size == 0:
+            out = np.empty((s_arr.size, p, p), dtype=complex)
+            out[:] = self._d_complex
+            return out
+        chunk = max(1, int(max_chunk_bytes // (16 * n * n)))
+        eye = np.eye(n)
+        out = np.empty((s_arr.size, p, p), dtype=complex)
+        for start in range(0, s_arr.size, chunk):
+            block = s_arr[start : start + chunk]
+            shifted = block[:, None, None] * eye[None] - self.a[None]
+            x = np.linalg.solve(shifted, self._b_complex[None])
+            out[start : start + block.size] = self._d_complex[None] + self.c @ x
+        return out
 
     def frequency_response(self, freqs_rad) -> np.ndarray:
         """Evaluate ``H(j w)`` on an angular-frequency grid; ``(K, p, p)``."""
         freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
-        return np.stack([self.transfer(1j * w) for w in freqs_rad])
+        return self.transfer_many(1j * freqs_rad)
 
     # ------------------------------------------------------------------
     def similarity(self, t: np.ndarray) -> "StateSpace":

@@ -22,7 +22,7 @@ from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
-from repro.passivity.metrics import refine_peak
+from repro.passivity.metrics import refine_peak, sigma_max_many
 from repro.utils.serialization import to_jsonable
 
 __all__ = [
@@ -217,14 +217,11 @@ def violation_bands_from_crossings(
         edges.append(top)
 
     bands: List[ViolationBand] = []
+    # One batched sigma sweep classifies every segment midpoint at once.
+    segments = [(lo, hi) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+    mid_sigmas = sigma_max_many(simo, [0.5 * (lo + hi) for lo, hi in segments])
     current_lo: Optional[float] = None
-    for lo, hi in zip(edges[:-1], edges[1:]):
-        if hi <= lo:
-            continue
-        mid = 0.5 * (lo + hi)
-        sigma_mid = float(
-            np.linalg.svd(simo.transfer(1j * mid), compute_uv=False)[0]
-        )
+    for (lo, hi), sigma_mid in zip(segments, mid_sigmas):
         if sigma_mid > threshold:
             if current_lo is None:
                 current_lo = lo

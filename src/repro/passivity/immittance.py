@@ -31,6 +31,7 @@ __all__ = [
     "ImmittancePassivityReport",
     "characterize_immittance_passivity",
     "hermitian_min_eig",
+    "hermitian_min_eig_many",
 ]
 
 ModelLike = Union[PoleResidueModel, SimoRealization]
@@ -40,6 +41,22 @@ def hermitian_min_eig(model: ModelLike, omega: float) -> float:
     """Smallest eigenvalue of ``H(j w) + H(j w)^H`` at one frequency."""
     h = model.transfer(1j * float(omega))
     return float(np.linalg.eigvalsh(h + h.conj().T).min())
+
+
+def hermitian_min_eig_many(model: ModelLike, omegas) -> np.ndarray:
+    """Smallest eigenvalue of ``H(j w) + H(j w)^H`` at each frequency.
+
+    One batched ``transfer_many`` evaluation plus one stacked
+    ``numpy.linalg.eigvalsh`` over the ``(K, p, p)`` Hermitian parts —
+    the multi-point companion of :func:`hermitian_min_eig` (frequencies
+    need not be sorted).
+    """
+    omegas = np.asarray(omegas, dtype=float).reshape(-1)
+    if omegas.size == 0:
+        return np.empty(0, dtype=float)
+    h = model.transfer_many(1j * omegas)
+    hermitian = h + np.conj(np.swapaxes(h, -1, -2))
+    return np.linalg.eigvalsh(hermitian)[:, 0]
 
 
 @dataclass(frozen=True)
@@ -157,17 +174,20 @@ def _as_simo(model: ModelLike) -> SimoRealization:
 def _refine_trough(
     simo: SimoRealization, lo: float, hi: float, *, points: int = 33
 ) -> Tuple[float, float]:
-    """Locate the minimum of ``eig_min(H + H^H)`` inside ``[lo, hi]``."""
+    """Locate the minimum of ``eig_min(H + H^H)`` inside ``[lo, hi]``.
+
+    The coarse scan is one batched eigenvalue sweep; only the golden-section
+    polish evaluates points one at a time (it is inherently sequential).
+    """
     grid = np.linspace(lo, hi, max(3, points))
-    values = [hermitian_min_eig(simo, w) for w in grid]
+    values = hermitian_min_eig_many(simo, grid)
     best = int(np.argmin(values))
     a = grid[max(0, best - 1)]
     b = grid[min(len(grid) - 1, best + 1)]
     inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
     c = b - inv_phi * (b - a)
     d = a + inv_phi * (b - a)
-    fc = hermitian_min_eig(simo, c)
-    fd = hermitian_min_eig(simo, d)
+    fc, fd = (float(v) for v in hermitian_min_eig_many(simo, [c, d]))
     for _ in range(40):
         if fc < fd:
             b, d, fd = d, c, fc
@@ -232,12 +252,14 @@ def characterize_immittance_passivity(
         top = result.band[1]
         if top > edges[-1]:
             edges.append(top)
+        # Classify all segments with one batched midpoint sweep.
+        segments = [(lo, hi) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+        mid_eigs = hermitian_min_eig_many(
+            simo, [0.5 * (lo + hi) for lo, hi in segments]
+        )
         current_lo: Optional[float] = None
-        for lo, hi in zip(edges[:-1], edges[1:]):
-            if hi <= lo:
-                continue
-            mid = 0.5 * (lo + hi)
-            if hermitian_min_eig(simo, mid) < 0.0:
+        for (lo, hi), mid_eig in zip(segments, mid_eigs):
+            if mid_eig < 0.0:
                 if current_lo is None:
                     current_lo = lo
             else:

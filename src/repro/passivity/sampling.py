@@ -14,6 +14,15 @@ contrast it with the exact Hamiltonian test:
   interval may hide a crossing) or that straddle the unit threshold;
 * report the violation intervals found.
 
+Refinement proceeds in *generational waves*: every interval that needs a
+midpoint contributes that midpoint to one batched ``transfer_many`` +
+stacked-SVD evaluation per generation, so the per-point cost is a
+vectorized O(n p) kernel rather than a Python-level loop.  Because the
+refine/skip decision for an interval depends only on that interval's own
+endpoints, the fully-refined sample set is identical to the historical
+one-point-at-a-time recursion whenever the evaluation budget is not
+binding.
+
 The method is *heuristic*: a violation narrower than the refinement limit
 can be missed — exactly the failure mode the algebraic Hamiltonian
 characterization eliminates.  The sampling-vs-Hamiltonian ablation
@@ -29,6 +38,7 @@ import numpy as np
 
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.simo import SimoRealization
+from repro.passivity.metrics import sigma_max_many as _sigma_max_batch
 from repro.utils.validation import (
     ensure_positive_float,
     ensure_positive_int,
@@ -94,7 +104,9 @@ def sampled_violations(
         Refinement stops below this width (relative to ``omega_max``);
         violations narrower than this can be missed.
     max_evaluations:
-        Hard budget on transfer evaluations.
+        Hard budget on transfer evaluations, enforced during initial-grid
+        seeding as well as refinement (an oversized ``initial_points`` is
+        evenly subsampled down to the budget instead of overrunning it).
     seed_resonances:
         Seed the initial grid with the model's resonance frequencies (the
         structure-aware strategy of ref. [17]).  With ``False`` the scan
@@ -108,13 +120,6 @@ def sampled_violations(
     ensure_positive_float(omega_max, "omega_max")
     ensure_positive_int(initial_points, "initial_points")
     width_floor = min_interval * omega_max
-
-    evaluations = 0
-
-    def sigma_at(w: float) -> float:
-        nonlocal evaluations
-        evaluations += 1
-        return float(np.linalg.svd(model.transfer(1j * w), compute_uv=False)[0])
 
     grid = np.linspace(0.0, omega_max, initial_points)
     if seed_resonances:
@@ -131,49 +136,68 @@ def sampled_violations(
             )
             clusters = clusters[(clusters >= 0.0) & (clusters <= omega_max)]
             grid = np.union1d(grid, clusters)
-    grid = list(grid)
-    values = [sigma_at(w) for w in grid]
-
-    # Worklist of (lo, hi, sigma_lo, sigma_hi) intervals to examine.
-    stack: List[Tuple[float, float, float, float]] = [
-        (grid[i], grid[i + 1], values[i], values[i + 1])
-        for i in range(len(grid) - 1)
-    ]
-    samples: List[Tuple[float, float]] = list(zip(grid, values))
-
-    while stack and evaluations < max_evaluations:
-        lo, hi, s_lo, s_hi = stack.pop()
-        if hi - lo <= width_floor:
-            continue
-        needs_refine = (
-            abs(s_hi - s_lo) > variation_tol
-            or (s_lo - threshold) * (s_hi - threshold) < 0.0
-            or max(s_lo, s_hi) > threshold - variation_tol
+    # Enforce the budget during seeding too: an oversized initial grid
+    # (large initial_points and/or heavy resonance seeding) is evenly
+    # subsampled so the coarse scan keeps full-band coverage without ever
+    # exceeding max_evaluations.
+    if grid.size > max_evaluations:
+        keep = np.unique(
+            np.round(np.linspace(0, grid.size - 1, max(2, max_evaluations))).astype(np.intp)
         )
-        if not needs_refine:
-            continue
+        grid = grid[keep]
+
+    values = _sigma_max_batch(model, grid)
+    evaluations = int(grid.size)
+
+    sample_freqs: List[np.ndarray] = [grid]
+    sample_sigmas: List[np.ndarray] = [values]
+
+    # Generational refinement: all intervals flagged for refinement emit
+    # their midpoints into one batched evaluation per wave.
+    lo, hi = grid[:-1], grid[1:]
+    s_lo, s_hi = values[:-1], values[1:]
+    while lo.size and evaluations < max_evaluations:
+        needs_refine = (hi - lo > width_floor) & (
+            (np.abs(s_hi - s_lo) > variation_tol)
+            | ((s_lo - threshold) * (s_hi - threshold) < 0.0)
+            | (np.maximum(s_lo, s_hi) > threshold - variation_tol)
+        )
+        lo, hi = lo[needs_refine], hi[needs_refine]
+        s_lo, s_hi = s_lo[needs_refine], s_hi[needs_refine]
+        if not lo.size:
+            break
+        remaining = max_evaluations - evaluations
+        if lo.size > remaining:
+            lo, hi = lo[:remaining], hi[:remaining]
+            s_lo, s_hi = s_lo[:remaining], s_hi[:remaining]
         mid = 0.5 * (lo + hi)
-        s_mid = sigma_at(mid)
-        samples.append((mid, s_mid))
-        stack.append((lo, mid, s_lo, s_mid))
-        stack.append((mid, hi, s_mid, s_hi))
+        s_mid = _sigma_max_batch(model, mid)
+        evaluations += int(mid.size)
+        sample_freqs.append(mid)
+        sample_sigmas.append(s_mid)
+        # Each refined interval splits into its two halves for the next wave.
+        lo, hi = np.concatenate([lo, mid]), np.concatenate([mid, hi])
+        s_lo, s_hi = np.concatenate([s_lo, s_mid]), np.concatenate([s_mid, s_hi])
 
-    samples.sort()
-    freqs = np.array([w for w, _ in samples])
-    sigmas = np.array([s for _, s in samples])
+    freqs = np.concatenate(sample_freqs)
+    sigmas = np.concatenate(sample_sigmas)
+    order = np.argsort(freqs)
+    freqs, sigmas = freqs[order], sigmas[order]
 
-    # Merge consecutive violating samples into intervals.
+    # Merge consecutive violating samples into intervals (vectorized run
+    # detection: an interval spans from the first violating sample to the
+    # next non-violating one, or to the last sample at the band edge).
     violating = sigmas > threshold
     intervals: List[Tuple[float, float]] = []
-    start = None
-    for i, flag in enumerate(violating):
-        if flag and start is None:
-            start = freqs[i]
-        elif not flag and start is not None:
-            intervals.append((float(start), float(freqs[i])))
-            start = None
-    if start is not None:
-        intervals.append((float(start), float(freqs[-1])))
+    if violating.size and np.any(violating):
+        padded = np.concatenate([[False], violating, [False]])
+        edges = np.diff(padded.astype(np.int8))
+        starts = np.nonzero(edges == 1)[0]
+        ends = np.nonzero(edges == -1)[0]
+        intervals = [
+            (float(freqs[s]), float(freqs[min(e, freqs.size - 1)]))
+            for s, e in zip(starts, ends)
+        ]
 
     return SamplingReport(
         passive=not intervals,

@@ -5,9 +5,12 @@
 * :mod:`repro.reporting.table1` -- the Table I driver
   (``python -m repro.reporting.table1``);
 * :mod:`repro.reporting.fig6` -- the Fig. 6 thread-scaling driver
-  (``python -m repro.reporting.fig6``).
+  (``python -m repro.reporting.fig6``);
+* :mod:`repro.reporting.sweepcheck` -- batched dense-sweep cross-validation
+  of solver crossing sets (``--validate-points`` in both drivers).
 """
 
+from repro.reporting.sweepcheck import SweepCheck, sweep_crossing_check
 from repro.reporting.tables import (
     Fig6Point,
     Table1Row,
@@ -15,4 +18,11 @@ from repro.reporting.tables import (
     format_table1,
 )
 
-__all__ = ["Table1Row", "Fig6Point", "format_table1", "format_fig6"]
+__all__ = [
+    "Table1Row",
+    "Fig6Point",
+    "format_table1",
+    "format_fig6",
+    "SweepCheck",
+    "sweep_crossing_check",
+]

@@ -19,6 +19,7 @@ from repro.core.options import SolverOptions
 from repro.core.parallel import solve_parallel
 from repro.core.serial import solve_serial
 from repro.reporting.projection import project_speedup
+from repro.reporting.sweepcheck import sweep_crossing_check
 from repro.reporting.tables import Fig6Point, format_fig6
 from repro.synth.workloads import fig6_case
 
@@ -32,6 +33,7 @@ def run_fig6(
     repeats: int = 20,
     options: Optional[SolverOptions] = None,
     model=None,
+    validate_points: int = 0,
 ) -> List[Fig6Point]:
     """Measure the speedup curve.
 
@@ -69,6 +71,13 @@ def run_fig6(
         serial_time.append(res.elapsed)
         serial_work.append(res.work.get("operator_applies", 1))
         serial_results.append(res)
+
+    if validate_points and serial_results:
+        check = sweep_crossing_check(
+            model, serial_results[0], points=validate_points
+        )
+        prefix = "" if check.ok else "WARNING: "
+        print(f"{prefix}fig6 case: {check.summary()}", file=sys.stderr)
 
     points: List[Fig6Point] = []
     for t in threads:
@@ -108,6 +117,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", type=float, default=1.0, help="order scale factor (0, 1]")
     parser.add_argument("--max-threads", type=int, default=16)
     parser.add_argument("--repeats", type=int, default=20)
+    parser.add_argument(
+        "--validate-points",
+        type=int,
+        default=0,
+        help="cross-validate crossings with a batched dense sigma sweep of"
+        " this many points (0 = off)",
+    )
     args = parser.parse_args(argv)
 
     print(
@@ -119,6 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scale=args.scale,
         threads=tuple(range(1, args.max_threads + 1)),
         repeats=args.repeats,
+        validate_points=args.validate_points,
     )
     print(format_fig6(points))
     return 0

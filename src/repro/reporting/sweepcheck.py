@@ -1,0 +1,124 @@
+"""Batched singular-value sweep cross-validation for the reporting drivers.
+
+The Table I / Fig. 6 drivers trust the Hamiltonian eigensolver for the
+crossing set ``Omega``.  This module provides an independent, cheap sanity
+check: one *batched* dense frequency sweep — a single multi-shift
+``transfer_many`` evaluation followed by one stacked ``numpy.linalg.svd``
+over the ``(K, p, p)`` responses — and a comparison of the unit-threshold
+sign changes it detects against the reported crossings.  A sign change the
+solver did not report is a genuine miss; the converse is fine (tangential
+crossings produce no sign change on a finite grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.results import SolveResult
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.simo import SimoRealization
+from repro.passivity.metrics import sigma_max_many
+
+__all__ = ["SweepCheck", "sweep_crossing_check"]
+
+ModelLike = Union[PoleResidueModel, SimoRealization]
+
+
+@dataclass(frozen=True)
+class SweepCheck:
+    """Outcome of the dense-sweep cross-validation.
+
+    Attributes
+    ----------
+    points:
+        Grid size of the batched sweep.
+    detected:
+        Unit-threshold sign changes seen on the grid.
+    matched:
+        Detected sign changes that fall next to a reported crossing.
+    missing:
+        Grid intervals ``(lo, hi)`` holding a sign change with no reported
+        crossing nearby — evidence of a missed eigenvalue.
+    max_sigma:
+        Largest singular value seen on the grid.
+    """
+
+    points: int
+    detected: int
+    matched: int
+    missing: Tuple[Tuple[float, float], ...]
+    max_sigma: float
+
+    @property
+    def ok(self) -> bool:
+        """True when every detected sign change matches a reported crossing."""
+        return not self.missing
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return (
+                f"sweep check ok: {self.detected} threshold sign change(s) on"
+                f" {self.points} points, all matched (max sigma {self.max_sigma:.4f})"
+            )
+        spans = ", ".join(f"[{lo:.4g}, {hi:.4g}]" for lo, hi in self.missing)
+        return (
+            f"sweep check FAILED: {len(self.missing)} unmatched sign change(s)"
+            f" at {spans} ({self.detected} detected, {self.matched} matched)"
+        )
+
+
+def sweep_crossing_check(
+    model: ModelLike,
+    result: SolveResult,
+    *,
+    points: int = 1000,
+    threshold: float = 1.0,
+) -> SweepCheck:
+    """Cross-validate a solve result against one batched dense sigma sweep.
+
+    Parameters
+    ----------
+    model:
+        The macromodel the solver characterized.
+    result:
+        The eigensolver outcome (band and crossing set).
+    points:
+        Dense grid size; the whole sweep is a single ``(K, p, p)`` batched
+        evaluation regardless of ``points``.
+    threshold:
+        Singular-value threshold (1.0 for scattering passivity).
+
+    Returns
+    -------
+    SweepCheck
+    """
+    lo, hi = float(result.band[0]), float(result.band[1])
+    if hi <= lo:
+        return SweepCheck(points=0, detected=0, matched=0, missing=(), max_sigma=0.0)
+    grid = np.linspace(lo, hi, max(3, int(points)))
+    sigma = sigma_max_many(model, grid)
+    excess = sigma - threshold
+    flips = np.nonzero(np.sign(excess[:-1]) * np.sign(excess[1:]) < 0)[0]
+    omegas = np.asarray(result.omegas, dtype=float)
+    step = grid[1] - grid[0]
+    missing = []
+    matched = 0
+    for i in flips:
+        seg_lo, seg_hi = float(grid[i]), float(grid[i + 1])
+        if omegas.size and np.any(
+            (omegas >= seg_lo - step) & (omegas <= seg_hi + step)
+        ):
+            matched += 1
+        else:
+            missing.append((seg_lo, seg_hi))
+    return SweepCheck(
+        points=int(grid.size),
+        detected=int(flips.size),
+        matched=matched,
+        missing=tuple(missing),
+        max_sigma=float(sigma.max()) if sigma.size else 0.0,
+    )

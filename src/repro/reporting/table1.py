@@ -21,6 +21,7 @@ from repro.core.options import SolverOptions
 from repro.core.parallel import solve_parallel
 from repro.core.serial import solve_serial
 from repro.reporting.projection import project_speedup
+from repro.reporting.sweepcheck import sweep_crossing_check
 from repro.reporting.tables import Table1Row, format_table1
 from repro.synth.workloads import TABLE1_CASES, CaseSpec, build_case
 
@@ -34,13 +35,23 @@ def run_case(
     num_threads: int = 16,
     repeats: int = 1,
     options: Optional[SolverOptions] = None,
+    validate_points: int = 0,
 ) -> Table1Row:
-    """Measure one Table I row: serial once, parallel ``repeats`` times."""
+    """Measure one Table I row: serial once, parallel ``repeats`` times.
+
+    With ``validate_points > 0`` the serial crossing set is additionally
+    cross-validated against one batched dense sigma sweep of that size
+    (see :func:`repro.reporting.sweepcheck.sweep_crossing_check`).
+    """
     options = options if options is not None else SolverOptions()
     model = build_case(spec, scale=scale)
 
     serial = solve_serial(model, strategy="bisection", options=options)
     work_serial = serial.work.get("operator_applies", 0)
+    if validate_points:
+        check = sweep_crossing_check(model, serial, points=validate_points)
+        prefix = "" if check.ok else "WARNING: "
+        print(f"{prefix}{spec.name}: {check.summary()}", file=sys.stderr)
 
     par_times: List[float] = []
     par_works: List[int] = []
@@ -95,6 +106,7 @@ def run_table1(
     repeats: int = 1,
     options: Optional[SolverOptions] = None,
     verbose: bool = False,
+    validate_points: int = 0,
 ) -> List[Table1Row]:
     """Measure all requested cases; returns the rows in case order."""
     rows = []
@@ -108,6 +120,7 @@ def run_table1(
                 num_threads=num_threads,
                 repeats=repeats,
                 options=options,
+                validate_points=validate_points,
             )
         )
     return rows
@@ -125,6 +138,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="",
         help="comma-separated case numbers (default: all 12)",
     )
+    parser.add_argument(
+        "--validate-points",
+        type=int,
+        default=0,
+        help="cross-validate crossings with a batched dense sigma sweep of"
+        " this many points (0 = off)",
+    )
     args = parser.parse_args(argv)
 
     cases = TABLE1_CASES
@@ -137,6 +157,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         num_threads=args.threads,
         repeats=args.repeats,
         verbose=True,
+        validate_points=args.validate_points,
     )
     print(format_table1(rows, args.threads))
     return 0

@@ -17,7 +17,9 @@ import numpy as np
 __all__ = [
     "blkdiag",
     "solve_shifted_diagonal",
+    "solve_shifted_diagonal_many",
     "solve_shifted_rot2",
+    "solve_shifted_rot2_many",
     "apply_rot2",
     "orthonormalize_against",
     "relative_spacing",
@@ -71,6 +73,46 @@ def solve_shifted_diagonal(diag: np.ndarray, shift: complex, rhs: np.ndarray) ->
     if rhs.ndim == 1:
         return rhs / denom
     return rhs / denom[:, None]
+
+
+def solve_shifted_diagonal_many(
+    diag: np.ndarray, shifts: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve ``(diag(d) - shift_k*I) x_k = rhs`` for a whole batch of shifts.
+
+    The multi-shift companion of :func:`solve_shifted_diagonal`: the
+    right-hand side is *shared* across shifts (the multi-shift structure of
+    frequency sweeps, where ``B`` is fixed and only the evaluation point
+    moves), so the solves reduce to one broadcast divide.
+
+    Parameters
+    ----------
+    diag:
+        1-D array of diagonal entries ``d`` (length ``m``).
+    shifts:
+        1-D array of ``K`` complex shifts.
+    rhs:
+        Shared right-hand side of shape ``(m,)`` or ``(m, j)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(K, m)`` or ``(K, m, j)`` — one solution per shift.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If any shift coincides (to machine precision) with a diagonal entry.
+    """
+    diag = np.asarray(diag)
+    shifts = np.asarray(shifts)
+    rhs = np.asarray(rhs)
+    denom = diag[None, :] - shifts[:, None]  # (K, m)
+    if denom.size and np.min(np.abs(denom)) == 0.0:
+        raise ZeroDivisionError("shift coincides with a real pole; shifted block is singular")
+    if rhs.ndim == 1:
+        return rhs[None, :] / denom
+    return rhs[None, :, :] / denom[:, :, None]
 
 
 def apply_rot2(alpha: np.ndarray, beta: np.ndarray, x: np.ndarray) -> np.ndarray:
@@ -148,6 +190,58 @@ def solve_shifted_rot2(
     det_c = det[:, None]
     out[:, 0, :] = (a[:, None] * rhs[:, 0, :] - b[:, None] * rhs[:, 1, :]) / det_c
     out[:, 1, :] = (b[:, None] * rhs[:, 0, :] + a[:, None] * rhs[:, 1, :]) / det_c
+    return out
+
+
+def solve_shifted_rot2_many(
+    alpha: np.ndarray, beta: np.ndarray, shifts: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve the shifted 2x2 batch of :func:`solve_shifted_rot2` for many shifts.
+
+    The right-hand side is shared across the ``K`` shifts; every
+    ``(block, shift)`` combination is solved with one broadcast expression
+    using the closed-form inverse of ``[[a, b], [-b, a]]``.
+
+    Parameters
+    ----------
+    alpha, beta:
+        1-D arrays of length ``m`` (one entry per 2x2 block).
+    shifts:
+        1-D array of ``K`` complex shifts.
+    rhs:
+        Shared right-hand side of shape ``(m, 2)`` or ``(m, 2, j)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(K, m, 2)`` or ``(K, m, 2, j)``.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If any shift coincides with a block eigenvalue ``alpha +/- j*beta``.
+    """
+    alpha = np.asarray(alpha)
+    beta = np.asarray(beta)
+    shifts = np.asarray(shifts)
+    rhs = np.asarray(rhs)
+    a = alpha[None, :] - shifts[:, None]  # (K, m)
+    b = beta  # (m,)
+    det = a * a + (b * b)[None, :]
+    if det.size and np.min(np.abs(det)) == 0.0:
+        raise ZeroDivisionError("shift coincides with a complex pole; shifted block is singular")
+    dtype = np.result_type(rhs.dtype, det.dtype)
+    if rhs.ndim == 2:
+        out = np.empty((shifts.size,) + rhs.shape, dtype=dtype)
+        out[:, :, 0] = (a * rhs[None, :, 0] - b[None, :] * rhs[None, :, 1]) / det
+        out[:, :, 1] = (b[None, :] * rhs[None, :, 0] + a * rhs[None, :, 1]) / det
+        return out
+    out = np.empty((shifts.size,) + rhs.shape, dtype=dtype)
+    a3 = a[:, :, None]
+    b3 = b[None, :, None]
+    det3 = det[:, :, None]
+    out[:, :, 0, :] = (a3 * rhs[None, :, 0, :] - b3 * rhs[None, :, 1, :]) / det3
+    out[:, :, 1, :] = (b3 * rhs[None, :, 0, :] + a3 * rhs[None, :, 1, :]) / det3
     return out
 
 

@@ -133,18 +133,20 @@ def _basis(freqs_rad: np.ndarray, poles: np.ndarray) -> Tuple[np.ndarray, np.nda
 
     Returns ``(phi, real_poles, pair_poles)`` with ``phi`` of shape
     ``(K, M)`` complex: one column per real pole, two per conjugate pair.
+    The whole ``(K, M)`` Cauchy-basis block is built by broadcasting — no
+    per-pole Python loop.
     """
     real_poles, pair_poles = partition_poles(poles)
     s = 1j * freqs_rad
-    columns = []
-    for r in real_poles:
-        columns.append(1.0 / (s - r))
-    for q in pair_poles:
-        inv_up = 1.0 / (s - q)
-        inv_dn = 1.0 / (s - np.conj(q))
-        columns.append(inv_up + inv_dn)
-        columns.append(1j * (inv_up - inv_dn))
-    phi = np.stack(columns, axis=1) if columns else np.zeros((s.size, 0), complex)
+    num_real = real_poles.size
+    phi = np.empty((s.size, num_real + 2 * pair_poles.size), dtype=complex)
+    if num_real:
+        phi[:, :num_real] = 1.0 / (s[:, None] - real_poles[None, :])
+    if pair_poles.size:
+        inv_up = 1.0 / (s[:, None] - pair_poles[None, :])
+        inv_dn = 1.0 / (s[:, None] - np.conj(pair_poles)[None, :])
+        phi[:, num_real::2] = inv_up + inv_dn
+        phi[:, num_real + 1 :: 2] = 1j * (inv_up - inv_dn)
     return phi, real_poles, pair_poles
 
 
@@ -152,21 +154,21 @@ def _sigma_realization(
     real_poles: np.ndarray, pair_poles: np.ndarray, sigma: np.ndarray
 ) -> np.ndarray:
     """Zeros of ``1 + sum sigma_m phi_m``: eigenvalues of ``A - b c^T``."""
-    m = real_poles.size + 2 * pair_poles.size
+    num_real = real_poles.size
+    m = num_real + 2 * pair_poles.size
     a = np.zeros((m, m))
     b = np.zeros(m)
-    pos = 0
-    for r in real_poles:
-        a[pos, pos] = r
-        b[pos] = 1.0
-        pos += 1
-    for q in pair_poles:
-        a[pos, pos] = q.real
-        a[pos, pos + 1] = q.imag
-        a[pos + 1, pos] = -q.imag
-        a[pos + 1, pos + 1] = q.real
+    if num_real:
+        idx = np.arange(num_real)
+        a[idx, idx] = real_poles
+        b[idx] = 1.0
+    if pair_poles.size:
+        pos = num_real + 2 * np.arange(pair_poles.size)
+        a[pos, pos] = pair_poles.real
+        a[pos, pos + 1] = pair_poles.imag
+        a[pos + 1, pos] = -pair_poles.imag
+        a[pos + 1, pos + 1] = pair_poles.real
         b[pos] = 2.0
-        pos += 2
     return np.linalg.eigvals(a - np.outer(b, sigma))
 
 
@@ -197,9 +199,14 @@ def _symmetrize(poles: np.ndarray) -> np.ndarray:
     return out
 
 
-def _stack_real(matrix: np.ndarray) -> np.ndarray:
-    """Stack real and imaginary parts along axis 0."""
-    return np.concatenate([matrix.real, matrix.imag], axis=0)
+def _stack_real(matrix: np.ndarray, *, axis: int = 0) -> np.ndarray:
+    """Stack real and imaginary parts along ``axis``.
+
+    With ``axis=1`` this turns a complex ``(E, K, F)`` stack of per-element
+    blocks into the real ``(E, 2K, F)`` LS blocks consumed by the batched
+    QR factorizations below.
+    """
+    return np.concatenate([matrix.real, matrix.imag], axis=axis)
 
 
 def vector_fit(
@@ -328,26 +335,26 @@ def _relocate_poles(
     """One sigma stage: solve for sigma coefficients, return new poles."""
     phi, real_poles, pair_poles = _basis(freqs_rad, poles)
     k_samples, num_funcs = phi.shape
-    num_elems = flat.shape[1]
     const = np.ones((k_samples, 1)) if options.fit_direct_term else np.zeros((k_samples, 0))
+    basis = np.concatenate([phi, const.astype(complex)], axis=1)  # (K, F)
 
     # Per-element projection of the sigma block onto the orthogonal
-    # complement of the residue block (the "fast VF" reduction), then one
-    # stacked least-squares for the shared sigma coefficients.
-    reduced_rows: List[np.ndarray] = []
-    reduced_rhs: List[np.ndarray] = []
-    for e in range(num_elems):
-        w_col = weights[:, e][:, None]
-        a_block = _stack_real(np.concatenate([phi, const.astype(complex)], axis=1) * w_col)
-        b_block = _stack_real(-(flat[:, e][:, None] * phi) * w_col)
-        rhs = _stack_real((flat[:, e] * weights[:, e])[:, None])[:, 0]
-        q, _ = np.linalg.qr(a_block)
-        b_proj = b_block - q @ (q.T @ b_block)
-        r_proj = rhs - q @ (q.T @ rhs)
-        reduced_rows.append(b_proj)
-        reduced_rhs.append(r_proj)
-    g = np.concatenate(reduced_rows, axis=0)
-    b = np.concatenate(reduced_rhs, axis=0)
+    # complement of the residue block (the "fast VF" reduction).  All
+    # elements are assembled at once as stacked ``(E, 2K, .)`` real blocks
+    # and projected through ONE batched QR — no per-element Python loop —
+    # then one stacked least-squares yields the shared sigma coefficients.
+    w3 = weights.T[:, :, None]  # (E, K, 1)
+    a_blocks = _stack_real(basis[None, :, :] * w3, axis=1)  # (E, 2K, F)
+    b_blocks = _stack_real(
+        -(flat.T[:, :, None] * phi[None, :, :]) * w3, axis=1
+    )  # (E, 2K, M)
+    rhs = _stack_real((flat * weights).T[:, :, None], axis=1)  # (E, 2K, 1)
+    q, _ = np.linalg.qr(a_blocks)
+    qt = np.swapaxes(q, 1, 2)
+    b_proj = b_blocks - q @ (qt @ b_blocks)
+    r_proj = rhs - q @ (qt @ rhs)
+    g = b_proj.reshape(-1, b_proj.shape[2])
+    b = r_proj.reshape(-1)
     sigma, *_ = np.linalg.lstsq(g, b, rcond=None)
 
     zeros = _sigma_realization(real_poles, pair_poles, sigma)
@@ -364,40 +371,50 @@ def _identify_residues(
     p: int,
     options: VectorFittingOptions,
 ) -> PoleResidueModel:
-    """Final residue stage with fixed poles."""
+    """Final residue stage with fixed poles.
+
+    All ``p^2`` element fits share one ``(E, 2K, F)`` stacked assembly and
+    one batched QR least-squares solve; a per-element ``lstsq`` fallback
+    covers the (rank-deficient) corner the fast path cannot factor.
+    """
     phi, real_poles, pair_poles = _basis(freqs_rad, poles)
     k_samples, num_funcs = phi.shape
     const = np.ones((k_samples, 1)) if options.fit_direct_term else np.zeros((k_samples, 0))
     basis = np.concatenate([phi, const.astype(complex)], axis=1)
 
     num_elems = flat.shape[1]
-    coeffs = np.zeros((basis.shape[1], num_elems))
-    for e in range(num_elems):
-        w_col = weights[:, e][:, None]
-        a_block = _stack_real(basis * w_col)
-        rhs = _stack_real((flat[:, e] * weights[:, e])[:, None])[:, 0]
-        sol, *_ = np.linalg.lstsq(a_block, rhs, rcond=None)
-        coeffs[:, e] = sol
+    w3 = weights.T[:, :, None]  # (E, K, 1)
+    a_blocks = _stack_real(basis[None, :, :] * w3, axis=1)  # (E, 2K, F)
+    rhs = _stack_real((flat * weights).T[:, :, None], axis=1)  # (E, 2K, 1)
+    try:
+        q, r = np.linalg.qr(a_blocks)
+        sol = np.linalg.solve(r, np.swapaxes(q, 1, 2) @ rhs)  # (E, F, 1)
+        if not np.all(np.isfinite(sol)):
+            raise np.linalg.LinAlgError("batched QR solve not finite")
+        coeffs = sol[:, :, 0].T  # (F, E)
+    except np.linalg.LinAlgError:
+        # Rank-deficient basis on some element: redo with per-element lstsq.
+        coeffs = np.zeros((basis.shape[1], num_elems))
+        for e in range(num_elems):
+            sol_e, *_ = np.linalg.lstsq(a_blocks[e], rhs[e, :, 0], rcond=None)
+            coeffs[:, e] = sol_e
 
     # Unpack into residue matrices (order: real poles, then pairs).
-    m_total = real_poles.size + 2 * pair_poles.size
+    num_real = real_poles.size
+    num_pairs = pair_poles.size
+    m_total = num_real + 2 * num_pairs
     residues = np.zeros((m_total, p, p), dtype=complex)
     ordered_poles = np.empty(m_total, dtype=complex)
-    row = 0
-    out = 0
-    for r in real_poles:
-        ordered_poles[out] = r
-        residues[out] = coeffs[row].reshape(p, p)
-        row += 1
-        out += 1
-    for q in pair_poles:
-        block = (coeffs[row] + 1j * coeffs[row + 1]).reshape(p, p)
-        ordered_poles[out] = q
-        residues[out] = block
-        ordered_poles[out + 1] = np.conj(q)
-        residues[out + 1] = np.conj(block)
-        row += 2
-        out += 2
+    if num_real:
+        ordered_poles[:num_real] = real_poles
+        residues[:num_real] = coeffs[:num_real].reshape(num_real, p, p)
+    if num_pairs:
+        pair_rows = coeffs[num_real : num_real + 2 * num_pairs]
+        blocks = (pair_rows[0::2] + 1j * pair_rows[1::2]).reshape(num_pairs, p, p)
+        ordered_poles[num_real::2] = pair_poles
+        ordered_poles[num_real + 1 :: 2] = np.conj(pair_poles)
+        residues[num_real::2] = blocks
+        residues[num_real + 1 :: 2] = np.conj(blocks)
     if options.fit_direct_term:
         d = coeffs[-1].reshape(p, p)
     else:

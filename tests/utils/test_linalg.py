@@ -47,6 +47,35 @@ class TestSolveShiftedDiagonal:
             la.solve_shifted_diagonal(np.array([-1.0]), -1.0, np.array([1.0]))
 
 
+class TestSolveShiftedDiagonalMany:
+    def test_matches_per_shift_vector_rhs(self, rng):
+        d = -rng.uniform(0.5, 3.0, 6)
+        shifts = 0.1 + 1j * np.linspace(0.5, 4.0, 5)
+        rhs = rng.standard_normal(6)
+        batch = la.solve_shifted_diagonal_many(d, shifts, rhs)
+        for k, shift in enumerate(shifts):
+            np.testing.assert_allclose(
+                batch[k], la.solve_shifted_diagonal(d, shift, rhs), atol=1e-14
+            )
+
+    def test_matches_per_shift_matrix_rhs(self, rng):
+        d = -rng.uniform(0.5, 3.0, 4)
+        shifts = 1j * np.linspace(0.2, 2.0, 3)
+        rhs = rng.standard_normal((4, 2))
+        batch = la.solve_shifted_diagonal_many(d, shifts, rhs)
+        assert batch.shape == (3, 4, 2)
+        for k, shift in enumerate(shifts):
+            np.testing.assert_allclose(
+                batch[k], la.solve_shifted_diagonal(d, shift, rhs), atol=1e-14
+            )
+
+    def test_singular_shift_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            la.solve_shifted_diagonal_many(
+                np.array([-1.0, -2.0]), np.array([1j, -1.0 + 0j]), np.ones(2)
+            )
+
+
 class TestRot2:
     def _dense_block(self, alpha, beta):
         return np.array([[alpha, beta], [-beta, alpha]])
@@ -86,6 +115,41 @@ class TestRot2:
         with pytest.raises(ZeroDivisionError):
             la.solve_shifted_rot2(
                 np.array([-1.0]), np.array([2.0]), -1.0 + 2.0j, np.ones((1, 2))
+            )
+
+
+class TestSolveShiftedRot2Many:
+    def test_matches_per_shift(self, rng):
+        alpha = rng.standard_normal(4)
+        beta = rng.standard_normal(4) + 2.0
+        shifts = 0.2 + 1j * np.linspace(0.3, 3.0, 6)
+        rhs = rng.standard_normal((4, 2)) + 1j * rng.standard_normal((4, 2))
+        batch = la.solve_shifted_rot2_many(alpha, beta, shifts, rhs)
+        assert batch.shape == (6, 4, 2)
+        for k, shift in enumerate(shifts):
+            np.testing.assert_allclose(
+                batch[k], la.solve_shifted_rot2(alpha, beta, shift, rhs), atol=1e-13
+            )
+
+    def test_matches_per_shift_block_rhs(self, rng):
+        alpha = rng.standard_normal(3)
+        beta = rng.standard_normal(3) + 1.5
+        shifts = 1j * np.linspace(0.1, 1.5, 4)
+        rhs = rng.standard_normal((3, 2, 5)) + 0j
+        batch = la.solve_shifted_rot2_many(alpha, beta, shifts, rhs)
+        assert batch.shape == (4, 3, 2, 5)
+        for k, shift in enumerate(shifts):
+            np.testing.assert_allclose(
+                batch[k], la.solve_shifted_rot2(alpha, beta, shift, rhs), atol=1e-13
+            )
+
+    def test_singular_shift_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            la.solve_shifted_rot2_many(
+                np.array([-1.0]),
+                np.array([2.0]),
+                np.array([1j, -1.0 + 2.0j]),
+                np.ones((1, 2)),
             )
 
 
