@@ -1,0 +1,50 @@
+"""Batch fleet benchmark: serial vs process-pool execution.
+
+The fleet layer is the system's multi-model workload story: a batch of
+macromodels run through fit → check on a bounded process pool should
+approach linear speedup over the serial loop on a multi-core host.  This
+suite tracks both paths on the same seeded fleet so a scheduling or
+serialization regression (e.g. the pool silently degrading to one
+in-flight job) shows up as a wall-clock cliff — and asserts the two
+execution orders produce identical per-model crossing sets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from _config import BENCH_SCALE
+from repro.batch import BatchRunner, synth_fleet
+
+MODELS = max(4, int(8 * BENCH_SCALE * 20))
+ORDER = max(6, int(12 * BENCH_SCALE * 20))
+WORKERS = min(os.cpu_count() or 1, 4)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return synth_fleet(MODELS, order_per_column=ORDER, base_seed=777)
+
+
+def test_fleet_serial(benchmark, fleet):
+    report = benchmark(BatchRunner(backend="serial").run, fleet)
+    benchmark.extra_info["models"] = MODELS
+    benchmark.extra_info["order_per_column"] = ORDER
+    assert report.all_ok, report.summary()
+
+
+def test_fleet_process(benchmark, fleet):
+    runner = BatchRunner(backend="process", workers=WORKERS)
+    report = benchmark(runner.run, fleet)
+    benchmark.extra_info["models"] = MODELS
+    benchmark.extra_info["workers"] = WORKERS
+    assert report.all_ok, report.summary()
+    # Same fleet, same seeds: the pool must not change the science.
+    serial = BatchRunner(backend="serial").run(fleet).crossings_by_name()
+    for name, crossings in report.crossings_by_name().items():
+        np.testing.assert_allclose(
+            crossings, serial[name], atol=1e-12, rtol=0.0
+        )

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: diff a fresh run against the tracked baseline.
+
+Compares the per-stage wall-clock timings of a fresh ``run.py`` output
+against the repo-tracked ``BENCH_pipeline.json`` and exits non-zero when
+any stage slowed down by more than the threshold (default 25%).  Stages
+faster than the noise floor (default 50 ms) in *both* runs are reported
+but never fail the gate — interpreter jitter dominates below that.
+
+Usage::
+
+    python benchmarks/run.py --output fresh.json
+    python benchmarks/compare.py --baseline BENCH_pipeline.json --current fresh.json
+
+CI wires this into the ``bench-smoke`` job; commits whose message
+contains ``[bench-skip]`` bypass the gate (escape hatch for runs on
+known-noisy runners or intentional trade-offs — say why in the commit).
+
+Exit codes: 0 — no regression; 1 — at least one stage regressed;
+2 — the payloads could not be compared (missing file/stage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Fail when current > baseline * (1 + THRESHOLD) for an eligible stage.
+DEFAULT_THRESHOLD = 0.25
+
+#: Stages faster than this in both runs never fail the gate (seconds).
+DEFAULT_MIN_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class StageDiff:
+    """Comparison of one named timing between baseline and current."""
+
+    name: str
+    baseline_seconds: float
+    current_seconds: float
+    threshold: float
+    min_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Current over baseline (>1 means slower)."""
+        if self.baseline_seconds <= 0.0:
+            return float("inf") if self.current_seconds > 0.0 else 1.0
+        return self.current_seconds / self.baseline_seconds
+
+    @property
+    def eligible(self) -> bool:
+        """True when the stage is above the noise floor in either run."""
+        return (
+            self.baseline_seconds >= self.min_seconds
+            or self.current_seconds >= self.min_seconds
+        )
+
+    @property
+    def regressed(self) -> bool:
+        """True when this stage fails the gate."""
+        return self.eligible and self.ratio > 1.0 + self.threshold
+
+    def format_row(self) -> str:
+        flag = "FAIL" if self.regressed else ("  ok" if self.eligible else "dust")
+        return (
+            f"{flag}  {self.name:<24} {self.baseline_seconds:10.4f}s"
+            f" -> {self.current_seconds:10.4f}s   x{self.ratio:.3f}"
+        )
+
+
+def _timings(payload: dict) -> Dict[str, float]:
+    """Extract the named wall-clock timings compared by the gate.
+
+    Covers the dense-sweep micro-benchmark (batched path only — the
+    looped reference exists for the speedup story, not the gate) and
+    every pipeline stage, including the batch-fleet stage added by
+    ``run.py --batch-models``.
+    """
+    timings: Dict[str, float] = {}
+    sweep = payload.get("sweep")
+    if isinstance(sweep, dict) and "batched_seconds" in sweep:
+        timings["sweep.batched"] = float(sweep["batched_seconds"])
+    for stage in payload.get("stages", []):
+        name = stage.get("name")
+        seconds = stage.get("seconds")
+        if name is None or seconds is None:
+            continue
+        timings[str(name)] = float(seconds)
+    return timings
+
+
+def compare_payloads(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> Tuple[List[StageDiff], List[str]]:
+    """Diff two ``run.py`` payloads.
+
+    Returns
+    -------
+    (diffs, missing)
+        Per-stage comparisons for the stages present in both payloads,
+        and the names of baseline stages absent from the current run
+        (a silently dropped stage must not pass the gate).
+    """
+    base_timings = _timings(baseline)
+    cur_timings = _timings(current)
+    if not base_timings:
+        raise ValueError("baseline payload contains no comparable timings")
+    diffs = [
+        StageDiff(
+            name=name,
+            baseline_seconds=base_timings[name],
+            current_seconds=cur_timings[name],
+            threshold=threshold,
+            min_seconds=min_seconds,
+        )
+        for name in base_timings
+        if name in cur_timings
+    ]
+    missing = sorted(set(base_timings) - set(cur_timings))
+    return diffs, missing
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_pipeline.json",
+        help="tracked baseline JSON (default: repo-root BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True, help="fresh run.py output JSON"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed per-stage slowdown fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="noise floor: stages faster than this in both runs never fail",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load benchmark payloads: {exc}", file=sys.stderr)
+        return 2
+    try:
+        diffs, missing = compare_payloads(
+            baseline,
+            current,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"benchmark gate: threshold +{args.threshold:.0%},"
+        f" noise floor {args.min_seconds:g}s"
+    )
+    for diff in diffs:
+        print(diff.format_row())
+    for name in missing:
+        print(f"GONE  {name:<24} present in baseline, absent from current run")
+
+    regressions = [diff for diff in diffs if diff.regressed]
+    if missing:
+        print(
+            f"{len(missing)} baseline stage(s) missing from the current run",
+            file=sys.stderr,
+        )
+        return 2
+    if regressions:
+        print(
+            f"{len(regressions)} stage(s) regressed beyond"
+            f" {args.threshold:.0%}: "
+            + ", ".join(diff.name for diff in regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

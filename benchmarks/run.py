@@ -12,6 +12,10 @@ Produces ``BENCH_pipeline.json`` (repo root by default) holding
 * per-stage **pipeline** timings (vector fitting, Hamiltonian
   characterization, enforcement, adaptive-sampling baseline) with the
   stages' abstract :class:`~repro.utils.timing.WorkCounter` units;
+* the **batch fleet** stage — the same seeded synthetic fleet run
+  through ``repro.batch.BatchRunner`` once serially and once on the
+  process pool, with the measured wall-clock speedup and a check that
+  the per-model crossing sets agree exactly;
 * optionally the pytest-benchmark suites of this directory, executed at
   the same ``BENCH_SCALE`` with their JSON report folded in.
 
@@ -47,6 +51,7 @@ for entry in (str(ROOT / "src"), str(BENCH_DIR)):
 
 import numpy as np  # noqa: E402
 
+from repro.batch import BatchRunner, synth_fleet  # noqa: E402
 from repro.core.options import SolverOptions  # noqa: E402
 from repro.macromodel.realization import pole_residue_to_simo  # noqa: E402
 from repro.passivity.characterization import characterize_passivity  # noqa: E402
@@ -190,6 +195,55 @@ def run_pipeline_stages(*, scale: float, threads: int = 2) -> List[Dict]:
     return stages
 
 
+def run_batch_benchmark(
+    *, models: int = 8, workers: Optional[int] = None, order: int = 12
+) -> Dict:
+    """Batch-fleet stage: serial vs process-pool execution of one fleet.
+
+    Both runs share the same seeded synthetic fleet (so results are
+    comparable bit-for-bit); the recorded ``speedup`` is the wall-clock
+    ratio, which approaches the worker count on a multi-core host and
+    ~1.0 on a single core.
+    """
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 4)
+    fleet = synth_fleet(models, order_per_column=order, base_seed=777)
+
+    t0 = time.perf_counter()
+    serial_report = BatchRunner(backend="serial").run(fleet)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    process_report = BatchRunner(backend="process", workers=workers).run(fleet)
+    process_s = time.perf_counter() - t0
+
+    serial_crossings = serial_report.crossings_by_name()
+    process_crossings = process_report.crossings_by_name()
+    max_diff = 0.0
+    for name, expected in serial_crossings.items():
+        got = process_crossings.get(name)
+        if got is None or len(got) != len(expected):
+            max_diff = float("inf")
+            break
+        if expected:
+            max_diff = max(
+                max_diff,
+                float(np.max(np.abs(np.asarray(got) - np.asarray(expected)))),
+            )
+    return {
+        "models": int(models),
+        "order_per_column": int(order),
+        "workers": int(workers),
+        "serial_seconds": serial_s,
+        "process_seconds": process_s,
+        "speedup": serial_s / process_s if process_s > 0 else float("inf"),
+        "serial_ok": int(serial_report.num_ok),
+        "process_ok": int(process_report.num_ok),
+        "process_backend": process_report.backend,
+        "max_crossing_diff": max_diff,
+    }
+
+
 def _resolve_suites(tokens: Sequence[str]) -> List[str]:
     if not tokens or list(tokens) == ["none"]:
         return []
@@ -258,6 +312,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sweep-ports", type=int, default=4)
     parser.add_argument("--threads", type=int, default=2)
     parser.add_argument(
+        "--batch-models",
+        type=int,
+        default=8,
+        help="fleet size of the batch stage (0 disables the stage)",
+    )
+    parser.add_argument(
+        "--batch-workers",
+        type=int,
+        default=None,
+        help="process-pool size of the batch stage (default: cpus, max 4)",
+    )
+    parser.add_argument(
         "--suites",
         nargs="*",
         default=["none"],
@@ -288,6 +354,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for stage in stages:
         print(f"  {stage['name']:<20} {stage['seconds']:.4f}s", file=sys.stderr)
 
+    batch = None
+    if args.batch_models > 0:
+        print(f"batch fleet ({args.batch_models} models)...", file=sys.stderr)
+        batch = run_batch_benchmark(
+            models=args.batch_models, workers=args.batch_workers
+        )
+        print(
+            f"  serial {batch['serial_seconds']:.4f}s  process"
+            f" {batch['process_seconds']:.4f}s  speedup"
+            f" {batch['speedup']:.2f}x  ({batch['workers']} workers,"
+            f" max |crossing diff| {batch['max_crossing_diff']:.2e})",
+            file=sys.stderr,
+        )
+        # Gate the fleet wall-clock like any other pipeline stage.
+        stages.append(
+            {
+                "name": "batch_fleet",
+                "seconds": batch["process_seconds"],
+                "work": None,
+                "extra": {
+                    "models": batch["models"],
+                    "workers": batch["workers"],
+                    "speedup": batch["speedup"],
+                },
+            }
+        )
+
     pytest_payload = run_pytest_suites(_resolve_suites(args.suites), scale=args.scale)
 
     payload = {
@@ -298,6 +391,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "numpy": np.__version__,
         "sweep": sweep,
         "stages": stages,
+        "batch": batch,
         "pytest": pytest_payload,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

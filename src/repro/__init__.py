@@ -39,6 +39,7 @@ from this package as deprecated shims; new code should use the facade.
 import warnings as _warnings
 
 from repro.api import (
+    ConfigError,
     Macromodel,
     RunConfig,
     StrategySpec,
@@ -46,6 +47,7 @@ from repro.api import (
     register_strategy,
     resolve_strategy,
 )
+from repro.batch import BatchRunner, FleetReport, synth_fleet
 from repro.core.options import SolverOptions
 from repro.core.results import SolveResult
 from repro.core.solver import find_imaginary_eigenvalues as _find_imaginary_eigenvalues
@@ -121,8 +123,13 @@ __all__ = [
     # Facade + configuration (the recommended API).
     "Macromodel",
     "RunConfig",
+    "ConfigError",
     "SolverOptions",
     "solve",
+    # Batch fleet execution.
+    "BatchRunner",
+    "FleetReport",
+    "synth_fleet",
     # Strategy registry.
     "StrategySpec",
     "available_strategies",

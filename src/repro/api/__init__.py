@@ -21,9 +21,10 @@ backends plug into the solver without touching the dispatcher.
 """
 
 from repro.api.session import Macromodel
-from repro.core.config import RunConfig
+from repro.core.config import ConfigError, RunConfig
 from repro.core.options import SolverOptions
 from repro.core.registry import (
+    BACKENDS,
     StrategySpec,
     available_strategies,
     register_strategy,
@@ -32,6 +33,8 @@ from repro.core.registry import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "ConfigError",
     "Macromodel",
     "RunConfig",
     "SolverOptions",

@@ -36,7 +36,6 @@ from repro.core.config import RunConfig
 from repro.core.results import SolveResult
 from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
-from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
 from repro.passivity.characterization import PassivityReport, characterize_passivity
 from repro.passivity.enforcement import EnforcementResult, enforce_passivity
@@ -184,6 +183,45 @@ class Macromodel:
                 f" got {type(model).__name__}"
             )
         return cls(model=model, config=config, source="<model>")
+
+    @classmethod
+    def map(
+        cls,
+        sources,
+        *,
+        config: Optional[RunConfig] = None,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        backend: str = "process",
+        num_poles: int = 30,
+        enforce: bool = False,
+        margin: float = 0.002,
+    ):
+        """Run the pipeline over a whole fleet of models.
+
+        The facade spelling of :class:`repro.batch.BatchRunner`:
+        ``sources`` may mix Touchstone paths/globs, in-memory models or
+        sessions, and :class:`repro.batch.BatchJob` specs; each job runs
+        fit → check (→ enforce when ``enforce=True``) on a bounded
+        worker pool with a per-job ``timeout``.
+
+        Returns
+        -------
+        repro.batch.FleetReport
+            Per-job structured results plus fleet aggregates.
+        """
+        from repro.batch import BatchRunner
+
+        runner = BatchRunner(
+            config=config,
+            workers=workers,
+            timeout=timeout,
+            backend=backend,
+            num_poles=num_poles,
+            enforce=enforce,
+            margin=margin,
+        )
+        return runner.run(sources)
 
     # -- configuration ------------------------------------------------------
 

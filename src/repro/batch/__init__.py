@@ -1,0 +1,48 @@
+"""Batch fleet execution: many macromodels through the whole pipeline.
+
+The workload layer on top of the single-model :class:`~repro.api.Macromodel`
+facade: a :class:`BatchRunner` drives fit → check → enforce for a fleet of
+models (Touchstone globs, seeded synthetic specs, in-memory models or
+sessions) across a bounded process pool with per-job timeouts, returning
+one JSON-serializable :class:`FleetReport`.
+
+Entry points::
+
+    from repro.batch import BatchRunner, synth_fleet
+
+    report = BatchRunner(workers=4, timeout=120.0).run("devices/*.s4p")
+    report = BatchRunner().run(synth_fleet(10, base_seed=7))
+
+the facade shorthand :meth:`repro.api.Macromodel.map`, and the
+``repro batch`` CLI subcommand.
+"""
+
+from repro.batch.jobs import (
+    BatchJob,
+    ModelJob,
+    SynthJob,
+    TouchstoneJob,
+    expand_jobs,
+    synth_fleet,
+)
+from repro.batch.runner import (
+    BATCH_BACKENDS,
+    BatchRunner,
+    FleetReport,
+    JobResult,
+    JobSettings,
+)
+
+__all__ = [
+    "BATCH_BACKENDS",
+    "BatchJob",
+    "BatchRunner",
+    "FleetReport",
+    "JobResult",
+    "JobSettings",
+    "ModelJob",
+    "SynthJob",
+    "TouchstoneJob",
+    "expand_jobs",
+    "synth_fleet",
+]

@@ -6,19 +6,23 @@ Usage (after ``pip install -e .``)::
     repro check      device.s4p --poles 40 --threads 8
     repro enforce    device.s4p --poles 40 --out passive.s4p
     repro hinf       device.s4p --poles 40
+    repro batch      'devices/*.s4p' --workers 4 --timeout 120
+    repro batch      --synth 10 --seed 7 --backend process --json
     repro strategies
 
 (``python -m repro ...`` works identically.)  ``check`` fits a rational
 macromodel to the file and runs the Hamiltonian passivity
 characterization; ``enforce`` additionally repairs the model and writes
 the resampled passive response; ``hinf`` computes the H-infinity norm by
-Hamiltonian bisection; ``info`` summarizes the file; ``strategies`` lists
-the registered scheduling strategies.
+Hamiltonian bisection; ``batch`` runs the fit → check (→ enforce)
+pipeline over a whole fleet of models on a bounded worker pool;
+``info`` summarizes the file; ``strategies`` lists the registered
+scheduling strategies.
 
 The CLI is a thin shell over the :class:`~repro.api.Macromodel` facade.
 The fitting commands (``check`` / ``enforce`` / ``hinf``) accept
-``--threads`` / ``--strategy`` / ``--representation``, honour the
-``REPRO_*`` environment variables through
+``--threads`` / ``--strategy`` / ``--backend`` / ``--representation``,
+honour the ``REPRO_*`` environment variables through
 :meth:`~repro.core.config.RunConfig.from_env`, and support ``--json``
 to print the session's machine-readable
 :meth:`~repro.api.Macromodel.to_dict` payload; ``info`` and
@@ -38,7 +42,7 @@ import numpy as np
 
 from repro.api import Macromodel, available_strategies
 from repro.core.config import RunConfig
-from repro.core.registry import AUTO_DESCRIPTION, get_strategy
+from repro.core.registry import AUTO_DESCRIPTION, BACKENDS, get_strategy
 from repro.hamiltonian.operator import REPRESENTATIONS
 
 __all__ = ["main", "build_parser"]
@@ -89,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="scheduling strategy (default: auto)",
         )
         p.add_argument(
+            "--backend",
+            default="auto",
+            choices=BACKENDS,
+            action=_TrackedStore,
+            help="execution backend: serial, thread, or process"
+            " (default: auto — follow the strategy)",
+        )
+        p.add_argument(
             "--representation",
             default="scattering",
             choices=REPRESENTATIONS,
@@ -121,6 +133,67 @@ def build_parser() -> argparse.ArgumentParser:
     add_fit_args(hinf)
     hinf.add_argument("--rtol", type=float, default=1e-6, help="bracket tolerance")
 
+    batch = sub.add_parser(
+        "batch", help="run fit+check (+enforce) over a fleet of models"
+    )
+    batch.add_argument(
+        "inputs",
+        nargs="*",
+        help="Touchstone files or glob patterns (quote globs to keep the"
+        " shell from expanding them)",
+    )
+    batch.add_argument(
+        "--synth",
+        type=int,
+        default=0,
+        metavar="N",
+        help="append N seeded synthetic models to the fleet",
+    )
+    batch.add_argument(
+        "--synth-order", type=int, default=10, help="synthetic poles per column"
+    )
+    batch.add_argument(
+        "--synth-ports", type=int, default=2, help="synthetic port count"
+    )
+    batch.add_argument(
+        "--seed", type=int, default=0, help="base seed of the synthetic fleet"
+    )
+    batch.add_argument(
+        "--sigma-target",
+        type=float,
+        default=1.05,
+        help="peak singular value targeted by the synthetic models",
+    )
+    batch.add_argument("--poles", type=int, default=30, help="fit model order")
+    batch.add_argument(
+        "--workers", type=int, default=None, help="max concurrent jobs"
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job budget in seconds"
+    )
+    batch.add_argument(
+        "--backend",
+        default="process",
+        choices=("process", "thread", "serial"),
+        help="fleet execution backend (default: process)",
+    )
+    batch.add_argument(
+        "--enforce",
+        action="store_true",
+        help="also enforce passivity on violating models",
+    )
+    batch.add_argument(
+        "--margin", type=float, default=0.002, help="enforcement margin"
+    )
+    batch.add_argument(
+        "--out", default=None, help="write the fleet report JSON to this path"
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable fleet report",
+    )
+
     sub.add_parser("strategies", help="list registered scheduling strategies")
     return parser
 
@@ -139,6 +212,8 @@ def _session_config(args, base: Optional[RunConfig] = None) -> RunConfig:
         overrides["num_threads"] = args.threads
     if "strategy" in explicit:
         overrides["strategy"] = args.strategy
+    if "backend" in explicit:
+        overrides["backend"] = args.backend
     if "representation" in explicit:
         overrides["representation"] = args.representation
     return config.merged(**overrides) if overrides else config
@@ -272,6 +347,44 @@ def _cmd_hinf(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.batch import BatchRunner, synth_fleet
+
+    sources = list(args.inputs)
+    if args.synth > 0:
+        sources.extend(
+            synth_fleet(
+                args.synth,
+                order_per_column=args.synth_order,
+                num_ports=args.synth_ports,
+                base_seed=args.seed,
+                sigma_target=args.sigma_target,
+            )
+        )
+    if not sources:
+        raise ValueError(
+            "nothing to run: give Touchstone paths/globs and/or --synth N"
+        )
+    runner = BatchRunner(
+        config=RunConfig.from_env(),
+        workers=args.workers,
+        timeout=args.timeout,
+        backend=args.backend,
+        num_poles=args.poles,
+        enforce=args.enforce,
+        margin=args.margin,
+    )
+    report = runner.run(sources)
+    _say(args, report.summary())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        _say(args, f"wrote {args.out}")
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0 if report.all_ok else 4
+
+
 def _cmd_strategies(args) -> int:
     for name in available_strategies(include_auto=False):
         spec = get_strategy(name)
@@ -285,7 +398,8 @@ def _cmd_strategies(args) -> int:
             threads = f"<= {spec.max_threads} threads"
         else:
             threads = "any thread count"
-        print(f"{spec.name:<12} [{threads}] {spec.description}")
+        backends = "/".join(spec.backends)
+        print(f"{spec.name:<12} [{threads}; {backends}] {spec.description}")
     print(f"{'auto':<12} [resolves] {AUTO_DESCRIPTION}")
     print(f"representations: {', '.join(REPRESENTATIONS)}")
     return 0
@@ -296,6 +410,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "enforce": _cmd_enforce,
     "hinf": _cmd_hinf,
+    "batch": _cmd_batch,
     "strategies": _cmd_strategies,
 }
 

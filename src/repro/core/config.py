@@ -26,7 +26,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping, Optional
 
 from repro.core.options import SolverOptions
-from repro.core.registry import ensure_strategy, resolve_strategy
+from repro.core.registry import ensure_backend, ensure_strategy, resolve_strategy
 from repro.hamiltonian.operator import REPRESENTATIONS
 from repro.utils.validation import (
     ensure_choice,
@@ -36,6 +36,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ConfigError",
     "RunConfig",
     "ensure_representation",
     "require_scattering",
@@ -44,6 +45,19 @@ __all__ = [
 
 #: Environment prefix recognized by :meth:`RunConfig.from_env`.
 ENV_PREFIX = "REPRO_"
+
+
+class ConfigError(ValueError):
+    """A configuration value could not be parsed or validated.
+
+    Every environment parse failure in :meth:`RunConfig.from_env` raises
+    this single type with a message naming the offending ``REPRO_*``
+    variable — previously a malformed integer could surface as a bare
+    ``ValueError: invalid literal for int()`` (or, through layers that
+    caught ``ValueError`` for flow control, be silently ignored).
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working.
+    """
 
 
 def ensure_representation(name: str) -> str:
@@ -111,6 +125,11 @@ class RunConfig:
     strategy:
         A registered strategy name or ``"auto"`` (bisection when serial,
         the dynamic queue scheduler otherwise).
+    backend:
+        Execution backend: ``"serial"`` (one worker, calling thread),
+        ``"thread"`` (thread pool), ``"process"`` (multiprocessing pool
+        with true multi-core scaling), or ``"auto"`` (default — defer to
+        the strategy resolution, preserving the historical behavior).
     omega_min, omega_max:
         Search band on the frequency axis; ``omega_max=None`` triggers the
         automatic spectral-bound estimation of Sec. IV.A.
@@ -121,6 +140,7 @@ class RunConfig:
     num_threads: int = 1
     representation: str = "scattering"
     strategy: str = "auto"
+    backend: str = "auto"
     omega_min: float = 0.0
     omega_max: Optional[float] = None
     options: SolverOptions = field(default_factory=SolverOptions)
@@ -134,6 +154,7 @@ class RunConfig:
         )
         ensure_representation(self.representation)
         ensure_strategy(self.strategy)
+        ensure_backend(self.backend)
         object.__setattr__(
             self, "omega_min", ensure_nonnegative_float(self.omega_min, "omega_min")
         )
@@ -204,9 +225,14 @@ class RunConfig:
 
         Recognized variables (all optional; unset ones keep the ``base``
         value): ``REPRO_NUM_THREADS``, ``REPRO_REPRESENTATION``,
-        ``REPRO_STRATEGY``, ``REPRO_OMEGA_MIN``, ``REPRO_OMEGA_MAX``
-        (``"none"``/``"auto"``/empty mean automatic), and ``REPRO_SEED``
-        (forwarded into ``options``).
+        ``REPRO_STRATEGY``, ``REPRO_BACKEND``, ``REPRO_OMEGA_MIN``,
+        ``REPRO_OMEGA_MAX`` (``"none"``/``"auto"``/empty mean automatic),
+        and ``REPRO_SEED`` (forwarded into ``options``).
+
+        Raises
+        ------
+        ConfigError
+            On any unparseable value, naming the offending variable.
         """
         environ = os.environ if environ is None else environ
         base = base if base is not None else cls()
@@ -217,12 +243,16 @@ class RunConfig:
             return None if value is None or value.strip() == "" else value
 
         def parse(key: str, raw: str, caster):
-            # Name the offending variable: a bare int('four') error is
-            # useless to someone with several REPRO_* variables set.
+            # Uniform failure type naming the offending variable: a bare
+            # int('four') error is useless to someone with several
+            # REPRO_* variables set, and heterogeneous error types let
+            # malformed values slip through layers that catch narrowly.
             try:
                 return caster(raw)
-            except ValueError as exc:
-                raise ValueError(f"invalid {prefix + key}={raw!r}: {exc}") from exc
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"invalid {prefix + key}={raw!r}: {exc}"
+                ) from exc
 
         if (raw := get("NUM_THREADS")) is not None:
             overrides["num_threads"] = parse("NUM_THREADS", raw, int)
@@ -230,6 +260,8 @@ class RunConfig:
             overrides["representation"] = raw.strip().lower()
         if (raw := get("STRATEGY")) is not None:
             overrides["strategy"] = raw.strip().lower()
+        if (raw := get("BACKEND")) is not None:
+            overrides["backend"] = raw.strip().lower()
         if (raw := get("OMEGA_MIN")) is not None:
             overrides["omega_min"] = parse("OMEGA_MIN", raw, float)
         # OMEGA_MAX checks raw presence: an empty value is the documented
@@ -243,7 +275,16 @@ class RunConfig:
                 else parse("SEED", raw, int)
             )
             overrides["options"] = base.options.with_(seed=seed)
-        return base.merged(**overrides) if overrides else base
+        try:
+            return base.merged(**overrides) if overrides else base
+        except ConfigError:
+            raise
+        except ValueError as exc:
+            # Re-raise semantic rejections (unknown strategy/backend, bad
+            # band, non-positive threads) under the same uniform type so
+            # callers can catch one exception for "the environment is
+            # misconfigured" without also swallowing programming errors.
+            raise ConfigError(str(exc)) from exc
 
     def merged(self, **overrides: Any) -> "RunConfig":
         """Return a copy with the given fields replaced (and re-validated).
@@ -275,7 +316,9 @@ class RunConfig:
 
     def resolved_strategy(self) -> str:
         """The concrete strategy ``"auto"`` resolves to for this config."""
-        return resolve_strategy(self.strategy, self.num_threads).name
+        return resolve_strategy(
+            self.strategy, self.num_threads, backend=self.backend
+        ).name
 
     def to_dict(self) -> dict:
         """JSON-serializable dictionary round-tripping via :meth:`from_dict`."""
@@ -283,6 +326,7 @@ class RunConfig:
             "num_threads": self.num_threads,
             "representation": self.representation,
             "strategy": self.strategy,
+            "backend": self.backend,
             "omega_min": self.omega_min,
             "omega_max": self.omega_max,
             "options": asdict(self.options),

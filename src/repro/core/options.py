@@ -8,7 +8,7 @@ overlap factor ``alpha`` slightly above 1 (eq. 23).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.utils.validation import (

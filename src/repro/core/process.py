@@ -1,0 +1,465 @@
+"""Multi-process sweep driver — true multi-core band sharding.
+
+The thread driver of :mod:`repro.core.parallel` realizes the paper's
+scheduling granularity but shares one GIL: it scales only as far as the
+BLAS kernels release the interpreter lock.  This driver shards the search
+band ``[omega_min, omega_max]`` into ``num_threads`` contiguous sub-bands
+and runs each shard's *entire* dynamic scheduler loop in its own worker
+process, so the Python-side bookkeeping and the small dense solves scale
+across cores too.
+
+Design:
+
+* the model (a picklable :class:`~repro.macromodel.simo.SimoRealization`)
+  and the solver options are serialized **once** and shipped to every
+  worker through the pool initializer — per-shard task payloads carry
+  only band geometry;
+* each shard runs the single-worker dynamic queue of Sec. IV over its
+  sub-band, with a disjoint segment-index range (so merged shift records
+  and the per-segment random streams stay globally unique);
+* the parent re-registers every certified disk on a fresh
+  :class:`~repro.core.scheduler.BandScheduler` and re-checks the
+  coverage invariant over the *whole* band before assembling the result —
+  a shard cannot silently drop part of its sub-band;
+* small models fall back cleanly to the thread driver: below
+  :data:`PROCESS_MIN_ORDER` dynamic order (override with the
+  ``REPRO_PROCESS_MIN_ORDER`` environment variable) the fork/pickle cost
+  exceeds the sweep itself.  Pool start-up failures (restricted
+  sandboxes, missing semaphores) degrade the same way instead of
+  erroring out.
+
+The eigenvalue content is identical to the serial and thread drivers up
+to round-off: every backend certifies full band coverage, and converged
+Ritz values agree to ~1e-13 relative (see ``tests/core/test_backends``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.drivers import (
+    ModelInput,
+    collect_result,
+    prepare_operator,
+    resolve_band,
+    run_segment,
+)
+from repro.core.options import SolverOptions
+from repro.core.results import ShiftRecord, SolveResult
+from repro.core.scheduler import BandScheduler
+from repro.core.single_shift import SingleShiftSolver
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomStream
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "solve_process",
+    "select_process_execution",
+    "preferred_mp_context",
+    "PROCESS_MIN_ORDER",
+    "ENV_MIN_ORDER",
+]
+
+_LOG = get_logger("process")
+
+#: Dynamic order below which forking worker processes costs more than the
+#: whole sweep; smaller models run on the thread backend instead.
+PROCESS_MIN_ORDER = 128
+
+#: Environment variable overriding :data:`PROCESS_MIN_ORDER` (useful to
+#: force the real process path in tests: ``REPRO_PROCESS_MIN_ORDER=1``).
+ENV_MIN_ORDER = "REPRO_PROCESS_MIN_ORDER"
+
+#: Segment-index stride separating the shards' index ranges.
+_SHARD_INDEX_STRIDE = 1 << 24
+
+
+def _min_order() -> int:
+    raw = os.environ.get(ENV_MIN_ORDER)
+    if raw is None or not raw.strip():
+        return PROCESS_MIN_ORDER
+    try:
+        return int(raw)
+    except ValueError as exc:
+        # Imported lazily: config imports the registry, which registers
+        # this module at import time — a top-level import would cycle.
+        from repro.core.config import ConfigError
+
+        raise ConfigError(f"invalid {ENV_MIN_ORDER}={raw!r}: {exc}") from exc
+
+
+def select_process_execution(order: int, num_threads: int) -> str:
+    """Decide how a ``backend="process"`` request is executed.
+
+    Returns
+    -------
+    str
+        ``"process"`` — shard the band across a worker pool;
+        ``"inline"``  — one worker requested: run the sharded loop in the
+        calling process (no pool, deterministic, zero fork cost);
+        ``"thread"``  — the model is too small to amortize fork+pickle
+        cost, delegate to the thread driver.
+    """
+    if num_threads == 1:
+        return "inline"
+    if order < _min_order():
+        return "thread"
+    return "process"
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Per-shard work order: band geometry only (the model ships once)."""
+
+    shard_index: int
+    lo: float
+    hi: float
+    index_offset: int
+    min_width_rel: float
+
+
+#: Per-process state installed by the pool initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    """Rebuild the operator once per worker process from the shipped spec."""
+    model, representation, options = pickle.loads(payload)
+    simo, op, work = prepare_operator(model, representation)
+    _WORKER_STATE["solver"] = SingleShiftSolver(op, options)
+    _WORKER_STATE["work"] = work
+    _WORKER_STATE["options"] = options
+
+
+def _drain_shard(
+    solver: SingleShiftSolver,
+    scheduler: BandScheduler,
+    root_stream: RandomStream,
+    worker_id: int,
+) -> List[ShiftRecord]:
+    """Run the single-worker dynamic queue to exhaustion (one sub-band)."""
+    records: List[ShiftRecord] = []
+    while True:
+        segment = scheduler.next_task()
+        if segment is None:
+            break
+        record = run_segment(solver, scheduler, segment, root_stream, worker_id)
+        scheduler.complete(segment, record.result.shift.imag, record.result.radius)
+        if solver.hamiltonian.work is not None:
+            solver.hamiltonian.work.add(shifts_processed=1)
+        records.append(record)
+    return records
+
+
+def _solve_shard(task: _ShardTask) -> dict:
+    """Pool task: sweep one contiguous sub-band with the dynamic queue."""
+    solver: SingleShiftSolver = _WORKER_STATE["solver"]  # type: ignore[assignment]
+    options: SolverOptions = _WORKER_STATE["options"]  # type: ignore[assignment]
+    work = _WORKER_STATE["work"]
+    scheduler = BandScheduler(
+        task.lo,
+        task.hi,
+        num_threads=1,
+        kappa=options.kappa,
+        alpha=options.alpha,
+        min_width_rel=task.min_width_rel,
+        index_offset=task.index_offset,
+    )
+    root_stream = RandomStream(options.seed)
+    # The worker's counter is cumulative across every shard this process
+    # executes; report the per-shard delta or the parent double-counts
+    # when one worker picks up several shards.
+    before = work.snapshot() if work is not None else {}
+    records = _drain_shard(solver, scheduler, root_stream, task.shard_index)
+    after = work.snapshot() if work is not None else {}
+    uncovered = scheduler.uncovered(ignore_dust=True)
+    return {
+        "shard_index": task.shard_index,
+        "records": records,
+        "work": {key: after[key] - before.get(key, 0) for key in after},
+        "eliminated": scheduler.eliminated,
+        "trimmed": scheduler.trimmed,
+        "uncovered": uncovered,
+        "disks": [
+            (disk.center, disk.radius, disk.segment_index)
+            for disk in scheduler.done_disks
+        ],
+    }
+
+
+def _run_shards_inline(
+    solver: SingleShiftSolver,
+    tasks: List[_ShardTask],
+    options: SolverOptions,
+) -> List[dict]:
+    """Execute shard tasks in the calling process (no pool)."""
+    outcomes = []
+    for task in tasks:
+        scheduler = BandScheduler(
+            task.lo,
+            task.hi,
+            num_threads=1,
+            kappa=options.kappa,
+            alpha=options.alpha,
+            min_width_rel=task.min_width_rel,
+            index_offset=task.index_offset,
+        )
+        root_stream = RandomStream(options.seed)
+        records = _drain_shard(solver, scheduler, root_stream, task.shard_index)
+        outcomes.append(
+            {
+                "shard_index": task.shard_index,
+                "records": records,
+                # Inline work is already counted on the parent counter.
+                "work": {},
+                "eliminated": scheduler.eliminated,
+                "trimmed": scheduler.trimmed,
+                "uncovered": scheduler.uncovered(ignore_dust=True),
+                "disks": [
+                    (disk.center, disk.radius, disk.segment_index)
+                    for disk in scheduler.done_disks
+                ],
+            }
+        )
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+def preferred_mp_context():
+    """Prefer fork (cheap, parent state inherited) where available.
+
+    Shared by this driver and :class:`repro.batch.BatchRunner`.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shard_band(
+    omega_min: float, omega_max: float, num_shards: int, min_width_rel: float
+) -> List[_ShardTask]:
+    """Split the band into contiguous equal-width shard tasks.
+
+    Each shard keeps the *whole-band* dust threshold so a shard cannot
+    subdivide below what the merged coverage check would tolerate.
+    """
+    width = (omega_max - omega_min) / num_shards
+    band_width = omega_max - omega_min
+    tasks = []
+    for k in range(num_shards):
+        lo = omega_min + k * width
+        hi = omega_max if k == num_shards - 1 else omega_min + (k + 1) * width
+        tasks.append(
+            _ShardTask(
+                shard_index=k,
+                lo=lo,
+                hi=hi,
+                index_offset=(k + 1) * _SHARD_INDEX_STRIDE,
+                min_width_rel=min_width_rel * band_width / (hi - lo),
+            )
+        )
+    return tasks
+
+
+def _fallback_to_threads(
+    model: ModelInput,
+    *,
+    num_threads: int,
+    representation: str,
+    omega_min: float,
+    omega_max: Optional[float],
+    options: SolverOptions,
+    reason: str,
+) -> SolveResult:
+    from repro.core.parallel import solve_parallel
+
+    _LOG.debug("process backend falling back to threads: %s", reason)
+    return solve_parallel(
+        model,
+        num_threads=num_threads,
+        representation=representation,
+        omega_min=omega_min,
+        omega_max=omega_max,
+        options=options,
+        dynamic=True,
+    )
+
+
+def solve_process(
+    model: ModelInput,
+    *,
+    num_threads: int = 2,
+    representation: str = "scattering",
+    omega_min: float = 0.0,
+    omega_max: Optional[float] = None,
+    options: Optional[SolverOptions] = None,
+) -> SolveResult:
+    """Find all imaginary Hamiltonian eigenvalues with a process pool.
+
+    Parameters
+    ----------
+    model:
+        Pole/residue model or structured SIMO realization.
+    num_threads:
+        Number of worker processes (band shards).
+    representation:
+        ``"scattering"`` or ``"immittance"``.
+    omega_min, omega_max:
+        Search band; ``omega_max=None`` triggers automatic estimation.
+    options:
+        Solver options (defaults when omitted).
+
+    Returns
+    -------
+    SolveResult
+        Identical eigenvalue content to the serial/thread drivers (up to
+        round-off); ``strategy`` is ``"process"`` unless the small-model
+        fallback delegated to the thread driver.
+    """
+    num_threads = ensure_positive_int(num_threads, "num_threads")
+    options = options if options is not None else SolverOptions()
+    simo, op, work = prepare_operator(model, representation)
+
+    mode = select_process_execution(simo.order, num_threads)
+    if mode == "thread":
+        return _fallback_to_threads(
+            simo,
+            num_threads=num_threads,
+            representation=representation,
+            omega_min=omega_min,
+            omega_max=omega_max,
+            options=options,
+            reason=f"order {simo.order} < min order {_min_order()}",
+        )
+
+    root_stream = RandomStream(options.seed)
+    omega_min, omega_max = resolve_band(
+        op, omega_min, omega_max, options, root_stream.spawn(key=0x5EED)
+    )
+    tasks = _shard_band(
+        omega_min, omega_max, num_threads, options.min_interval_width
+    )
+
+    started = time.perf_counter()
+    if mode == "inline":
+        solver = SingleShiftSolver(op, options)
+        outcomes = _run_shards_inline(solver, tasks, options)
+    else:
+        payload = pickle.dumps(
+            (simo, representation, options), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=num_threads,
+                mp_context=preferred_mp_context(),
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                futures = [pool.submit(_solve_shard, task) for task in tasks]
+                outcomes = [future.result() for future in futures]
+        except (OSError, ImportError, BrokenProcessPool) as exc:
+            # Pool could not start or a worker died abruptly (sandboxed
+            # platform, missing semaphores, fd limits, OOM kill):
+            # degrade to the thread driver.  Exceptions raised *by* a
+            # shard propagate unwrapped — they indicate real errors.
+            return _fallback_to_threads(
+                simo,
+                num_threads=num_threads,
+                representation=representation,
+                omega_min=omega_min,
+                omega_max=omega_max,
+                options=options,
+                reason=f"pool unavailable ({exc!r})",
+            )
+    elapsed = time.perf_counter() - started
+
+    return _merge_outcomes(
+        op,
+        outcomes,
+        omega_min=omega_min,
+        omega_max=omega_max,
+        options=options,
+        elapsed=elapsed,
+        num_threads=num_threads,
+    )
+
+
+def _merge_outcomes(
+    op,
+    outcomes: List[dict],
+    *,
+    omega_min: float,
+    omega_max: float,
+    options: SolverOptions,
+    elapsed: float,
+    num_threads: int,
+) -> SolveResult:
+    """Merge shard outcomes, re-checking coverage over the whole band."""
+    work = op.work
+    merged = BandScheduler(
+        omega_min,
+        omega_max,
+        num_threads=num_threads,
+        kappa=options.kappa,
+        alpha=options.alpha,
+        min_width_rel=options.min_interval_width,
+    )
+    # The merged scheduler is a coverage bookkeeper only: its startup
+    # queue is never drained, disks register directly.
+    records: List[ShiftRecord] = []
+    eliminated = 0
+    trimmed = 0
+    for outcome in outcomes:
+        if outcome["uncovered"]:
+            raise RuntimeError(
+                f"process shard {outcome['shard_index']} terminated with"
+                f" uncovered sub-band portions: {outcome['uncovered']}"
+            )
+        records.extend(outcome["records"])
+        eliminated += int(outcome["eliminated"])
+        trimmed += int(outcome["trimmed"])
+        if work is not None and outcome["work"]:
+            work.add(**outcome["work"])
+        for center, radius, segment_index in outcome["disks"]:
+            merged.register_external_disk(center, radius, segment_index)
+    leftover = merged.uncovered(ignore_dust=True)
+    if leftover:
+        raise RuntimeError(
+            f"merged shard disks leave uncovered band portions: {leftover}"
+        )
+    merged.eliminated = eliminated
+    merged.trimmed = trimmed
+    records.sort(key=lambda record: record.index)
+    _LOG.debug(
+        "process sweep done: %d shards, %d shifts, %d eliminated, %.3fs",
+        len(outcomes),
+        len(records),
+        eliminated,
+        elapsed,
+    )
+    return collect_result(
+        op,
+        merged,
+        records,
+        options,
+        elapsed,
+        num_threads=num_threads,
+        strategy="process",
+    )

@@ -36,6 +36,7 @@ from repro.utils.validation import ensure_choice, ensure_positive_int
 
 __all__ = [
     "AUTO_DESCRIPTION",
+    "BACKENDS",
     "StrategySpec",
     "register_strategy",
     "unregister_strategy",
@@ -43,15 +44,29 @@ __all__ = [
     "get_strategy",
     "available_strategies",
     "ensure_strategy",
+    "ensure_backend",
     "AUTO_STRATEGY",
+    "AUTO_BACKEND",
 ]
 
 #: Pseudo-strategy resolved at dispatch time from the thread count.
 AUTO_STRATEGY = "auto"
 
+#: Pseudo-backend meaning "whatever the strategy implies".
+AUTO_BACKEND = "auto"
+
+#: Execution backends a driver can run on.  ``"serial"`` — one worker in
+#: the calling thread; ``"thread"`` — a thread pool sharing one GIL (BLAS
+#: kernels overlap); ``"process"`` — a multiprocessing pool with true
+#: multi-core scaling.  ``"auto"`` defers to the strategy resolution.
+BACKENDS = (AUTO_BACKEND, "serial", "thread", "process")
+
 #: Human-readable statement of the ``"auto"`` resolution rule; keep in
 #: sync with :func:`resolve_strategy` (single source for UIs to print).
-AUTO_DESCRIPTION = "bisection when single-threaded, else queue"
+AUTO_DESCRIPTION = (
+    "bisection when single-threaded, else queue;"
+    " backend=serial/thread/process forces bisection/queue/process"
+)
 
 _REGISTRY: Dict[str, "StrategySpec"] = {}
 
@@ -70,6 +85,12 @@ class StrategySpec:
         Inclusive thread-count bounds the driver supports;
         ``max_threads=None`` means unbounded.  ``max_threads=1`` marks an
         inherently sequential driver.
+    backends:
+        Execution backends the driver can honor (subset of
+        :data:`BACKENDS` minus ``"auto"``).  Used by
+        :func:`resolve_strategy` to steer ``strategy="auto"`` and to
+        reject contradictory explicit combinations such as
+        ``strategy="bisection", backend="process"``.
     description:
         One-line human-readable description (shown by the CLI).
     """
@@ -78,6 +99,7 @@ class StrategySpec:
     driver: Callable
     min_threads: int = 1
     max_threads: Optional[int] = None
+    backends: Tuple[str, ...] = ("serial", "thread")
     description: str = ""
 
     def supports_threads(self, num_threads: int) -> bool:
@@ -85,6 +107,20 @@ class StrategySpec:
         if num_threads < self.min_threads:
             return False
         return self.max_threads is None or num_threads <= self.max_threads
+
+    def supports_backend(self, backend: str) -> bool:
+        """True when the driver can honor ``backend`` (``"auto"`` always)."""
+        return backend == AUTO_BACKEND or backend in self.backends
+
+    def check_backend(self, backend: str) -> None:
+        """Raise :class:`ValueError` when ``backend`` is unsupported."""
+        if self.supports_backend(backend):
+            return
+        raise ValueError(
+            f"strategy {self.name!r} runs on backend(s)"
+            f" {'/'.join(self.backends)}, not {backend!r};"
+            " leave backend='auto' or pick a matching strategy"
+        )
 
     def check_threads(self, num_threads: int) -> None:
         """Raise :class:`ValueError` when the thread count is unsupported."""
@@ -109,6 +145,7 @@ def register_strategy(
     *,
     min_threads: int = 1,
     max_threads: Optional[int] = None,
+    backends: Tuple[str, ...] = ("serial", "thread"),
     description: str = "",
 ) -> Callable[[Callable], Callable]:
     """Decorator registering a sweep driver under ``name``.
@@ -124,6 +161,12 @@ def register_strategy(
     if not isinstance(name, str) or not name:
         raise TypeError("strategy name must be a non-empty string")
 
+    if not backends or not set(backends) <= set(BACKENDS[1:]):
+        raise ValueError(
+            f"backends must be a non-empty subset of"
+            f" {BACKENDS[1:]}, got {backends}"
+        )
+
     def decorator(func: Callable) -> Callable:
         if name == AUTO_STRATEGY or name in _REGISTRY:
             raise ValueError(f"strategy {name!r} is already registered")
@@ -132,6 +175,7 @@ def register_strategy(
             driver=func,
             min_threads=min_threads,
             max_threads=max_threads,
+            backends=tuple(backends),
             description=description,
         )
         return func
@@ -155,28 +199,54 @@ def ensure_strategy(name: str) -> str:
     return ensure_choice(name, "strategy", available_strategies())
 
 
+def ensure_backend(name: str) -> str:
+    """Centralized validation of a backend string (``"auto"`` allowed)."""
+    return ensure_choice(name, "backend", BACKENDS)
+
+
 def get_strategy(name: str) -> StrategySpec:
     """Look up a registered spec by canonical name (no ``"auto"``)."""
     ensure_choice(name, "strategy", available_strategies(include_auto=False))
     return _REGISTRY[name]
 
 
-def resolve_strategy(name: str, num_threads: int) -> StrategySpec:
+def resolve_strategy(
+    name: str, num_threads: int, *, backend: str = AUTO_BACKEND
+) -> StrategySpec:
     """Resolve a strategy string (possibly ``"auto"``) against a thread count.
 
-    ``"auto"`` follows the paper's guidance: classical bisection when
-    single-threaded, the dynamic queue scheduler otherwise.  The resolved
-    spec is checked against the thread count, so e.g. requesting the
-    sequential ``bisection`` driver with multiple threads fails here with
-    a single, consistent message.
+    ``"auto"`` follows the paper's guidance — classical bisection when
+    single-threaded, the dynamic queue scheduler otherwise — unless the
+    ``backend`` axis steers it: ``"serial"`` forces ``bisection``,
+    ``"thread"`` forces ``queue``, ``"process"`` forces the
+    multiprocessing ``process`` driver.  An explicit strategy name wins
+    over ``backend="auto"``, but an explicit backend the named driver
+    cannot honor (``strategy="bisection", backend="process"``) is
+    rejected.  The resolved spec is checked against the thread count, so
+    e.g. requesting the sequential ``bisection`` driver with multiple
+    threads fails here with a single, consistent message.
     """
     num_threads = ensure_positive_int(num_threads, "num_threads")
     ensure_strategy(name)
+    ensure_backend(backend)
+    if backend == "serial" and num_threads != 1:
+        raise ValueError(
+            "backend 'serial' runs one worker; it requires"
+            f" num_threads == 1, got {num_threads}"
+        )
     if name == AUTO_STRATEGY:
-        name = "bisection" if num_threads == 1 else "queue"
+        if backend == "serial":
+            name = "bisection"
+        elif backend == "thread":
+            name = "queue"
+        elif backend == "process":
+            name = "process"
+        else:
+            name = "bisection" if num_threads == 1 else "queue"
     # get_strategy rather than raw indexing: if a built-in auto target was
     # unregistered, fail with the canonical unknown-strategy message.
     spec = get_strategy(name)
+    spec.check_backend(backend)
     spec.check_threads(num_threads)
     return spec
 
@@ -189,11 +259,13 @@ def resolve_strategy(name: str, num_threads: int) -> StrategySpec:
 
 def _register_builtins() -> None:
     from repro.core.parallel import solve_parallel
+    from repro.core.process import solve_process
     from repro.core.serial import solve_serial
 
     @register_strategy(
         "bisection",
         max_threads=1,
+        backends=("serial",),
         description="classical sequential bisection (ref. [9]; Table I baseline)",
     )
     def _bisection(model, *, num_threads, representation, omega_min, omega_max, options):
@@ -208,6 +280,7 @@ def _register_builtins() -> None:
 
     @register_strategy(
         "queue",
+        backends=("serial", "thread"),
         description="dynamic band-coverage scheduler (Sec. IV; any thread count)",
     )
     def _queue(model, *, num_threads, representation, omega_min, omega_max, options):
@@ -232,6 +305,7 @@ def _register_builtins() -> None:
 
     @register_strategy(
         "static",
+        backends=("thread",),
         description="static pre-distributed grid (ablation baseline, no elimination)",
     )
     def _static(model, *, num_threads, representation, omega_min, omega_max, options):
@@ -243,6 +317,24 @@ def _register_builtins() -> None:
             omega_max=omega_max,
             options=options,
             dynamic=False,
+        )
+
+    @register_strategy(
+        "process",
+        backends=("process",),
+        description=(
+            "sharded multiprocessing sweep (true multi-core; falls back to"
+            " threads for small models)"
+        ),
+    )
+    def _process(model, *, num_threads, representation, omega_min, omega_max, options):
+        return solve_process(
+            model,
+            num_threads=num_threads,
+            representation=representation,
+            omega_min=omega_min,
+            omega_max=omega_max,
+            options=options,
         )
 
 

@@ -131,6 +131,11 @@ class BandScheduler:
     min_width_rel:
         Segments narrower than ``min_width_rel * band_width`` are dropped
         instead of re-scheduled (guard against infinite subdivision).
+    index_offset:
+        First segment index handed out.  Band-sharding drivers give each
+        shard's scheduler a disjoint index range so that merged shift
+        records (and the per-segment random streams keyed by index) stay
+        globally unique.
 
     Raises
     ------
@@ -148,6 +153,7 @@ class BandScheduler:
         alpha: float = 1.05,
         dynamic: bool = True,
         min_width_rel: float = 1e-12,
+        index_offset: int = 0,
     ) -> None:
         omega_min = ensure_nonnegative_float(omega_min, "omega_min")
         omega_max = ensure_positive_float(omega_max, "omega_max")
@@ -165,11 +171,13 @@ class BandScheduler:
         self.dynamic = bool(dynamic)
         self._min_width = min_width_rel * (omega_max - omega_min)
 
+        if index_offset < 0:
+            raise ValueError(f"index_offset must be >= 0, got {index_offset}")
         self._segments: Dict[int, Segment] = {}
         self._queue: Deque[int] = deque()
         self._done: List[DoneDisk] = []
         self._covered: List[Tuple[float, float]] = []
-        self._next_index = 0
+        self._next_index = int(index_offset)
         self.eliminated = 0
         self.trimmed = 0
 

@@ -47,7 +47,9 @@ def solve(model: ModelInput, config: Optional[RunConfig] = None, **overrides) ->
     config = config if config is not None else RunConfig()
     if overrides:
         config = config.merged(**overrides)
-    spec = resolve_strategy(config.strategy, config.num_threads)
+    spec = resolve_strategy(
+        config.strategy, config.num_threads, backend=config.backend
+    )
     return spec.driver(
         model,
         num_threads=config.num_threads,

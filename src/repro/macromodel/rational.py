@@ -16,9 +16,7 @@ Complex poles must appear in conjugate pairs with conjugate residues so that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
-
+from dataclasses import dataclass
 import numpy as np
 
 from repro.macromodel.poles import is_stable, partition_poles

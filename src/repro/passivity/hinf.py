@@ -14,7 +14,7 @@ turns the "sigma crosses gamma" test into the library's native
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -13,7 +13,7 @@ scattering pipeline of :mod:`repro.passivity.characterization`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 

@@ -12,13 +12,13 @@ hence imaginary Hamiltonian eigenvalues) the model has.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.simo import SimoColumn, SimoRealization
-from repro.utils.rng import RandomStream, as_generator
+from repro.utils.rng import as_generator
 from repro.utils.validation import (
     ensure_in_range,
     ensure_positive_float,

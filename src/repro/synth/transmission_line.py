@@ -20,8 +20,6 @@ The model is built directly in pole/residue form:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
 import numpy as np
 
 from repro.macromodel.rational import PoleResidueModel

@@ -12,7 +12,7 @@ target a peak slightly above 1 so the solver has crossings to find.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.macromodel.simo import SimoRealization
 from repro.synth.generator import random_simo_macromodel

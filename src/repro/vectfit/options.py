@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.utils.validation import (
-    ensure_nonnegative_int,
     ensure_positive_float,
     ensure_positive_int,
 )

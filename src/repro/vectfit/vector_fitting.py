@@ -32,7 +32,6 @@ import numpy as np
 
 from repro.macromodel.poles import make_stable, partition_poles
 from repro.macromodel.rational import PoleResidueModel
-from repro.utils.serialization import to_jsonable
 from repro.utils.validation import ensure_positive_int, ensure_sorted_frequencies
 from repro.vectfit.options import VectorFittingOptions
 

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.config import RunConfig, ensure_representation
+from repro.core.config import ConfigError, RunConfig, ensure_representation
 from repro.core.options import SolverOptions
 
 
@@ -140,6 +140,61 @@ class TestFromEnv:
             RunConfig.from_env({"REPRO_NUM_THREADS": "four"})
         with pytest.raises(ValueError, match="REPRO_OMEGA_MAX"):
             RunConfig.from_env({"REPRO_OMEGA_MAX": "fast"})
+
+    def test_backend_from_env(self):
+        config = RunConfig.from_env(
+            {"REPRO_BACKEND": "process", "REPRO_NUM_THREADS": "4"}
+        )
+        assert config.backend == "process"
+        assert config.resolved_strategy() == "process"
+
+
+class TestConfigError:
+    """Every env parse failure is one uniform type naming the variable."""
+
+    @pytest.mark.parametrize(
+        "variable,value",
+        [
+            ("REPRO_NUM_THREADS", "four"),
+            ("REPRO_NUM_THREADS", "4.5"),
+            ("REPRO_OMEGA_MIN", "wide"),
+            ("REPRO_OMEGA_MAX", "fast"),
+            ("REPRO_SEED", "entropy"),
+        ],
+    )
+    def test_malformed_values_raise_config_error(self, variable, value):
+        with pytest.raises(ConfigError, match=variable):
+            RunConfig.from_env({variable: value})
+
+    @pytest.mark.parametrize(
+        "environ",
+        [
+            {"REPRO_STRATEGY": "bogus"},
+            {"REPRO_BACKEND": "gpu"},
+            {"REPRO_REPRESENTATION": "admittance"},
+            {"REPRO_NUM_THREADS": "0"},
+            {"REPRO_OMEGA_MIN": "5", "REPRO_OMEGA_MAX": "1"},
+        ],
+    )
+    def test_semantic_rejections_are_config_errors_too(self, environ):
+        with pytest.raises(ConfigError):
+            RunConfig.from_env(environ)
+
+    def test_config_error_is_a_value_error(self):
+        # Existing `except ValueError` call sites keep working.
+        assert issubclass(ConfigError, ValueError)
+
+    def test_importable_from_the_top_level(self):
+        import repro
+
+        assert repro.ConfigError is ConfigError
+
+    def test_direct_construction_not_wrapped(self):
+        # Only the environment path promises the uniform type; plain
+        # constructor misuse stays a ValueError (possibly ConfigError's
+        # parent) with the canonical message.
+        with pytest.raises(ValueError, match="unknown strategy"):
+            RunConfig(strategy="bogus")
 
 
 class TestMerged:

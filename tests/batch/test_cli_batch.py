@@ -1,0 +1,124 @@
+"""CLI tests for the ``repro batch`` subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.synth import random_macromodel
+from repro.touchstone import write_touchstone
+
+
+@pytest.fixture(scope="module")
+def touchstone_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet")
+    freqs = np.linspace(0.05, 14.0, 200)
+    for k, sigma in enumerate((0.9, 1.04)):
+        model = random_macromodel(8, 2, seed=40 + k, sigma_target=sigma)
+        write_touchstone(
+            root / f"dev{k}.s2p",
+            freqs / (2 * np.pi),
+            model.frequency_response(freqs),
+        )
+    return root
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["batch", "--synth", "4"])
+        assert args.synth == 4
+        assert args.backend == "process"
+        assert args.workers is None
+
+    def test_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--backend", "gpu"])
+
+
+class TestRun:
+    def test_synth_fleet_serial(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--synth",
+                "2",
+                "--synth-order",
+                "6",
+                "--backend",
+                "serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 jobs, 2 ok" in out
+
+    def test_touchstone_glob_with_report(self, touchstone_files, tmp_path, capsys):
+        out_path = tmp_path / "fleet.json"
+        code = main(
+            [
+                "batch",
+                str(touchstone_files / "*.s2p"),
+                "--poles",
+                "16",
+                "--backend",
+                "serial",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["num_jobs"] == 2
+        assert payload["num_ok"] == 2
+        names = [r["name"] for r in payload["results"]]
+        assert names == ["dev0", "dev1"]
+
+    def test_json_stdout_is_parseable(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--synth",
+                "2",
+                "--synth-order",
+                "6",
+                "--backend",
+                "serial",
+                "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["num_ok"] == 2
+        # Human-readable summary goes to stderr under --json.
+        assert "2 jobs" in captured.err
+
+    def test_failed_job_exit_code(self, capsys):
+        code = main(["batch", "missing-file.s2p", "--backend", "serial"])
+        assert code == 4
+        assert "error" in capsys.readouterr().out
+
+    def test_no_inputs_is_an_error(self, capsys):
+        code = main(["batch"])
+        assert code == 1
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_process_backend_end_to_end(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--synth",
+                "2",
+                "--synth-order",
+                "6",
+                "--workers",
+                "2",
+                "--backend",
+                "process",
+                "--timeout",
+                "300",
+            ]
+        )
+        assert code == 0
+        assert "process backend" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Unit tests for batch job specifications and source expansion."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import Macromodel
+from repro.batch import ModelJob, SynthJob, TouchstoneJob, expand_jobs, synth_fleet
+from repro.synth import random_macromodel
+from repro.touchstone.writer import write_touchstone
+
+
+@pytest.fixture
+def touchstone_dir(tmp_path):
+    freqs_hz = np.linspace(1e6, 1e9, 40)
+    model = random_macromodel(6, 2, seed=5, sigma_target=0.9)
+    response = model.frequency_response(2.0 * np.pi * freqs_hz)
+    for k in range(3):
+        write_touchstone(tmp_path / f"dev{k}.s2p", freqs_hz, response)
+    return tmp_path
+
+
+class TestSynthFleet:
+    def test_seeds_and_names(self):
+        fleet = synth_fleet(3, base_seed=10)
+        assert [job.seed for job in fleet] == [10, 11, 12]
+        assert [job.name for job in fleet] == ["synth-10", "synth-11", "synth-12"]
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError, match="count"):
+            synth_fleet(0)
+
+    def test_jobs_picklable_and_tiny(self):
+        fleet = synth_fleet(2)
+        payload = pickle.dumps(fleet)
+        assert len(payload) < 2000
+        assert pickle.loads(payload) == fleet
+
+    def test_open_session_builds_model(self):
+        job = synth_fleet(1, order_per_column=6)[0]
+        session = job.open_session(None)
+        assert session.model is not None
+        assert not job.needs_fit
+
+
+class TestExpandJobs:
+    def test_glob_expansion_sorted(self, touchstone_dir):
+        jobs = expand_jobs(str(touchstone_dir / "*.s2p"))
+        assert [job.name for job in jobs] == ["dev0", "dev1", "dev2"]
+        assert all(isinstance(job, TouchstoneJob) for job in jobs)
+
+    def test_empty_glob_raises(self, touchstone_dir):
+        with pytest.raises(FileNotFoundError, match="matched no files"):
+            expand_jobs(str(touchstone_dir / "*.s9p"))
+
+    def test_explicit_path_kept_even_if_missing(self):
+        (job,) = expand_jobs("does-not-exist.s2p")
+        assert isinstance(job, TouchstoneJob)
+
+    def test_models_and_sessions(self):
+        model = random_macromodel(6, 2, seed=1)
+        session = Macromodel.from_pole_residue(model)
+        jobs = expand_jobs([model, session])
+        assert isinstance(jobs[0], ModelJob) and jobs[0].model is model
+        assert isinstance(jobs[1], ModelJob) and jobs[1].session is session
+
+    def test_mixed_sources_with_unique_names(self, touchstone_dir):
+        jobs = expand_jobs(
+            [
+                str(touchstone_dir / "dev0.s2p"),
+                str(touchstone_dir / "dev0.s2p"),
+                SynthJob(name="s", seed=1),
+            ]
+        )
+        names = [job.name for job in jobs]
+        assert len(names) == len(set(names))
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="no jobs"):
+            expand_jobs([])
+
+    def test_duplicate_explicit_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate job name"):
+            expand_jobs([SynthJob(name="a", seed=1), SynthJob(name="a", seed=2)])
+
+    def test_bad_source_type_rejected(self):
+        with pytest.raises(TypeError, match="job sources"):
+            expand_jobs([42])
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        for job in (
+            SynthJob(name="a", seed=3),
+            TouchstoneJob(name="b", path="x.s2p"),
+            ModelJob(name="c", model=random_macromodel(4, 2, seed=0)),
+        ):
+            json.dumps(job.describe())

@@ -12,7 +12,6 @@ from repro.core.options import SolverOptions
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.synth import random_macromodel
 from repro.utils.rng import RandomStream
-from tests.conftest import make_pole_residue
 
 
 class TestDedupEigenvalues:

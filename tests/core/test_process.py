@@ -1,0 +1,133 @@
+"""Unit tests for the multi-process sharded driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.options import SolverOptions
+from repro.core.process import (
+    ENV_MIN_ORDER,
+    PROCESS_MIN_ORDER,
+    select_process_execution,
+    solve_process,
+)
+from repro.core.scheduler import BandScheduler
+from repro.core.serial import solve_serial
+from repro.hamiltonian.spectral import imaginary_eigenvalues_dense
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.synth import random_macromodel
+
+
+@pytest.fixture(scope="module")
+def violating_simo():
+    return pole_residue_to_simo(random_macromodel(12, 3, seed=31, sigma_target=1.1))
+
+
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Force the real process pool even for tiny test models."""
+    monkeypatch.setenv(ENV_MIN_ORDER, "1")
+
+
+class TestSelectExecution:
+    def test_single_worker_runs_inline(self):
+        assert select_process_execution(10_000, 1) == "inline"
+
+    def test_small_model_falls_back_to_threads(self):
+        assert select_process_execution(PROCESS_MIN_ORDER - 1, 4) == "thread"
+
+    def test_large_model_uses_the_pool(self):
+        assert select_process_execution(PROCESS_MIN_ORDER, 4) == "process"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_MIN_ORDER, "5")
+        assert select_process_execution(5, 4) == "process"
+
+    def test_malformed_env_raises_config_error(self, monkeypatch):
+        from repro.core.config import ConfigError
+
+        monkeypatch.setenv(ENV_MIN_ORDER, "bogus")
+        with pytest.raises(ConfigError, match=ENV_MIN_ORDER):
+            select_process_execution(5, 4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_threads", [2, 3])
+    def test_matches_dense(self, violating_simo, num_threads, force_pool):
+        truth = imaginary_eigenvalues_dense(violating_simo)
+        result = solve_process(violating_simo, num_threads=num_threads)
+        assert result.strategy == "process"
+        assert result.num_crossings == truth.size
+        np.testing.assert_allclose(np.sort(result.omegas), truth, atol=1e-5)
+
+    def test_matches_serial(self, violating_simo, force_pool):
+        serial = solve_serial(violating_simo, strategy="bisection")
+        process = solve_process(violating_simo, num_threads=3)
+        np.testing.assert_allclose(
+            np.sort(process.omegas), np.sort(serial.omegas), atol=1e-6
+        )
+
+    def test_band_covered(self, violating_simo, force_pool):
+        result = solve_process(violating_simo, num_threads=3)
+        assert result.coverage_gaps() == []
+
+    def test_work_counters_aggregate_across_shards(self, violating_simo, force_pool):
+        result = solve_process(violating_simo, num_threads=2)
+        assert result.work["shifts_processed"] == len(result.shifts)
+        assert result.work["operator_applies"] > 0
+
+    def test_record_indices_unique_and_sorted(self, violating_simo, force_pool):
+        result = solve_process(violating_simo, num_threads=3)
+        indices = [record.index for record in result.shifts]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices))
+        # Every shard contributed at least one shift.
+        assert {record.worker for record in result.shifts} == {0, 1, 2}
+
+    def test_passive_model(self, force_pool):
+        simo = pole_residue_to_simo(
+            random_macromodel(10, 2, seed=32, sigma_target=0.9)
+        )
+        result = solve_process(simo, num_threads=2)
+        assert result.is_passive_candidate
+
+
+class TestFallbacks:
+    def test_single_worker_runs_without_pool(self, violating_simo):
+        result = solve_process(violating_simo, num_threads=1)
+        assert result.strategy == "process"
+        assert result.num_threads == 1
+        assert result.coverage_gaps() == []
+
+    def test_small_model_delegates_to_thread_driver(self, violating_simo):
+        # Default threshold far above this model's order.
+        assert violating_simo.order < PROCESS_MIN_ORDER
+        result = solve_process(violating_simo, num_threads=2)
+        assert result.strategy == "queue"
+
+    def test_fallback_matches_serial(self, violating_simo):
+        serial = solve_serial(violating_simo, strategy="bisection")
+        fallback = solve_process(violating_simo, num_threads=2)
+        np.testing.assert_allclose(
+            np.sort(fallback.omegas), np.sort(serial.omegas), atol=1e-6
+        )
+
+
+class TestDeterminism:
+    def test_seeded_runs_identical(self, violating_simo, force_pool):
+        options = SolverOptions(seed=42)
+        a = solve_process(violating_simo, num_threads=2, options=options)
+        b = solve_process(violating_simo, num_threads=2, options=options)
+        np.testing.assert_array_equal(a.omegas, b.omegas)
+        assert [r.index for r in a.shifts] == [r.index for r in b.shifts]
+
+
+class TestSchedulerIndexOffset:
+    def test_segments_start_at_offset(self):
+        scheduler = BandScheduler(0.0, 10.0, num_threads=1, index_offset=100)
+        segment = scheduler.next_task()
+        assert segment is not None
+        assert segment.index >= 100
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="index_offset"):
+            BandScheduler(0.0, 10.0, num_threads=1, index_offset=-1)

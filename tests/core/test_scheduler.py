@@ -6,7 +6,6 @@ splitting on radius shrink (Fig. 5), covered-shift elimination (eq. 24),
 and the termination condition (eq. 29).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.scheduler import BandScheduler, Segment

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.options import SolverOptions
 from repro.core.serial import solve_serial
 from repro.hamiltonian.spectral import imaginary_eigenvalues_dense
 from repro.macromodel.realization import pole_residue_to_simo

@@ -1,7 +1,6 @@
 """Unit tests for the dense baseline eigensolver and imaginary filtering."""
 
 import numpy as np
-import pytest
 
 from repro.hamiltonian.spectral import (
     full_hamiltonian_spectrum,
@@ -10,7 +9,6 @@ from repro.hamiltonian.spectral import (
 )
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.synth import random_macromodel
-from tests.conftest import make_pole_residue
 
 
 class TestSelectImaginary:

@@ -12,7 +12,6 @@ import pytest
 from repro.core.options import SolverOptions
 from repro.core.solver import find_imaginary_eigenvalues
 from repro.macromodel.rational import PoleResidueModel
-from repro.macromodel.realization import pole_residue_to_simo
 from repro.passivity.characterization import characterize_passivity
 from repro.passivity.enforcement import enforce_passivity
 from repro.synth import random_macromodel

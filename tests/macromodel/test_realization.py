@@ -8,7 +8,6 @@ from repro.macromodel.realization import (
     realize_column,
     simo_from_columns,
 )
-from tests.conftest import make_pole_residue
 
 
 class TestRealizeColumn:

@@ -1,6 +1,5 @@
 """Unit tests for the adaptive-sampling characterization baseline."""
 
-import numpy as np
 import pytest
 
 from repro.passivity.characterization import characterize_passivity

@@ -12,7 +12,6 @@ Each property is an algebraic fact the paper's method rests on:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

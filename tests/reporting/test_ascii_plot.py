@@ -14,7 +14,7 @@ class TestAsciiSeries:
         chart = ascii_series(x, y, width=40, height=8, title="parabola")
         lines = chart.splitlines()
         assert lines[0] == "parabola"
-        assert len([l for l in lines if "|" in l]) == 8
+        assert len([row for row in lines if "|" in row]) == 8
 
     def test_hline_rendered(self):
         x = np.linspace(0, 1, 10)

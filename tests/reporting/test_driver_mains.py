@@ -1,6 +1,5 @@
 """Smoke tests for the experiment drivers' command-line entry points."""
 
-import pytest
 
 from repro.reporting.fig6 import main as fig6_main
 from repro.reporting.table1 import main as table1_main

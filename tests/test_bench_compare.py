@@ -1,0 +1,125 @@
+"""Unit tests for the benchmark regression gate (benchmarks/compare.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMPARE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare = importlib.util.module_from_spec(_spec)
+sys.modules["bench_compare"] = compare
+_spec.loader.exec_module(compare)
+
+
+def payload(**stage_seconds):
+    return {
+        "sweep": {"batched_seconds": stage_seconds.pop("sweep_batched", 0.1)},
+        "stages": [
+            {"name": name, "seconds": seconds}
+            for name, seconds in stage_seconds.items()
+        ],
+    }
+
+
+class TestComparePayloads:
+    def test_identical_runs_pass(self):
+        base = payload(characterization=0.4, enforcement=0.8)
+        diffs, missing = compare.compare_payloads(base, base)
+        assert not missing
+        assert not any(diff.regressed for diff in diffs)
+
+    def test_injected_regression_detected(self):
+        base = payload(characterization=0.4)
+        # 30% slower than baseline: beyond the 25% gate.
+        cur = payload(characterization=0.52)
+        diffs, _ = compare.compare_payloads(base, cur)
+        (diff,) = [d for d in diffs if d.name == "characterization"]
+        assert diff.regressed
+        assert diff.ratio == pytest.approx(1.3)
+
+    def test_slowdown_within_threshold_passes(self):
+        base = payload(characterization=0.4)
+        cur = payload(characterization=0.48)  # +20%
+        diffs, _ = compare.compare_payloads(base, cur)
+        assert not any(diff.regressed for diff in diffs)
+
+    def test_noise_floor_exempts_dust_stages(self):
+        base = payload(tiny=0.001)
+        cur = payload(tiny=0.004)  # 4x slower but microscopic
+        diffs, _ = compare.compare_payloads(base, cur)
+        (diff,) = [d for d in diffs if d.name == "tiny"]
+        assert not diff.eligible
+        assert not diff.regressed
+
+    def test_stage_growing_past_floor_is_eligible(self):
+        base = payload(tiny=0.01)
+        cur = payload(tiny=0.2)  # ballooned into relevance
+        diffs, _ = compare.compare_payloads(base, cur)
+        (diff,) = [d for d in diffs if d.name == "tiny"]
+        assert diff.eligible and diff.regressed
+
+    def test_missing_stage_reported(self):
+        base = payload(characterization=0.4, batch_fleet=1.0)
+        cur = payload(characterization=0.4)
+        _, missing = compare.compare_payloads(base, cur)
+        assert missing == ["batch_fleet"]
+
+    def test_empty_baseline_rejected(self):
+        with pytest.raises(ValueError, match="no comparable timings"):
+            compare.compare_payloads({"stages": []}, payload(a=1.0))
+
+    def test_custom_threshold(self):
+        base = payload(characterization=0.4)
+        cur = payload(characterization=0.48)  # +20%
+        diffs, _ = compare.compare_payloads(base, cur, threshold=0.10)
+        assert any(diff.regressed for diff in diffs)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", payload(characterization=0.4))
+        cur = self._write(tmp_path, "cur.json", payload(characterization=0.41))
+        assert compare.main(["--baseline", base, "--current", cur]) == 0
+        assert "no benchmark regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", payload(characterization=0.4))
+        cur = self._write(tmp_path, "cur.json", payload(characterization=0.6))
+        assert compare.main(["--baseline", base, "--current", cur]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "characterization" in captured.err
+
+    def test_missing_stage_exits_two(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path, "base.json", payload(characterization=0.4, gone=1.0)
+        )
+        cur = self._write(tmp_path, "cur.json", payload(characterization=0.4))
+        assert compare.main(["--baseline", base, "--current", cur]) == 2
+        assert "GONE" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        cur = self._write(tmp_path, "cur.json", payload(a=1.0))
+        code = compare.main(
+            ["--baseline", str(tmp_path / "nope.json"), "--current", cur]
+        )
+        assert code == 2
+
+    def test_real_tracked_baseline_self_compares_clean(self, capsys):
+        tracked = (
+            Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+        )
+        code = compare.main(
+            ["--baseline", str(tracked), "--current", str(tracked)]
+        )
+        assert code == 0
