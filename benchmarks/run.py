@@ -16,6 +16,10 @@ Produces ``BENCH_pipeline.json`` (repo root by default) holding
   through ``repro.batch.BatchRunner`` once serially and once on the
   process pool, with the measured wall-clock speedup and a check that
   the per-model crossing sets agree exactly;
+* the **cache hit** stage — the reference model characterized cold
+  (store miss, eigensweep runs) and warm (content-addressed store hit)
+  through ``RunConfig(cache="readwrite")``, recording the warm latency
+  and the warm-vs-cold speedup (the serving story of the result store);
 * optionally the pytest-benchmark suites of this directory, executed at
   the same ``BENCH_SCALE`` with their JSON report folded in.
 
@@ -51,7 +55,9 @@ for entry in (str(ROOT / "src"), str(BENCH_DIR)):
 
 import numpy as np  # noqa: E402
 
+from repro.api import Macromodel  # noqa: E402
 from repro.batch import BatchRunner, synth_fleet  # noqa: E402
+from repro.core.config import RunConfig  # noqa: E402
 from repro.core.options import SolverOptions  # noqa: E402
 from repro.macromodel.realization import pole_residue_to_simo  # noqa: E402
 from repro.passivity.characterization import characterize_passivity  # noqa: E402
@@ -244,6 +250,49 @@ def run_batch_benchmark(
     }
 
 
+def run_cache_benchmark(*, scale: float, threads: int = 2, repeats: int = 3) -> Dict:
+    """Cache-hit stage: warm vs cold ``check`` latency on the reference model.
+
+    The cold pass runs the full Hamiltonian characterization and writes
+    the result into a throwaway content-addressed store; the warm passes
+    answer from the store without touching the eigensolver (asserted via
+    the session's hit counters).  The recorded ``seconds`` is the *warm*
+    latency — the number the serving layer quotes — and ``speedup`` the
+    cold/warm ratio the acceptance gate watches (>= 100x expected).
+    """
+    num_poles = max(8, int(40 * scale * 10))
+    model = random_macromodel(num_poles, 4, seed=777, sigma_target=1.05)
+    with tempfile.TemporaryDirectory() as tmp:
+        config = RunConfig(num_threads=threads, cache="readwrite", cache_dir=tmp)
+
+        t0 = time.perf_counter()
+        cold = Macromodel.from_pole_residue(model, config=config)
+        cold.check_passivity()
+        cold_s = time.perf_counter() - t0
+        if cold.cache_stats["writes"] != 1:
+            raise RuntimeError(
+                f"cold pass did not populate the store: {cold.cache_stats}"
+            )
+
+        def warm() -> None:
+            session = Macromodel.from_pole_residue(model, config=config)
+            session.check_passivity()
+            if session.cache_stats["hits"] != 1:
+                raise RuntimeError(
+                    f"warm pass missed the store: {session.cache_stats}"
+                )
+
+        warm_s = _best_of(repeats, warm)
+    return {
+        "order": int(model.order),
+        "threads": int(threads),
+        "repeats": int(repeats),
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
 def _resolve_suites(tokens: Sequence[str]) -> List[str]:
     if not tokens or list(tokens) == ["none"]:
         return []
@@ -381,6 +430,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             }
         )
 
+    print("cache-hit stage...", file=sys.stderr)
+    cache = run_cache_benchmark(scale=args.scale, threads=args.threads)
+    print(
+        f"  cold {cache['cold_seconds']:.4f}s  warm"
+        f" {cache['warm_seconds']:.6f}s  speedup {cache['speedup']:.0f}x",
+        file=sys.stderr,
+    )
+    stages.append(
+        {
+            "name": "cache_hit",
+            "seconds": cache["warm_seconds"],
+            "work": None,
+            "extra": {
+                "cold_seconds": cache["cold_seconds"],
+                "speedup": cache["speedup"],
+                "order": cache["order"],
+            },
+        }
+    )
+
     pytest_payload = run_pytest_suites(_resolve_suites(args.suites), scale=args.scale)
 
     payload = {
@@ -392,6 +461,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": sweep,
         "stages": stages,
         "batch": batch,
+        "cache": cache,
         "pytest": pytest_payload,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -67,6 +67,7 @@ from repro.passivity.immittance import (
     ImmittancePassivityReport,
     characterize_immittance_passivity,
 )
+from repro.store import ResultStore
 from repro.touchstone.reader import read_touchstone
 from repro.touchstone.writer import write_touchstone
 from repro.vectfit.vector_fitting import vector_fit as _vector_fit
@@ -130,6 +131,8 @@ __all__ = [
     "BatchRunner",
     "FleetReport",
     "synth_fleet",
+    # Content-addressed result store.
+    "ResultStore",
     # Strategy registry.
     "StrategySpec",
     "available_strategies",

@@ -32,6 +32,8 @@ from typing import Any, Optional, Union
 
 import numpy as np
 
+from dataclasses import asdict, is_dataclass
+
 from repro.core.config import RunConfig
 from repro.core.results import SolveResult
 from repro.core.solver import solve
@@ -43,6 +45,14 @@ from repro.passivity.hinf import HinfResult, hinf_norm
 from repro.passivity.immittance import (
     ImmittancePassivityReport,
     characterize_immittance_passivity,
+)
+from repro.store import (
+    ResultStore,
+    array_digest,
+    content_key,
+    decode_result,
+    encode_result,
+    result_key,
 )
 from repro.touchstone.reader import TouchstoneData, read_touchstone
 from repro.touchstone.writer import write_touchstone
@@ -109,6 +119,9 @@ class Macromodel:
         self._hinf: Optional[HinfResult] = None
         self._solve: Optional[SolveResult] = None
         self._exports: list = []
+        self._result_store: Optional[ResultStore] = None
+        self._result_store_dir: Optional[str] = None
+        self._cache_counters = {"hits": 0, "misses": 0, "writes": 0}
 
     # -- constructors -------------------------------------------------------
 
@@ -254,6 +267,100 @@ class Macromodel:
             config = config.merged(omega_min=0.0, omega_max=None)
         return config
 
+    # -- result-store plumbing ----------------------------------------------
+
+    @property
+    def cache_stats(self) -> dict:
+        """This session's result-store traffic: hits, misses, writes.
+
+        All zeros while ``config.cache == "off"`` (the default).  A hit
+        means the stage skipped its computation entirely — the
+        counters are how tests (and ``FleetReport``) verify that a
+        repeated characterization never re-ran the eigensweep.
+        """
+        return dict(self._cache_counters)
+
+    def _store_for(self, config: RunConfig) -> Optional[ResultStore]:
+        if config.cache == "off":
+            return None
+        if (
+            self._result_store is None
+            or self._result_store_dir != config.cache_dir
+        ):
+            self._result_store = ResultStore.from_config(config)
+            self._result_store_dir = config.cache_dir
+        return self._result_store
+
+    def _model_digest(self) -> Optional[str]:
+        """Content digest of the current model; None when uncacheable."""
+        if isinstance(self._model, PoleResidueModel):
+            return content_key(self._model.to_dict())
+        return None
+
+    def _data_digest(self) -> Optional[str]:
+        """Content digest of the loaded sample data."""
+        if self._data is None:
+            return None
+        return array_digest(
+            self._data.freqs_hz,
+            self._data.matrices,
+            extra={
+                "parameter": str(self._data.parameter),
+                "z0": float(self._data.z0),
+            },
+        )
+
+    def _cached_stage(
+        self,
+        *,
+        stage: str,
+        config: RunConfig,
+        digest_fn,
+        params: Optional[dict],
+        key_config: Optional[RunConfig],
+        compute,
+    ):
+        """Run ``compute`` through the result store when the config opts in.
+
+        ``digest_fn`` is a thunk so the default ``cache="off"`` path
+        never pays for hashing the model; it returning ``None`` marks an
+        uncacheable input (a structured realization with no canonical
+        serialization, non-canonical stage kwargs) and the stage simply
+        computes.  ``key_config`` is what enters the cache key (``None``
+        for config-independent stages like fitting); ``config`` still
+        decides the store location and mode.
+        """
+        if config.cache == "off":
+            return compute()
+        digest = digest_fn()
+        store = self._store_for(config) if digest is not None else None
+        if store is None:
+            return compute()
+        try:
+            key = result_key(
+                stage=stage, input_digest=digest, config=key_config, params=params
+            )
+        except (TypeError, ValueError):
+            # Non-canonical stage parameters: compute without the cache.
+            return compute()
+        payload = store.get(key)
+        if payload is not None:
+            try:
+                result = decode_result(stage, payload)
+            except (KeyError, TypeError, ValueError):
+                # Semantically unusable payload: fall through to a miss.
+                result = None
+            if result is not None:
+                self._cache_counters["hits"] += 1
+                return result
+        self._cache_counters["misses"] += 1
+        result = compute()
+        if config.cache == "readwrite" and store.put(
+            key, encode_result(stage, result), stage=stage
+        ):
+            self._cache_counters["writes"] += 1
+        return result
+
     # -- pipeline stages ----------------------------------------------------
 
     def fit(self, num_poles: int = 30, **fit_kwargs: Any) -> "Macromodel":
@@ -269,11 +376,31 @@ class Macromodel:
                 " from_touchstone()/from_samples(), or use"
                 " from_pole_residue() to skip fitting"
             )
-        self._fit = vector_fit(
-            self._data.freqs_rad,
-            self._data.matrices,
-            num_poles=num_poles,
-            **fit_kwargs,
+        # Fitting ignores the solver RunConfig, so the cache key holds
+        # only the data digest and the fit parameters; unknown extra
+        # kwargs make the call uncacheable rather than silently aliased.
+        cacheable = set(fit_kwargs) <= {"options"}
+        params = None
+        if cacheable:
+            options = fit_kwargs.get("options")
+            params = {
+                "num_poles": int(num_poles),
+                "options": asdict(options)
+                if is_dataclass(options) and not isinstance(options, type)
+                else None,
+            }
+        self._fit = self._cached_stage(
+            stage="fit",
+            config=self._config,
+            digest_fn=self._data_digest if cacheable else lambda: None,
+            params=params,
+            key_config=None,
+            compute=lambda: vector_fit(
+                self._data.freqs_rad,
+                self._data.matrices,
+                num_poles=num_poles,
+                **fit_kwargs,
+            ),
         )
         self._model = self._fit.model
         # Any stage results computed for a previous model are stale now.
@@ -295,9 +422,24 @@ class Macromodel:
         config = self._run_config(overrides)
         model = self._require_model()
         if config.representation == "immittance":
-            self._report = characterize_immittance_passivity(model, config=config)
+            stage = "check-immittance"
+
+            def compute():
+                return characterize_immittance_passivity(model, config=config)
         else:
-            self._report = characterize_passivity(model, config=config)
+            stage = "check"
+
+            def compute():
+                return characterize_passivity(model, config=config)
+
+        self._report = self._cached_stage(
+            stage=stage,
+            config=config,
+            digest_fn=self._model_digest,
+            params=None,
+            key_config=config,
+            compute=compute,
+        )
         self._report_model = model
         self._report_config = config
         return self
@@ -340,13 +482,31 @@ class Macromodel:
             and not self._report_config.is_band_limited
         ):
             initial_report = self._report
-        self._enforcement = enforce_passivity(
-            model,
-            margin=margin,
-            max_iterations=max_iterations,
-            d_max_sigma=d_max_sigma,
+        # The cache key cannot see the seed report, so only cache runs
+        # whose outcome is independent of it: unseeded runs, and runs
+        # seeded by a check under this exact config (where iteration 0
+        # would recompute the identical report anyway).  A seed from a
+        # *different* solver config could steer a different trajectory —
+        # those runs compute uncached rather than alias.
+        seed_is_neutral = initial_report is None or self._report_config == config
+        self._enforcement = self._cached_stage(
+            stage="enforce",
             config=config,
-            initial_report=initial_report,
+            digest_fn=self._model_digest if seed_is_neutral else (lambda: None),
+            params={
+                "margin": float(margin),
+                "max_iterations": int(max_iterations),
+                "d_max_sigma": float(d_max_sigma),
+            },
+            key_config=config,
+            compute=lambda: enforce_passivity(
+                model,
+                margin=margin,
+                max_iterations=max_iterations,
+                d_max_sigma=d_max_sigma,
+                config=config,
+                initial_report=initial_report,
+            ),
         )
         self._model = self._enforcement.model
         if self._enforcement.reports:
@@ -371,13 +531,29 @@ class Macromodel:
         is still an error.
         """
         config = self._full_axis_config(overrides)
-        self._hinf = hinf_norm(self._require_model(), rtol=rtol, config=config)
+        model = self._require_model()
+        self._hinf = self._cached_stage(
+            stage="hinf",
+            config=config,
+            digest_fn=self._model_digest,
+            params={"rtol": float(rtol)},
+            key_config=config,
+            compute=lambda: hinf_norm(model, rtol=rtol, config=config),
+        )
         return self
 
     def find_crossings(self, **overrides: Any) -> "Macromodel":
         """Run the raw eigensolver sweep (no band classification)."""
         config = self._run_config(overrides)
-        self._solve = solve(self._require_model(), config)
+        model = self._require_model()
+        self._solve = self._cached_stage(
+            stage="solve",
+            config=config,
+            digest_fn=self._model_digest,
+            params=None,
+            key_config=config,
+            compute=lambda: solve(model, config),
+        )
         return self
 
     def to_touchstone(
@@ -562,6 +738,8 @@ class Macromodel:
             payload["hinf"] = self._hinf.to_dict()
         if self._solve is not None:
             payload["solve"] = self._solve.to_dict(include_shifts=False)
+        if any(self._cache_counters.values()):
+            payload["cache"] = self.cache_stats
         return to_jsonable(payload)
 
     def __repr__(self) -> str:

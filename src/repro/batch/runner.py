@@ -73,6 +73,7 @@ class JobSettings:
     enforce: bool = False
     margin: float = 0.002
     in_process_pool: bool = False
+    hinf: bool = False
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,10 @@ class JobResult:
         ``"ok"`` rows.
     source:
         JSON description of the job source.
+    cache_hits, cache_misses:
+        Result-store traffic of the job's session (all zero when the
+        fleet config leaves ``cache="off"``).  A hit means the stage
+        skipped its computation and served the stored payload.
     """
 
     name: str
@@ -112,6 +117,8 @@ class JobResult:
     error: Optional[str] = None
     session: Optional[dict] = None
     source: Optional[dict] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -130,6 +137,8 @@ class JobResult:
                 "error": self.error,
                 "session": self.session,
                 "source": self.source,
+                "cache_hits": int(self.cache_hits),
+                "cache_misses": int(self.cache_misses),
             }
         )
 
@@ -168,6 +177,16 @@ class FleetReport:
         """True when every job completed."""
         return self.num_failed == 0
 
+    @property
+    def cache_hits(self) -> int:
+        """Result-store hits across the whole fleet."""
+        return sum(r.cache_hits for r in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        """Result-store misses across the whole fleet."""
+        return sum(r.cache_misses for r in self.results)
+
     def result(self, name: str) -> JobResult:
         """Look up one job outcome by name."""
         for r in self.results:
@@ -190,17 +209,22 @@ class FleetReport:
                 "num_ok": self.num_ok,
                 "num_failed": self.num_failed,
                 "num_passive": self.num_passive,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
                 "results": [r.to_dict() for r in self.results],
             }
         )
 
     def summary(self) -> str:
         """Multi-line human-readable fleet summary."""
+        cache = ""
+        if self.cache_hits or self.cache_misses:
+            cache = f", cache {self.cache_hits} hit / {self.cache_misses} miss"
         lines = [
             f"fleet: {self.num_jobs} jobs, {self.num_ok} ok,"
             f" {self.num_failed} failed, {self.num_passive} passive,"
             f" {self.elapsed:.3f}s"
-            f" ({self.backend} backend, {self.workers} workers)"
+            f" ({self.backend} backend, {self.workers} workers{cache})"
         ]
         for r in self.results:
             if r.ok:
@@ -239,6 +263,9 @@ def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
             crossings = [float(w) for w in report.solve.omegas]
         if settings.enforce and not session.is_passive:
             session.enforce(margin=settings.margin)
+        if settings.hinf:
+            session.hinf()
+        cache_stats = session.cache_stats
         return JobResult(
             name=job.name,
             status="ok",
@@ -247,6 +274,8 @@ def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
             crossings=crossings,
             session=session.to_dict(),
             source=job.describe(),
+            cache_hits=int(cache_stats.get("hits", 0)),
+            cache_misses=int(cache_stats.get("misses", 0)),
         )
     except Exception as exc:  # one bad model must not sink the fleet
         return JobResult(
@@ -306,6 +335,10 @@ class BatchRunner:
         violations.
     margin:
         Enforcement margin below the unit threshold.
+    hinf:
+        Also compute the H-infinity norm after the characterization
+        (scattering sessions only; used by the HTTP service's ``hinf``
+        task).
     """
 
     def __init__(
@@ -318,6 +351,7 @@ class BatchRunner:
         num_poles: int = 30,
         enforce: bool = False,
         margin: float = 0.002,
+        hinf: bool = False,
     ) -> None:
         ensure_choice(backend, "batch backend", BATCH_BACKENDS)
         if workers is None:
@@ -333,6 +367,7 @@ class BatchRunner:
             enforce=bool(enforce),
             margin=float(margin),
             in_process_pool=(backend == "process"),
+            hinf=bool(hinf),
         )
 
     def run(self, sources: Union[JobSource, Sequence[JobSource]]) -> FleetReport:

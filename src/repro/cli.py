@@ -8,7 +8,10 @@ Usage (after ``pip install -e .``)::
     repro hinf       device.s4p --poles 40
     repro batch      'devices/*.s4p' --workers 4 --timeout 120
     repro batch      --synth 10 --seed 7 --backend process --json
+    repro cache      stats --json
+    repro serve      --port 8080 --workers 4 --cache readwrite
     repro strategies
+    repro --version
 
 (``python -m repro ...`` works identically.)  ``check`` fits a rational
 macromodel to the file and runs the Hamiltonian passivity
@@ -16,19 +19,25 @@ characterization; ``enforce`` additionally repairs the model and writes
 the resampled passive response; ``hinf`` computes the H-infinity norm by
 Hamiltonian bisection; ``batch`` runs the fit → check (→ enforce)
 pipeline over a whole fleet of models on a bounded worker pool;
-``info`` summarizes the file; ``strategies`` lists the registered
-scheduling strategies.
+``cache`` inspects and manages the content-addressed result store;
+``serve`` runs the persistent HTTP job service (see
+:mod:`repro.service`); ``info`` summarizes the file; ``strategies``
+lists the registered scheduling strategies.
 
 The CLI is a thin shell over the :class:`~repro.api.Macromodel` facade.
 The fitting commands (``check`` / ``enforce`` / ``hinf``) accept
-``--threads`` / ``--strategy`` / ``--backend`` / ``--representation``,
-honour the ``REPRO_*`` environment variables through
+``--threads`` / ``--strategy`` / ``--backend`` / ``--representation``
+plus the result-store axis (``--cache`` / ``--cache-dir``), honour the
+``REPRO_*`` environment variables through
 :meth:`~repro.core.config.RunConfig.from_env`, and support ``--json``
 to print the session's machine-readable
 :meth:`~repro.api.Macromodel.to_dict` payload; ``info`` and
 ``strategies`` are plain inspection commands with no solver knobs.
-Configuration layers lowest-to-highest: the file's parameter type
-(S → scattering, Y/Z → immittance), then ``REPRO_*``, then typed flags.
+Every machine-readable mode (``--json``, ``serve --print-config``)
+keeps stdout a single parseable JSON document — progress lines move to
+stderr.  Configuration layers lowest-to-highest: the file's parameter
+type (S → scattering, Y/Z → immittance), then ``REPRO_*``, then typed
+flags.
 """
 
 from __future__ import annotations
@@ -41,11 +50,23 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.api import Macromodel, available_strategies
-from repro.core.config import RunConfig
+from repro.core.config import CACHE_MODES, RunConfig
 from repro.core.registry import AUTO_DESCRIPTION, BACKENDS, get_strategy
 from repro.hamiltonian.operator import REPRESENTATIONS
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "version_string"]
+
+
+def version_string() -> str:
+    """The installed package version (metadata first, source fallback)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 class _TrackedStore(argparse.Action):
@@ -69,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hamiltonian passivity tools for interconnect macromodels",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {version_string()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -114,6 +141,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--json",
             action="store_true",
             help="print the machine-readable session payload",
+        )
+        add_cache_args(p)
+
+    def add_cache_args(p):
+        p.add_argument(
+            "--cache",
+            default="off",
+            choices=CACHE_MODES,
+            action=_TrackedStore,
+            help="result-store mode (default: off; see also REPRO_CACHE)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            action=_TrackedStore,
+            help="result-store directory (default: REPRO_CACHE_DIR or"
+            " ~/.cache/repro)",
         )
 
     check = sub.add_parser("check", help="fit a macromodel and test passivity")
@@ -193,6 +237,83 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the machine-readable fleet report",
     )
+    add_cache_args(batch)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and manage the content-addressed result store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "show entry count, size, and traffic counters"),
+        ("clear", "delete every cached entry"),
+        ("prune", "evict least-recently-used entries down to the size cap"),
+    ):
+        cp = cache_sub.add_parser(name, help=help_text)
+        cp.add_argument(
+            "--cache-dir",
+            default=None,
+            help="store directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        cp.add_argument(
+            "--json",
+            action="store_true",
+            help="print the machine-readable summary",
+        )
+        if name == "prune":
+            cp.add_argument(
+                "--max-bytes",
+                type=int,
+                default=None,
+                help="prune down to this many bytes (default: the store cap,"
+                " REPRO_CACHE_MAX_BYTES)",
+            )
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent HTTP macromodel job service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent jobs"
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-job budget in seconds"
+    )
+    serve.add_argument(
+        "--backend",
+        default="process",
+        choices=("process", "thread", "serial"),
+        help="job execution backend (default: process)",
+    )
+    serve.add_argument(
+        "--poles", type=int, default=30, help="default fit model order"
+    )
+    serve.add_argument(
+        "--margin", type=float, default=0.002, help="default enforcement margin"
+    )
+    serve.add_argument(
+        "--cache",
+        default="readwrite",
+        choices=CACHE_MODES,
+        action=_TrackedStore,
+        help="result-store mode (default: readwrite — the service exists"
+        " to absorb repeated traffic)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        action=_TrackedStore,
+        help="result-store directory (default: REPRO_CACHE_DIR or"
+        " ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--print-config",
+        action="store_true",
+        help="print the resolved service configuration as JSON and exit"
+        " (pure JSON on stdout; nothing is served)",
+    )
 
     sub.add_parser("strategies", help="list registered scheduling strategies")
     return parser
@@ -216,6 +337,10 @@ def _session_config(args, base: Optional[RunConfig] = None) -> RunConfig:
         overrides["backend"] = args.backend
     if "representation" in explicit:
         overrides["representation"] = args.representation
+    if "cache" in explicit:
+        overrides["cache"] = args.cache
+    if "cache_dir" in explicit:
+        overrides["cache_dir"] = args.cache_dir
     return config.merged(**overrides) if overrides else config
 
 
@@ -366,7 +491,7 @@ def _cmd_batch(args) -> int:
             "nothing to run: give Touchstone paths/globs and/or --synth N"
         )
     runner = BatchRunner(
-        config=RunConfig.from_env(),
+        config=_session_config(args),
         workers=args.workers,
         timeout=args.timeout,
         backend=args.backend,
@@ -383,6 +508,102 @@ def _cmd_batch(args) -> int:
     if getattr(args, "json", False):
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.all_ok else 4
+
+
+def _cmd_cache(args) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "stats":
+        payload = store.stats()
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"store:      {payload['root']} (schema {payload['schema']})")
+        print(f"entries:    {payload['entries']}")
+        cap = payload["max_bytes"]
+        print(
+            f"size:       {payload['total_bytes']} bytes"
+            f" (cap: {cap if cap is not None else 'unlimited'})"
+        )
+        for stage, count in sorted(payload["stages"].items()):
+            print(f"  stage {stage:<18} {count}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        payload = {"root": str(store.root), "removed": removed}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"removed {removed} entries from {store.root}")
+        return 0
+    summary = store.prune(args.max_bytes)
+    summary["root"] = str(store.root)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"pruned {summary['removed']} entries from {store.root};"
+            f" {summary['entries']} left ({summary['total_bytes']} bytes)"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ReproServer
+
+    # Layering mirrors the fitting commands, except the *service* default
+    # is cache="readwrite": REPRO_* overrides it, typed flags win.
+    config = RunConfig.from_env(base=RunConfig(cache="readwrite"))
+    explicit = getattr(args, "_explicit", set())
+    overrides = {}
+    if "cache" in explicit:
+        overrides["cache"] = args.cache
+    if "cache_dir" in explicit:
+        overrides["cache_dir"] = args.cache_dir
+    if overrides:
+        config = config.merged(**overrides)
+    if args.print_config:
+        # Describing the configuration needs no socket: it must work
+        # (and print the same JSON) while a server holds the port.
+        from repro.service import JobManager
+        from repro.service.server import describe_manager
+
+        manager = JobManager(
+            config=config,
+            workers=args.workers,
+            timeout=args.timeout,
+            backend=args.backend,
+            num_poles=args.poles,
+            margin=args.margin,
+        )
+        try:
+            payload = describe_manager(manager, args.host, args.port)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        finally:
+            manager.shutdown()
+        return 0
+
+    server = ReproServer.create(
+        host=args.host,
+        port=args.port,
+        config=config,
+        workers=args.workers,
+        timeout=args.timeout,
+        backend=args.backend,
+        num_poles=args.poles,
+        margin=args.margin,
+    )
+    try:
+        print(f"serving on {server.url} (ctrl-c to stop)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        return 0
+    finally:
+        server.server_close()
+        server.manager.shutdown()
 
 
 def _cmd_strategies(args) -> int:
@@ -411,6 +632,8 @@ _COMMANDS = {
     "enforce": _cmd_enforce,
     "hinf": _cmd_hinf,
     "batch": _cmd_batch,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "strategies": _cmd_strategies,
 }
 

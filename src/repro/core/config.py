@@ -36,6 +36,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CACHE_MODES",
     "ConfigError",
     "RunConfig",
     "ensure_representation",
@@ -45,6 +46,11 @@ __all__ = [
 
 #: Environment prefix recognized by :meth:`RunConfig.from_env`.
 ENV_PREFIX = "REPRO_"
+
+#: Result-store participation modes: ``"off"`` (never touch the store),
+#: ``"read"`` (serve hits, never write), ``"readwrite"`` (serve hits and
+#: persist fresh results).
+CACHE_MODES = ("off", "read", "readwrite")
 
 
 class ConfigError(ValueError):
@@ -135,6 +141,18 @@ class RunConfig:
         automatic spectral-bound estimation of Sec. IV.A.
     options:
         :class:`~repro.core.options.SolverOptions` tuning knobs.
+    cache:
+        Result-store participation: ``"off"`` (default — bit-identical
+        to the pre-store behavior), ``"read"`` (serve cached results,
+        never write), or ``"readwrite"`` (serve hits and persist fresh
+        results).  Cached payloads are the stages' own ``to_dict()``
+        forms, keyed content-addressed on (input, config, stage); see
+        :mod:`repro.store`.
+    cache_dir:
+        Store directory; ``None`` uses ``REPRO_CACHE_DIR`` or the
+        platform cache location (``~/.cache/repro``).  Neither cache
+        field enters the cache key — whether a run consults the store
+        must not change what it computes.
     """
 
     num_threads: int = 1
@@ -144,6 +162,8 @@ class RunConfig:
     omega_min: float = 0.0
     omega_max: Optional[float] = None
     options: SolverOptions = field(default_factory=SolverOptions)
+    cache: str = "off"
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Store the validators' coerced values so the frozen config holds
@@ -171,6 +191,15 @@ class RunConfig:
                 "options must be a SolverOptions,"
                 f" got {type(self.options).__name__}"
             )
+        ensure_choice(self.cache, "cache", CACHE_MODES)
+        if self.cache_dir is not None:
+            if isinstance(self.cache_dir, os.PathLike):
+                object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
+            elif not isinstance(self.cache_dir, str):
+                raise TypeError(
+                    "cache_dir must be a path string or None,"
+                    f" got {type(self.cache_dir).__name__}"
+                )
 
     # -- construction -------------------------------------------------------
 
@@ -227,6 +256,7 @@ class RunConfig:
         value): ``REPRO_NUM_THREADS``, ``REPRO_REPRESENTATION``,
         ``REPRO_STRATEGY``, ``REPRO_BACKEND``, ``REPRO_OMEGA_MIN``,
         ``REPRO_OMEGA_MAX`` (``"none"``/``"auto"``/empty mean automatic),
+        ``REPRO_CACHE`` (off/read/readwrite), ``REPRO_CACHE_DIR``,
         and ``REPRO_SEED`` (forwarded into ``options``).
 
         Raises
@@ -264,6 +294,10 @@ class RunConfig:
             overrides["backend"] = raw.strip().lower()
         if (raw := get("OMEGA_MIN")) is not None:
             overrides["omega_min"] = parse("OMEGA_MIN", raw, float)
+        if (raw := get("CACHE")) is not None:
+            overrides["cache"] = raw.strip().lower()
+        if (raw := get("CACHE_DIR")) is not None:
+            overrides["cache_dir"] = raw.strip()
         # OMEGA_MAX checks raw presence: an empty value is the documented
         # way to clear a base band limit back to automatic (None).
         if (raw := environ.get(prefix + "OMEGA_MAX")) is not None:
@@ -330,4 +364,6 @@ class RunConfig:
             "omega_min": self.omega_min,
             "omega_max": self.omega_max,
             "options": asdict(self.options),
+            "cache": self.cache,
+            "cache_dir": self.cache_dir,
         }

@@ -13,7 +13,12 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import (
+    complex_array_from_jsonable,
+    complex_from_jsonable,
+    float_array_from_jsonable,
+    to_jsonable,
+)
 
 __all__ = ["SingleShiftResult", "ShiftRecord", "SolveResult"]
 
@@ -65,6 +70,18 @@ class SingleShiftResult:
             "applies": int(self.applies),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SingleShiftResult":
+        """Rebuild a shift result from a :meth:`to_dict` payload."""
+        return cls(
+            shift=complex_from_jsonable(payload["shift"]),
+            radius=float(payload["radius"]),
+            eigenvalues=complex_array_from_jsonable(payload["eigenvalues"]),
+            restarts=int(payload["restarts"]),
+            converged=bool(payload["converged"]),
+            applies=int(payload.get("applies", 0)),
+        )
+
 
 @dataclass(frozen=True)
 class ShiftRecord:
@@ -103,6 +120,18 @@ class ShiftRecord:
             "worker": int(self.worker),
             "elapsed": float(self.elapsed),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShiftRecord":
+        """Rebuild a scheduler record from a :meth:`to_dict` payload."""
+        return cls(
+            index=int(payload["index"]),
+            center=float(payload["center"]),
+            interval=(float(payload["interval"][0]), float(payload["interval"][1])),
+            result=SingleShiftResult.from_dict(payload["result"]),
+            worker=int(payload["worker"]),
+            elapsed=float(payload["elapsed"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -213,6 +242,29 @@ class SolveResult:
         if include_shifts:
             payload["shifts"] = [record.to_dict() for record in self.shifts]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolveResult":
+        """Rebuild a sweep result from a :meth:`to_dict` payload.
+
+        Derived fields (``num_crossings``, ``is_passive_candidate``,
+        ``shifts_processed``) are recomputed, not read back; a payload
+        written without ``include_shifts`` rebuilds with an empty
+        provenance list.
+        """
+        return cls(
+            omegas=float_array_from_jsonable(payload["omegas"]),
+            eigenvalues=complex_array_from_jsonable(payload["eigenvalues"]),
+            band=(float(payload["band"][0]), float(payload["band"][1])),
+            shifts=[
+                ShiftRecord.from_dict(record)
+                for record in payload.get("shifts", [])
+            ],
+            work={str(k): int(v) for k, v in payload.get("work", {}).items()},
+            elapsed=float(payload["elapsed"]),
+            num_threads=int(payload["num_threads"]),
+            strategy=str(payload["strategy"]),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -20,7 +20,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.macromodel.poles import is_stable, partition_poles
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import (
+    complex_array_from_jsonable,
+    float_array_from_jsonable,
+    to_jsonable,
+)
 from repro.utils.validation import ensure_matrix, ensure_sorted_frequencies, ensure_vector
 
 __all__ = ["PoleResidueModel"]
@@ -208,6 +212,20 @@ class PoleResidueModel:
             "residues": to_jsonable(self.residues),
             "d": to_jsonable(self.d),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PoleResidueModel":
+        """Rebuild a model from a :meth:`to_dict` payload.
+
+        The inverse of :meth:`to_dict` used by the result store and the
+        HTTP service; round-trips exactly
+        (``from_dict(m.to_dict()).to_dict() == m.to_dict()``).
+        """
+        return cls(
+            poles=complex_array_from_jsonable(payload["poles"]),
+            residues=complex_array_from_jsonable(payload["residues"], ndim=3),
+            d=float_array_from_jsonable(payload["d"], ndim=2),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -23,7 +23,7 @@ from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
 from repro.passivity.metrics import refine_peak, sigma_max_many
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import float_array_from_jsonable, to_jsonable
 
 __all__ = [
     "ViolationBand",
@@ -75,6 +75,17 @@ class ViolationBand:
             "width": float(self.width),
             "severity": float(self.severity),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ViolationBand":
+        """Rebuild a band from a :meth:`to_dict` payload (derived fields
+        like ``width``/``severity`` are recomputed, not read back)."""
+        return cls(
+            lo=float(payload["lo"]),
+            hi=float(payload["hi"]),
+            peak_freq=float(payload["peak_freq"]),
+            peak_sigma=float(payload["peak_sigma"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -141,6 +152,28 @@ class PassivityReport:
             if include_solve:
                 payload["solve"] = self.solve.to_dict()
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PassivityReport":
+        """Rebuild a report from a :meth:`to_dict` payload.
+
+        Payloads written with ``include_solve=True`` rebuild the full
+        eigensolver provenance; without it, ``solve`` is ``None`` (the
+        same state as a report built from externally supplied crossings).
+        The result store persists the ``include_solve=True`` form so a
+        cache hit is indistinguishable from a fresh characterization.
+        """
+        solve = payload.get("solve")
+        return cls(
+            passive=bool(payload["passive"]),
+            crossings=float_array_from_jsonable(payload["crossings"]),
+            bands=tuple(
+                ViolationBand.from_dict(band) for band in payload.get("bands", [])
+            ),
+            asymptotic_margin=float(payload["asymptotic_margin"]),
+            solve=SolveResult.from_dict(solve) if solve is not None else None,
+            band_limited=bool(payload.get("band_limited", False)),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -96,7 +96,9 @@ class EnforcementResult:
     perturbation_norm: float
     reports: Tuple[PassivityReport, ...]
 
-    def to_dict(self, *, include_model: bool = True) -> dict:
+    def to_dict(
+        self, *, include_model: bool = True, include_solve: bool = False
+    ) -> dict:
         """JSON-serializable dictionary of the enforcement outcome.
 
         Parameters
@@ -104,17 +106,44 @@ class EnforcementResult:
         include_model:
             Embed the final model's pole/residue data (omit for compact
             telemetry payloads).
+        include_solve:
+            Forwarded to each report's ``to_dict``; the result store
+            persists the ``include_solve=True`` form so :meth:`from_dict`
+            rebuilds the per-iteration eigensolver provenance too.
         """
         payload = {
             "passive": bool(self.passive),
             "iterations": int(self.iterations),
             "history": [float(h) for h in self.history],
             "perturbation_norm": float(self.perturbation_norm),
-            "reports": [report.to_dict() for report in self.reports],
+            "reports": [
+                report.to_dict(include_solve=include_solve)
+                for report in self.reports
+            ],
         }
         if include_model:
             payload["model"] = self.model.to_dict()
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EnforcementResult":
+        """Rebuild an enforcement outcome from a :meth:`to_dict` payload.
+
+        Requires a payload written with ``include_model=True`` (the final
+        model *is* the result); reports rebuild with or without their
+        embedded solve provenance.
+        """
+        return cls(
+            model=PoleResidueModel.from_dict(payload["model"]),
+            passive=bool(payload["passive"]),
+            iterations=int(payload["iterations"]),
+            history=tuple(float(h) for h in payload.get("history", [])),
+            perturbation_norm=float(payload["perturbation_norm"]),
+            reports=tuple(
+                PassivityReport.from_dict(report)
+                for report in payload.get("reports", [])
+            ),
+        )
 
 
 def _peak_constraints(

@@ -64,6 +64,19 @@ class HinfResult:
             "bisections": int(self.bisections),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HinfResult":
+        """Rebuild a bisection outcome from a :meth:`to_dict` payload
+        (``peak_freq: null`` restores the NaN sentinel)."""
+        peak = payload.get("peak_freq")
+        return cls(
+            norm=float(payload["norm"]),
+            lower=float(payload["lower"]),
+            upper=float(payload["upper"]),
+            peak_freq=float("nan") if peak is None else float(peak),
+            bisections=int(payload["bisections"]),
+        )
+
 
 def _scaled_simo(model: Union[PoleResidueModel, SimoRealization], gamma: float) -> SimoRealization:
     """Return the realization of ``H / gamma``."""

@@ -24,7 +24,7 @@ from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import float_array_from_jsonable, to_jsonable
 
 __all__ = [
     "ImmittanceViolationBand",
@@ -93,6 +93,16 @@ class ImmittanceViolationBand:
             "severity": float(self.severity),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ImmittanceViolationBand":
+        """Rebuild a band from a :meth:`to_dict` payload."""
+        return cls(
+            lo=float(payload["lo"]),
+            hi=float(payload["hi"]),
+            trough_freq=float(payload["trough_freq"]),
+            min_eig=float(payload["min_eig"]),
+        )
+
 
 @dataclass(frozen=True)
 class ImmittancePassivityReport:
@@ -142,6 +152,23 @@ class ImmittancePassivityReport:
             if include_solve:
                 payload["solve"] = self.solve.to_dict()
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ImmittancePassivityReport":
+        """Rebuild a report from a :meth:`to_dict` payload (the inverse
+        used by the result store; see
+        :meth:`repro.passivity.characterization.PassivityReport.from_dict`)."""
+        solve = payload.get("solve")
+        return cls(
+            passive=bool(payload["passive"]),
+            crossings=float_array_from_jsonable(payload["crossings"]),
+            bands=tuple(
+                ImmittanceViolationBand.from_dict(band)
+                for band in payload.get("bands", [])
+            ),
+            solve=SolveResult.from_dict(solve) if solve is not None else None,
+            band_limited=bool(payload.get("band_limited", False)),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -1,0 +1,34 @@
+"""Persistent macromodel service: an HTTP job server over the pipeline.
+
+``repro serve`` turns the library into a long-running daemon: clients
+POST job specifications (synthetic, Touchstone, or inline-model sources;
+fit/check/enforce/hinf tasks) to ``/v1/jobs``, poll ``/v1/jobs/<id>``,
+and fetch content-addressed payloads from ``/v1/results/<key>``.  Jobs
+execute asynchronously on a bounded worker pool backed by the process
+batch backend (real per-job timeout kills), results land in the
+:mod:`repro.store` cache, and a resubmission of an already-computed job
+returns immediately with ``"cached": true`` — the serving layer the
+ROADMAP's heavy-traffic north star builds on.
+
+Everything is standard library (``http.server``): a clean wheel install
+can serve and consume the API with no extra dependencies.
+"""
+
+from repro.service.manager import (
+    VALID_KINDS,
+    VALID_TASKS,
+    JobError,
+    JobManager,
+    JobRecord,
+)
+from repro.service.server import MAX_BODY_BYTES, ReproServer
+
+__all__ = [
+    "JobError",
+    "JobManager",
+    "JobRecord",
+    "ReproServer",
+    "MAX_BODY_BYTES",
+    "VALID_TASKS",
+    "VALID_KINDS",
+]

@@ -1,0 +1,410 @@
+"""Job manager of the macromodel service: specs, records, worker pool.
+
+The manager turns JSON job specifications into
+:mod:`repro.batch.jobs` objects, runs them asynchronously on a bounded
+thread pool whose tasks execute through :class:`~repro.batch.BatchRunner`
+(one job per runner call — the existing process backend provides real
+per-job timeout kills and crash isolation), and keeps a registry of
+:class:`JobRecord` rows the HTTP layer serves.
+
+Every job gets a content-addressed *job key* over (source, task,
+parameters, config).  With caching enabled, a submission whose key is
+already in the :class:`~repro.store.ResultStore` completes synchronously
+— the response carries ``"cached": true`` and the stored result, and no
+worker ever runs.  Completed results are written back to the store, so
+the cache warms itself under traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.batch.jobs import BatchJob, ModelJob, SynthJob, TouchstoneJob
+from repro.batch.runner import BATCH_BACKENDS, BatchRunner
+from repro.core.config import RunConfig
+from repro.macromodel.rational import PoleResidueModel
+from repro.store import ResultStore, content_key, file_digest, result_key
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_choice, ensure_positive_int
+
+__all__ = ["JobError", "JobRecord", "JobManager", "VALID_TASKS", "VALID_KINDS"]
+
+_LOG = get_logger("service")
+
+#: Pipeline variants a job may request.  ``fit`` and ``check`` run the
+#: same fit -> characterize pipeline (a fit is only trustworthy with its
+#: characterization); ``enforce`` adds the enforcement stage; ``hinf``
+#: adds the H-infinity norm.
+VALID_TASKS = ("fit", "check", "enforce", "hinf")
+
+#: Model sources a job may name.
+VALID_KINDS = ("synth", "touchstone", "model")
+
+#: Submission statuses a record moves through.
+_STATUSES = ("queued", "running", "done", "error", "timeout")
+
+
+class JobError(ValueError):
+    """A job specification could not be parsed or validated (HTTP 400)."""
+
+
+@dataclass
+class JobRecord:
+    """One submission's lifecycle row (what ``GET /v1/jobs/<id>`` serves)."""
+
+    id: str
+    task: str
+    name: str
+    key: Optional[str]
+    #: Light source summary only (kind); the full submission spec —
+    #: which may embed a multi-MB inline model — is deliberately NOT
+    #: retained, or the bounded registry would still pin gigabytes.
+    spec: dict
+    status: str = "queued"
+    cached: bool = False
+    submitted: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON payload of this record."""
+        return {
+            "id": self.id,
+            "task": self.task,
+            "name": self.name,
+            "key": self.key,
+            "status": self.status,
+            "cached": bool(self.cached),
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+def _job_from_spec(spec: Mapping[str, Any], name: str) -> BatchJob:
+    """Build the :mod:`repro.batch.jobs` object a spec names."""
+    kind = str(spec.get("kind", "synth")).lower()
+    ensure_choice(kind, "job kind", VALID_KINDS)
+    if kind == "synth":
+        sigma_target = spec.get("sigma_target", 1.05)
+        return SynthJob(
+            name=name,
+            order_per_column=ensure_positive_int(
+                spec.get("order", 10), "order"
+            ),
+            num_ports=ensure_positive_int(spec.get("ports", 2), "ports"),
+            seed=int(spec.get("seed", 0)),
+            sigma_target=None if sigma_target is None else float(sigma_target),
+        )
+    if kind == "touchstone":
+        path = spec.get("path")
+        if not path or not isinstance(path, str):
+            raise JobError("touchstone jobs require a 'path' string")
+        if not Path(path).is_file():
+            raise JobError(f"touchstone path not found: {path!r}")
+        return TouchstoneJob(name=name, path=path)
+    model_doc = spec.get("model")
+    if not isinstance(model_doc, Mapping):
+        raise JobError(
+            "model jobs require a 'model' object"
+            " (PoleResidueModel.to_dict() payload)"
+        )
+    try:
+        model = PoleResidueModel.from_dict(dict(model_doc))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JobError(f"malformed model payload: {exc}") from exc
+    return ModelJob(name=name, model=model)
+
+
+def _input_digest(job: BatchJob, spec: Mapping[str, Any]) -> str:
+    """Content digest of the job's model source for the job-level key.
+
+    Deliberately excludes the job *name*: it is a display label (and
+    defaults to a fresh per-submission id), so two submissions of the
+    same source under different names must share one cache entry.
+    """
+    if isinstance(job, TouchstoneJob):
+        # Hash the file *content*, not the path: moving or editing the
+        # file must change the key, renaming the same bytes must not.
+        return file_digest(job.path)
+    if isinstance(job, ModelJob) and job.model is not None:
+        return content_key(job.model.to_dict())
+    source = {k: v for k, v in job.describe().items() if k != "name"}
+    return content_key(source)
+
+
+class JobManager:
+    """Registry + bounded worker pool behind the HTTP endpoints.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`RunConfig` applied to every job (a submission's
+        ``"config"`` object merges on top).  Its ``cache`` mode governs
+        both the stage-level store use inside workers and the job-level
+        short-circuit at submission time.
+    workers:
+        Concurrent jobs (thread-pool bound; each thread drives one
+        :class:`BatchRunner` process worker).
+    timeout:
+        Per-job wall-clock budget in seconds (process workers are killed
+        on expiry).
+    backend:
+        Fleet backend jobs execute on (``"process"`` default).
+    num_poles, margin:
+        Defaults for specs that omit them.
+    max_records:
+        In-memory registry bound: once more than this many *finished*
+        records accumulate, the oldest finished ones are dropped.
+        Queued and running jobs are never evicted.  Successful results
+        of cache-enabled jobs remain fetchable through
+        ``/v1/results/<key>`` (the store is the durable tier); failed
+        or cache-off outcomes are gone once evicted — the registry is a
+        polling window, not an archive.
+    """
+
+    #: Default registry bound — generous for polling clients, small
+    #: enough that a long-running daemon cannot accumulate gigabytes of
+    #: result payloads in memory.
+    DEFAULT_MAX_RECORDS = 1024
+
+    def __init__(
+        self,
+        *,
+        config: Optional[RunConfig] = None,
+        workers: int = 2,
+        timeout: Optional[float] = None,
+        backend: str = "process",
+        num_poles: int = 30,
+        margin: float = 0.002,
+        max_records: Optional[int] = None,
+    ) -> None:
+        ensure_choice(backend, "service backend", BATCH_BACKENDS)
+        self.config = config if config is not None else RunConfig()
+        self.workers = ensure_positive_int(workers, "workers")
+        if timeout is not None and timeout <= 0.0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self.backend = backend
+        self.num_poles = ensure_positive_int(num_poles, "num_poles")
+        self.margin = float(margin)
+        self.store: Optional[ResultStore] = (
+            ResultStore.from_config(self.config)
+            if self.config.cache != "off"
+            else None
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self.max_records = ensure_positive_int(
+            max_records if max_records is not None else self.DEFAULT_MAX_RECORDS,
+            "max_records",
+        )
+        self._lock = threading.Lock()
+        # Insertion-ordered (dict guarantee): eviction walks oldest-first.
+        self._jobs: Dict[str, JobRecord] = {}
+        self._counters = {"submitted": 0, "completed": 0, "cached": 0}
+        self._shutdown = False
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest finished records beyond ``max_records``.
+
+        Caller holds ``self._lock``.  In-flight records are exempt, so a
+        registry packed with queued work can temporarily exceed the
+        bound rather than forget jobs clients are still waiting on.
+        """
+        excess = len(self._jobs) - self.max_records
+        if excess <= 0:
+            return
+        for job_id in [
+            job_id
+            for job_id, record in self._jobs.items()
+            if record.status in ("done", "error", "timeout")
+        ][:excess]:
+            del self._jobs[job_id]
+
+    # -- submission ---------------------------------------------------------
+
+    def _effective_config(self, spec: Mapping[str, Any]) -> RunConfig:
+        overrides = spec.get("config")
+        if overrides is None:
+            return self.config
+        if not isinstance(overrides, Mapping):
+            raise JobError("'config' must be an object of RunConfig fields")
+        try:
+            return self.config.merged(**dict(overrides))
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"invalid config override: {exc}") from exc
+
+    def submit(self, spec: Mapping[str, Any]) -> JobRecord:
+        """Validate, register, and (unless cached) enqueue one job.
+
+        Returns the registered record: status ``"queued"`` for fresh
+        work, or ``"done"`` with ``cached=True`` when the job-level key
+        was already in the store (the fast path the service exists for).
+        """
+        if self._shutdown:
+            raise RuntimeError("the job manager is shut down")
+        if not isinstance(spec, Mapping):
+            raise JobError("job spec must be a JSON object")
+        task = str(spec.get("task", "check")).lower()
+        ensure_choice(task, "task", VALID_TASKS)
+        job_id = uuid.uuid4().hex[:12]
+        name = str(spec.get("name") or f"{task}-{job_id}")
+        job = _job_from_spec(spec, name)
+        config = self._effective_config(spec)
+        num_poles = ensure_positive_int(
+            spec.get("num_poles", self.num_poles), "num_poles"
+        )
+        margin = float(spec.get("margin", self.margin))
+        key: Optional[str] = None
+        try:
+            key = result_key(
+                stage="service-job",
+                input_digest=_input_digest(job, spec),
+                config=config,
+                params={"task": task, "num_poles": num_poles, "margin": margin},
+            )
+        except (OSError, TypeError, ValueError):
+            # Unhashable source (e.g. the file vanished between checks):
+            # the job still runs, it just cannot short-circuit.
+            key = None
+
+        record = JobRecord(
+            id=job_id,
+            task=task,
+            name=name,
+            key=key,
+            spec={"kind": str(spec.get("kind", "synth")).lower()},
+        )
+        with self._lock:
+            self._jobs[job_id] = record
+            self._counters["submitted"] += 1
+            self._evict_finished_locked()
+
+        # The short-circuit honors the *effective* config: a submission
+        # that opts out (`"config": {"cache": "off"}`) must recompute,
+        # mirroring the write path in _run.
+        if (
+            key is not None
+            and self.store is not None
+            and config.cache in ("read", "readwrite")
+        ):
+            payload = self.store.get(key)
+            if payload is not None:
+                now = time.time()
+                record.status = str(payload.get("status", "done"))
+                if record.status == "ok":
+                    record.status = "done"
+                record.cached = True
+                record.started = now
+                record.finished = now
+                record.result = payload
+                with self._lock:
+                    self._counters["cached"] += 1
+                    self._counters["completed"] += 1
+                return record
+
+        self._pool.submit(
+            self._run, record, job, config, task, num_poles, margin, key
+        )
+        return record
+
+    # -- execution ----------------------------------------------------------
+
+    def _run(
+        self,
+        record: JobRecord,
+        job: BatchJob,
+        config: RunConfig,
+        task: str,
+        num_poles: int,
+        margin: float,
+        key: Optional[str],
+    ) -> None:
+        record.status = "running"
+        record.started = time.time()
+        try:
+            runner = BatchRunner(
+                config=config,
+                workers=1,
+                timeout=self.timeout,
+                backend=self.backend,
+                num_poles=num_poles,
+                enforce=(task == "enforce"),
+                margin=margin,
+                hinf=(task == "hinf"),
+            )
+            report = runner.run([job])
+            result = report.results[0]
+            payload = result.to_dict()
+            # Persist BEFORE flipping the status: a client polling this
+            # record may resubmit the instant it sees "done", and that
+            # resubmission must find the store entry already in place.
+            if (
+                result.ok
+                and key is not None
+                and self.store is not None
+                and config.cache == "readwrite"
+            ):
+                self.store.put(key, payload, stage="service-job")
+            record.result = payload
+            record.error = result.error
+            record.status = "done" if result.ok else result.status
+        except Exception as exc:  # a broken job must not kill the worker
+            _LOG.debug("job %s failed: %r", record.id, exc)
+            record.status = "error"
+            record.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            record.finished = time.time()
+            with self._lock:
+                self._counters["completed"] += 1
+
+    # -- inspection ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """Look up one record by id."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def result_payload(self, key: str) -> Optional[dict]:
+        """Fetch a raw store payload (``GET /v1/results/<key>``)."""
+        if self.store is None:
+            return None
+        try:
+            return self.store.get(key)
+        except ValueError:
+            return None
+
+    def stats(self) -> dict:
+        """Aggregate service statistics (``GET /v1/stats``)."""
+        with self._lock:
+            by_status: Dict[str, int] = {status: 0 for status in _STATUSES}
+            for record in self._jobs.values():
+                by_status[record.status] = by_status.get(record.status, 0) + 1
+            counters = dict(self._counters)
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "timeout": self.timeout,
+            "cache": self.config.cache,
+            "jobs": {"total": counters["submitted"], **by_status},
+            "cached_submissions": counters["cached"],
+            "completed": counters["completed"],
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+    def shutdown(self, *, wait: bool = False) -> None:
+        """Stop accepting jobs and release the pool."""
+        self._shutdown = True
+        self._pool.shutdown(wait=wait, cancel_futures=True)

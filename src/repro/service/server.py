@@ -1,0 +1,248 @@
+"""The HTTP front-end: a stdlib-only JSON API over the job manager.
+
+Endpoints (all JSON)::
+
+    GET  /healthz            liveness: {"status": "ok", "version": ...}
+    GET  /v1/stats           jobs by status, worker pool, store stats
+    POST /v1/jobs            submit a job spec; 202 queued / 200 cached
+    GET  /v1/jobs/<id>       one job record (status, result when done)
+    GET  /v1/results/<key>   raw result-store payload by cache key
+
+Built on ``http.server.ThreadingHTTPServer`` — no third-party web stack,
+so a clean wheel install serves traffic with nothing but the standard
+library.  Each request thread only touches the in-memory registry and
+the on-disk store; the heavy lifting happens on the manager's bounded
+worker pool, so polling stays microsecond-cheap while eigensweeps run.
+
+Embedding (tests, notebooks, the example client)::
+
+    from repro.service import ReproServer
+
+    server = ReproServer.create(port=0)      # ephemeral port
+    server.start_background()
+    ... http requests against server.url ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.core.config import RunConfig
+from repro.service.manager import JobError, JobManager
+from repro.utils.logging import get_logger
+
+__all__ = ["ReproServer", "MAX_BODY_BYTES", "describe_manager"]
+
+_LOG = get_logger("service.http")
+
+#: Upper bound on request bodies (model payloads are a few MiB at most).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ReproServer`'s manager."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise JobError("request body required (JSON object)")
+        if length > MAX_BODY_BYTES:
+            raise JobError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise JobError("request body must be a JSON object")
+        return doc
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            server: ReproServer = self.server  # type: ignore[assignment]
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": _repro_version(),
+                    "uptime_seconds": time.time() - server.started,
+                },
+            )
+            return
+        if path == "/v1/stats":
+            self._send_json(200, self.manager.stats())
+            return
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            record = self.manager.get(job_id)
+            if record is None:
+                self._send_json(404, {"error": f"unknown job id {job_id!r}"})
+                return
+            self._send_json(200, record.to_dict())
+            return
+        if path.startswith("/v1/results/"):
+            key = path[len("/v1/results/"):]
+            payload = self.manager.result_payload(key)
+            if payload is None:
+                self._send_json(
+                    404, {"error": f"no stored result under key {key!r}"}
+                )
+                return
+            self._send_json(200, {"key": key, "payload": payload})
+            return
+        self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/v1/jobs":
+            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+            return
+        try:
+            spec = self._read_json_body()
+            record = self.manager.submit(spec)
+        except (JobError, TypeError, ValueError) as exc:
+            # TypeError covers malformed numeric fields (e.g. "seed":
+            # null) raised by the int()/float() coercions — a client
+            # error, not a server crash.
+            self._send_json(400, {"error": str(exc)})
+            return
+        except RuntimeError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        # A cached submission is complete right now (200); fresh work is
+        # accepted for asynchronous execution (202).
+        self._send_json(200 if record.cached else 202, record.to_dict())
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The macromodel service: HTTP server + job manager in one object."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], manager: JobManager) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.started = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[RunConfig] = None,
+        workers: int = 2,
+        timeout: Optional[float] = None,
+        backend: str = "process",
+        num_poles: int = 30,
+        margin: float = 0.002,
+    ) -> "ReproServer":
+        """Build a server on ``host:port`` (0 binds an ephemeral port)."""
+        manager = JobManager(
+            config=config,
+            workers=workers,
+            timeout=timeout,
+            backend=backend,
+            num_poles=num_poles,
+            margin=margin,
+        )
+        return cls((host, port), manager)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding port 0)."""
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (for tests and embedded clients)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self) -> None:
+        """Shut the HTTP loop and the worker pool down."""
+        self.shutdown()
+        self.server_close()
+        self.manager.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def describe(self) -> dict:
+        """Resolved server configuration (``repro serve --print-config``)."""
+        return dict(
+            describe_manager(self.manager, self.server_address[0], self.port),
+            url=self.url,
+        )
+
+
+def describe_manager(manager: JobManager, host: str, port: int) -> dict:
+    """The resolved-configuration payload, computable without a socket.
+
+    ``repro serve --print-config`` uses this directly so describing a
+    configuration never fails on an already-bound port.
+    """
+    return {
+        "host": host,
+        "port": int(port),
+        "workers": manager.workers,
+        "backend": manager.backend,
+        "timeout": manager.timeout,
+        "num_poles": manager.num_poles,
+        "margin": manager.margin,
+        "config": manager.config.to_dict(),
+        "store": None
+        if manager.store is None
+        else {
+            "root": str(manager.store.root),
+            "max_bytes": manager.store.max_bytes,
+            "schema": manager.store.schema,
+        },
+        "version": _repro_version(),
+    }

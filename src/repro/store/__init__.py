@@ -1,0 +1,47 @@
+"""Content-addressed result store (the durable cache under the service).
+
+The paper's pipeline is expensive and deterministic per (input, config):
+re-running a characterization on an unchanged model with an unchanged
+:class:`~repro.core.config.RunConfig` recomputes the identical
+``to_dict()`` payload.  This package memoizes those payloads on disk,
+keyed by SHA-256 of a canonical serialization of input + config + stage
+(:mod:`repro.store.keys`), with atomic writes, LRU size-capped eviction,
+and corruption-tolerant reads (:mod:`repro.store.store`), plus the
+stage codecs that turn payloads back into live result objects
+(:mod:`repro.store.codec`).
+
+Opt in through ``RunConfig(cache="readwrite")`` (or ``REPRO_CACHE``);
+inspect and manage with ``repro cache {stats,clear,prune}``.
+"""
+
+from repro.store.codec import STAGES, decode_result, encode_result
+from repro.store.keys import (
+    STORE_SCHEMA_VERSION,
+    array_digest,
+    canonical_json,
+    content_key,
+    file_digest,
+    result_key,
+)
+from repro.store.store import (
+    DEFAULT_MAX_BYTES,
+    ResultStore,
+    default_cache_dir,
+    default_max_bytes,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "ResultStore",
+    "default_cache_dir",
+    "default_max_bytes",
+    "canonical_json",
+    "content_key",
+    "array_digest",
+    "file_digest",
+    "result_key",
+    "STAGES",
+    "encode_result",
+    "decode_result",
+]

@@ -1,0 +1,467 @@
+"""On-disk content-addressed result store.
+
+Layout (one directory per store)::
+
+    <root>/
+      index.json              # advisory index: key -> {size, stage, created}
+      objects/<k[:2]>/<key>.json   # one JSON envelope per entry
+
+Entries are written atomically (temp file in the destination directory +
+``os.replace``), so concurrent writers — threads and whole process pools
+— can share a store without locks: the worst case is the same entry
+written twice, and last-writer-wins is harmless for content-addressed
+values.  Reads are corruption-tolerant: a truncated, unparsable, or
+wrong-schema entry counts as a miss and is discarded, never raised.
+
+The index file is an *acceleration*, not a source of truth — it is
+rebuilt from a directory scan whenever it is missing, stale, or
+unreadable, so a crash between an object write and an index write can
+never corrupt the store.
+
+Eviction is LRU by file mtime (touched on every hit) against a byte-size
+cap (``max_bytes``; ``REPRO_CACHE_MAX_BYTES``; 0 disables the cap).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.store.keys import STORE_SCHEMA_VERSION
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "ResultStore",
+    "default_cache_dir",
+    "default_max_bytes",
+]
+
+#: Default size cap of a store: 512 MiB.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+_INDEX_NAME = "index.json"
+_OBJECTS_DIR = "objects"
+
+#: Large stores flush the advisory index at most every this many writes
+#: (small stores flush every write — the dump is cheap there), keeping a
+#: burst of N puts O(N) instead of O(N^2) in index serialization.
+_INDEX_FLUSH_EVERY = 16
+_INDEX_FLUSH_SMALL = 64
+
+
+def default_cache_dir() -> Path:
+    """The default store location: ``REPRO_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``)."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def default_max_bytes() -> Optional[int]:
+    """The default size cap: ``REPRO_CACHE_MAX_BYTES`` (0 = unlimited),
+    else :data:`DEFAULT_MAX_BYTES`.
+
+    Raises
+    ------
+    repro.ConfigError
+        When the environment value is not a valid integer.
+    """
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    from repro.core.config import ConfigError
+
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"invalid REPRO_CACHE_MAX_BYTES={raw!r}: {exc}"
+        ) from exc
+    if value < 0:
+        raise ConfigError(
+            f"invalid REPRO_CACHE_MAX_BYTES={raw!r}: must be >= 0"
+        )
+    return None if value == 0 else value
+
+
+class ResultStore:
+    """A content-addressed, size-capped, corruption-tolerant result cache.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).  Defaults to
+        :func:`default_cache_dir`.
+    max_bytes:
+        LRU eviction threshold in bytes; ``None`` defers to
+        :func:`default_max_bytes`, ``0`` disables eviction.
+    schema:
+        Entry schema version; entries written under any other version
+        are treated as misses (and discarded when encountered).
+
+    Notes
+    -----
+    Instances are thread-safe; distinct instances (including in other
+    processes) may point at the same ``root`` concurrently.  The
+    ``counters`` dict tracks this instance's traffic only — hits,
+    misses, writes, evictions, and corrupt entries discarded.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        schema: int = STORE_SCHEMA_VERSION,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            max_bytes = default_max_bytes()
+        elif max_bytes == 0:
+            max_bytes = None
+        elif max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.schema = int(schema)
+        self._lock = threading.Lock()
+        # Running byte estimate so a put() under the cap never has to
+        # stat the whole store; seeded lazily from one scan, re-trued on
+        # every eviction pass.  Other processes' writes are invisible to
+        # it, which only delays (never prevents) an eviction pass.
+        self._approx_bytes: Optional[int] = None
+        self._index_cache: Optional[Dict[str, dict]] = None
+        self._index_dirty = 0
+        self.counters: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "evictions": 0,
+            "corrupt": 0,
+        }
+
+    @classmethod
+    def from_config(cls, config: Any) -> "ResultStore":
+        """Build a store from a :class:`~repro.core.config.RunConfig`
+        (its ``cache_dir`` field, else the default location)."""
+        cache_dir = getattr(config, "cache_dir", None)
+        return cls(cache_dir)
+
+    # -- paths --------------------------------------------------------------
+
+    def _objects_root(self) -> Path:
+        return self.root / _OBJECTS_DIR
+
+    def _entry_path(self, key: str) -> Path:
+        key = str(key)
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key {key!r}")
+        return self._objects_root() / key[:2] / f"{key}.json"
+
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the payload stored under ``key``, or ``None`` on a miss.
+
+        Corrupt or wrong-schema entries are misses: counted, discarded
+        best-effort, never raised.  A hit refreshes the entry's LRU
+        timestamp.
+        """
+        path = self._entry_path(key)
+        try:
+            doc = json.loads(path.read_bytes())
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            return None
+        except (OSError, ValueError):
+            self._discard(path, corrupt=True)
+            self.counters["misses"] += 1
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != self.schema
+            or doc.get("key") != key
+            or not isinstance(doc.get("payload"), dict)
+        ):
+            # Wrong schema version or a foreign/forged file at this
+            # address: unusable either way, so reclaim the space.
+            self._discard(path, corrupt=True)
+            self.counters["misses"] += 1
+            return None
+        try:
+            now = time.time()
+            os.utime(path, (now, now))
+        except OSError:
+            pass
+        self.counters["hits"] += 1
+        return doc["payload"]
+
+    def contains(self, key: str) -> bool:
+        """True when a valid entry exists (no counters, no LRU touch)."""
+        path = self._entry_path(key)
+        try:
+            doc = json.loads(path.read_bytes())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(doc, dict)
+            and doc.get("schema") == self.schema
+            and doc.get("key") == key
+            and isinstance(doc.get("payload"), dict)
+        )
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, key: str, payload: dict, *, stage: str = "result") -> bool:
+        """Persist ``payload`` under ``key`` atomically; returns success.
+
+        The payload must already be JSON-serializable (the uniform
+        ``to_dict()`` contract).  Failures — unwritable directory, disk
+        full — are reported as ``False``, never raised: the cache is an
+        accelerator, and a computation must not die because its result
+        could not be memoized.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"payload must be a dict, got {type(payload).__name__}"
+            )
+        path = self._entry_path(key)
+        envelope = {
+            "schema": self.schema,
+            "key": key,
+            "stage": str(stage),
+            "created": time.time(),
+            "payload": payload,
+        }
+        try:
+            data = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError):
+            return False
+        with self._lock:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(data)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return False
+            self.counters["writes"] += 1
+            self._update_index(
+                {
+                    key: {
+                        "size": len(data),
+                        "stage": str(stage),
+                        "created": envelope["created"],
+                    }
+                }
+            )
+            if self.max_bytes is not None:
+                if self._approx_bytes is None:
+                    self._approx_bytes = sum(
+                        size for _k, _p, size, _m in self._scan()
+                    )
+                else:
+                    self._approx_bytes += len(data)
+                if self._approx_bytes > self.max_bytes:
+                    self._evict_locked(self.max_bytes)
+        return True
+
+    def _discard(self, path: Path, *, corrupt: bool = False) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if corrupt:
+            self.counters["corrupt"] += 1
+
+    # -- index --------------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, dict]:
+        try:
+            doc = json.loads(self._index_path().read_bytes())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(doc, dict) or doc.get("schema") != self.schema:
+            return {}
+        entries = doc.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _index_entries(self) -> Dict[str, dict]:
+        """This instance's working copy of the index (loaded once).
+
+        Kept in memory between puts so the hot path never re-reads the
+        file; concurrent writers in other processes may make it stale,
+        which is fine — the index is advisory and rebuilt from a scan
+        wherever correctness matters.
+        """
+        if self._index_cache is None:
+            self._index_cache = self._load_index()
+        return self._index_cache
+
+    def _write_index(self, entries: Dict[str, dict]) -> None:
+        payload = {"schema": self.schema, "entries": entries}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=".index-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, self._index_path())
+        except OSError:
+            # The index is advisory; a failed update only costs a rebuild.
+            pass
+
+    def _update_index(
+        self, updates: Dict[str, Optional[dict]], *, flush: bool = False
+    ) -> None:
+        entries = self._index_entries()
+        for key, value in updates.items():
+            if value is None:
+                entries.pop(key, None)
+            else:
+                entries[key] = value
+        self._index_dirty += 1
+        if (
+            flush
+            or len(entries) <= _INDEX_FLUSH_SMALL
+            or self._index_dirty >= _INDEX_FLUSH_EVERY
+        ):
+            self._write_index(entries)
+            self._index_dirty = 0
+
+    def rebuild_index(self) -> int:
+        """Rebuild ``index.json`` from a directory scan; returns the
+        number of entries indexed."""
+        with self._lock:
+            entries = {
+                key: {"size": size, "stage": None, "created": mtime}
+                for key, _path, size, mtime in self._scan()
+            }
+            self._index_cache = entries
+            self._write_index(entries)
+            return len(entries)
+
+    # -- maintenance --------------------------------------------------------
+
+    def _scan(self) -> List[Tuple[str, Path, int, float]]:
+        """Authoritative listing: ``(key, path, size, mtime)`` per entry."""
+        found: List[Tuple[str, Path, int, float]] = []
+        objects = self._objects_root()
+        if not objects.is_dir():
+            return found
+        for shard in sorted(objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                found.append((path.stem, path, int(stat.st_size), stat.st_mtime))
+        return found
+
+    def _evict_locked(self, max_bytes: Optional[int]) -> int:
+        if max_bytes is None:
+            return 0
+        entries = self._scan()
+        total = sum(size for _k, _p, size, _m in entries)
+        removed = 0
+        index_updates: Dict[str, Optional[dict]] = {}
+        if total > max_bytes:
+            for key, path, size, _mtime in sorted(entries, key=lambda e: e[3]):
+                if total <= max_bytes:
+                    break
+                self._discard(path)
+                index_updates[key] = None
+                total -= size
+                removed += 1
+        # The scan was authoritative either way: re-true the estimate.
+        self._approx_bytes = total
+        if index_updates:
+            self.counters["evictions"] += removed
+            self._update_index(index_updates, flush=True)
+        return removed
+
+    def prune(self, max_bytes: Optional[int] = None) -> dict:
+        """Evict LRU entries down to ``max_bytes``; returns a summary.
+
+        ``None`` prunes to the store's own cap.  Unlike the constructor
+        (where ``0`` follows the ``REPRO_CACHE_MAX_BYTES`` convention of
+        "unlimited"), an explicit ``prune(0)`` means what it says: evict
+        everything.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        with self._lock:
+            removed = self._evict_locked(cap)
+            entries = self._scan()
+        return {
+            "removed": removed,
+            "entries": len(entries),
+            "total_bytes": sum(size for _k, _p, size, _m in entries),
+            "max_bytes": cap,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (and the index); returns the number removed."""
+        with self._lock:
+            entries = self._scan()
+            for _key, path, _size, _mtime in entries:
+                self._discard(path)
+            try:
+                self._index_path().unlink()
+            except OSError:
+                pass
+            self._approx_bytes = 0
+            self._index_cache = {}
+            return len(entries)
+
+    def stats(self) -> dict:
+        """Store statistics from an authoritative directory scan.
+
+        Entry and byte counts come from the scan; the per-stage labels
+        come from the advisory index, whose flush is amortized on large
+        stores — entries another process wrote very recently may show
+        under stage ``None`` there.
+        """
+        entries = self._scan()
+        stages: Dict[str, int] = {}
+        index = self._index_entries()
+        for key, _path, _size, _mtime in entries:
+            stage = (index.get(key) or {}).get("stage")
+            stages[str(stage)] = stages.get(str(stage), 0) + 1
+        return {
+            "root": str(self.root),
+            "schema": self.schema,
+            "entries": len(entries),
+            "total_bytes": sum(size for _k, _p, size, _m in entries),
+            "max_bytes": self.max_bytes,
+            "stages": stages,
+            "counters": dict(self.counters),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore(root={str(self.root)!r}, schema={self.schema},"
+            f" max_bytes={self.max_bytes})"
+        )

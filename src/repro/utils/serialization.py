@@ -1,4 +1,4 @@
-"""Conversion of result objects to JSON-serializable primitives.
+"""Conversion of result objects to and from JSON-serializable primitives.
 
 Every public result type (``SolveResult``, ``PassivityReport``,
 ``EnforcementResult``, ``HinfResult``, ``FitResult``, ...) exposes a
@@ -10,6 +10,15 @@ Every public result type (``SolveResult``, ``PassivityReport``,
 * numpy arrays become (nested) lists, element-converted recursively;
 * dataclasses, mappings, and sequences recurse;
 * non-finite floats become ``None`` (JSON has no NaN/Inf).
+
+The inverse direction — needed by the content-addressed result store and
+any service consuming cached ``to_dict()`` payloads — is covered by
+:func:`float_from_jsonable`, :func:`complex_from_jsonable`, and
+:func:`complex_array_from_jsonable`, which every result type's
+``from_dict()`` builds on.  The pair round-trips exactly: JSON float
+serialization uses ``repr`` (shortest round-trip), so
+``to_jsonable(from_jsonable(x)) == x`` for every payload ``to_jsonable``
+can produce.
 """
 
 from __future__ import annotations
@@ -20,7 +29,13 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["to_jsonable"]
+__all__ = [
+    "to_jsonable",
+    "float_from_jsonable",
+    "complex_from_jsonable",
+    "complex_array_from_jsonable",
+    "float_array_from_jsonable",
+]
 
 
 def _float(value: float) -> Any:
@@ -63,3 +78,60 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, (list, tuple, set, frozenset)):
         return [to_jsonable(item) for item in obj]
     raise TypeError(f"cannot convert {type(obj).__name__} to a JSON-serializable value")
+
+
+# ---------------------------------------------------------------------------
+# The inverse direction (JSON payload -> numerics)
+# ---------------------------------------------------------------------------
+
+
+def float_from_jsonable(value: Any) -> float:
+    """Parse a float produced by :func:`to_jsonable` (``None`` -> NaN)."""
+    if value is None:
+        return float("nan")
+    return float(value)
+
+
+def complex_from_jsonable(value: Any) -> complex:
+    """Parse a complex number produced by :func:`to_jsonable`.
+
+    Accepts the ``{"re": ..., "im": ...}`` object form as well as plain
+    reals (which :func:`to_jsonable` emits for float/int scalars).
+    """
+    if isinstance(value, Mapping):
+        return complex(
+            float_from_jsonable(value.get("re")), float_from_jsonable(value.get("im"))
+        )
+    if value is None:
+        return complex(float("nan"), 0.0)
+    return complex(value)
+
+
+def complex_array_from_jsonable(values: Any, *, ndim: int = 1) -> np.ndarray:
+    """Rebuild a complex ndarray from nested :func:`to_jsonable` lists.
+
+    ``ndim`` shapes the empty case (an empty list carries no nesting
+    information): ``np.empty((0,) * ndim)`` when there are no elements.
+    """
+
+    def build(node: Any) -> Any:
+        if isinstance(node, list):
+            return [build(item) for item in node]
+        return complex_from_jsonable(node)
+
+    if isinstance(values, list) and not values:
+        return np.empty((0,) * max(1, ndim), dtype=complex)
+    return np.asarray(build(values), dtype=complex)
+
+
+def float_array_from_jsonable(values: Any, *, ndim: int = 1) -> np.ndarray:
+    """Rebuild a float ndarray from nested :func:`to_jsonable` lists."""
+
+    def build(node: Any) -> Any:
+        if isinstance(node, list):
+            return [build(item) for item in node]
+        return float_from_jsonable(node)
+
+    if isinstance(values, list) and not values:
+        return np.empty((0,) * max(1, ndim), dtype=float)
+    return np.asarray(build(values), dtype=float)

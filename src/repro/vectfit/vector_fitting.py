@@ -79,6 +79,23 @@ class FitResult:
             payload["model"] = self.model.to_dict()
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FitResult":
+        """Rebuild a fit outcome from a :meth:`to_dict` payload.
+
+        Requires ``include_model=True`` payloads.  ``pole_history`` is
+        not serialized, so a rebuilt result carries an empty history —
+        the ``to_dict()`` round trip is exact regardless.
+        """
+        return cls(
+            model=PoleResidueModel.from_dict(payload["model"]),
+            rms_error=float(payload["rms_error"]),
+            max_error=float(payload["max_error"]),
+            iterations=int(payload["iterations"]),
+            converged=bool(payload["converged"]),
+            pole_history=(),
+        )
+
 
 def initial_poles(
     freqs_rad,

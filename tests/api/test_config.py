@@ -234,3 +234,48 @@ class TestResolvedStrategy:
 
     def test_explicit(self):
         assert RunConfig(strategy="static", num_threads=2).resolved_strategy() == "static"
+
+
+class TestCacheAxis:
+    def test_defaults_off(self):
+        config = RunConfig()
+        assert config.cache == "off"
+        assert config.cache_dir is None
+
+    def test_bad_mode_lists_choices(self):
+        with pytest.raises(ValueError, match="off.*read.*readwrite"):
+            RunConfig(cache="always")
+
+    def test_cache_dir_accepts_pathlike(self):
+        from pathlib import Path
+
+        config = RunConfig(cache_dir=Path("/tmp/store"))
+        assert config.cache_dir == "/tmp/store"
+
+    def test_cache_dir_type_rejected(self):
+        with pytest.raises(TypeError, match="cache_dir"):
+            RunConfig(cache_dir=123)
+
+    def test_to_dict_round_trip(self):
+        config = RunConfig(cache="readwrite", cache_dir="/tmp/store")
+        rebuilt = RunConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.cache == "readwrite"
+
+    def test_from_env(self):
+        config = RunConfig.from_env(
+            {"REPRO_CACHE": "ReadWrite", "REPRO_CACHE_DIR": "/tmp/env-store"}
+        )
+        assert config.cache == "readwrite"
+        assert config.cache_dir == "/tmp/env-store"
+
+    def test_from_env_invalid_mode_is_config_error(self):
+        from repro.core.config import ConfigError
+
+        with pytest.raises(ConfigError, match="cache"):
+            RunConfig.from_env({"REPRO_CACHE": "sometimes"})
+
+    def test_merged_revalidates(self):
+        with pytest.raises(ValueError):
+            RunConfig().merged(cache="nope")
+        assert RunConfig().merged(cache="read").cache == "read"

@@ -1,0 +1,105 @@
+"""Key construction: canonical serialization and SHA-256 addressing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.store import (
+    STORE_SCHEMA_VERSION,
+    array_digest,
+    canonical_json,
+    content_key,
+    file_digest,
+    result_key,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_separators(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_nan_rejected(self):
+        # Payloads must pass to_jsonable first (NaN -> None); a NaN
+        # reaching the key layer is a bug, not a silent "NaN" literal.
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_float_round_trip_via_repr(self):
+        value = 0.1 + 0.2
+        assert canonical_json(value) == repr(value)
+
+
+class TestContentKey:
+    def test_is_sha256_hex(self):
+        key = content_key({"a": 1})
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_deterministic_across_orderings(self):
+        assert content_key({"x": 1, "y": 2}) == content_key({"y": 2, "x": 1})
+
+    def test_distinct_inputs_distinct_keys(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+
+class TestArrayDigest:
+    def test_sensitive_to_values_shape_dtype(self):
+        a = np.arange(6, dtype=float)
+        assert array_digest(a) == array_digest(a.copy())
+        assert array_digest(a) != array_digest(a + 1.0)
+        assert array_digest(a) != array_digest(a.reshape(2, 3))
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+
+    def test_extra_context_changes_digest(self):
+        a = np.arange(4.0)
+        assert array_digest(a, extra={"parameter": "S"}) != array_digest(
+            a, extra={"parameter": "Y"}
+        )
+
+    def test_non_contiguous_view_equals_contiguous_copy(self):
+        base = np.arange(12, dtype=float).reshape(3, 4)
+        view = base[:, ::2]
+        assert array_digest(view) == array_digest(np.ascontiguousarray(view))
+
+
+class TestFileDigest:
+    def test_content_addressed_not_path_addressed(self, tmp_path):
+        a = tmp_path / "a.s2p"
+        b = tmp_path / "b.s2p"
+        a.write_bytes(b"identical bytes")
+        b.write_bytes(b"identical bytes")
+        assert file_digest(a) == file_digest(b)
+        b.write_bytes(b"different bytes")
+        assert file_digest(a) != file_digest(b)
+
+
+class TestResultKey:
+    def test_cache_control_fields_do_not_enter_the_key(self):
+        base = RunConfig(num_threads=2)
+        cached = base.merged(cache="readwrite", cache_dir="/tmp/somewhere")
+        assert result_key(
+            stage="check", input_digest="d" * 64, config=base
+        ) == result_key(stage="check", input_digest="d" * 64, config=cached)
+
+    def test_solver_config_does_enter_the_key(self):
+        one = RunConfig(num_threads=1)
+        two = RunConfig(num_threads=2)
+        assert result_key(
+            stage="check", input_digest="d" * 64, config=one
+        ) != result_key(stage="check", input_digest="d" * 64, config=two)
+
+    def test_stage_params_and_schema_discriminate(self):
+        kwargs = dict(input_digest="d" * 64, config=RunConfig())
+        base = result_key(stage="check", **kwargs)
+        assert base != result_key(stage="hinf", **kwargs)
+        assert base != result_key(stage="check", params={"rtol": 1e-6}, **kwargs)
+        assert base != result_key(
+            stage="check", schema=STORE_SCHEMA_VERSION + 1, **kwargs
+        )
+
+    def test_config_free_key(self):
+        key = result_key(stage="fit", input_digest="a" * 64, config=None)
+        assert len(key) == 64

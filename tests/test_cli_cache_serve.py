@@ -1,0 +1,195 @@
+"""CLI coverage for the store/service surface: ``cache``, ``serve``,
+``--version``, ``--cache`` flags, and the pure-JSON stdout contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main, version_string
+from repro.synth import random_macromodel
+from repro.touchstone import write_touchstone
+
+
+@pytest.fixture(scope="module")
+def violating_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-cache") / "device.s2p"
+    model = random_macromodel(8, 2, seed=21, sigma_target=1.04)
+    freqs = np.linspace(0.05, 14.0, 200)
+    write_touchstone(path, freqs / (2 * np.pi), model.frequency_response(freqs))
+    return str(path)
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {version_string()}"
+
+
+class TestParser:
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_fit_commands_accept_cache_flags(self):
+        args = build_parser().parse_args(
+            ["check", "x.s2p", "--cache", "readwrite", "--cache-dir", "/tmp/x"]
+        )
+        assert args.cache == "readwrite"
+        assert args.cache_dir == "/tmp/x"
+        assert {"cache", "cache_dir"} <= args._explicit
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8080
+        assert args.cache == "readwrite"
+        assert args.print_config is False
+
+
+class TestCacheCommand:
+    def test_stats_json_is_pure_json(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 0
+        assert payload["root"] == str(tmp_path)
+
+    def test_stats_human(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+
+    def test_clear_and_prune(self, tmp_path, capsys):
+        from repro.store import ResultStore, content_key
+
+        store = ResultStore(tmp_path)
+        for i in range(3):
+            store.put(content_key({"i": i}), {"v": i})
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 0
+        assert (
+            main(
+                [
+                    "cache",
+                    "prune",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--max-bytes",
+                    "1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        assert json.loads(capsys.readouterr().out)["removed"] == 3
+        store.put(content_key({"x": 1}), {"v": 1})
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 1
+
+
+class TestServePrintConfig:
+    def test_print_config_is_pure_json(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--print-config",
+                "--port",
+                "0",
+                "--workers",
+                "3",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 3
+        assert payload["config"]["cache"] == "readwrite"
+        assert payload["store"]["root"] == str(tmp_path)
+        assert payload["port"] == 0  # the requested port, no socket bound
+
+    def test_print_config_works_while_the_port_is_taken(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            taken = sock.getsockname()[1]
+            code = main(["serve", "--print-config", "--port", str(taken)])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["port"] == taken
+
+    def test_env_and_flags_layer(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "read")
+        assert main(["serve", "--print-config", "--port", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["config"]["cache"] == "read"
+        assert (
+            main(["serve", "--print-config", "--port", "0", "--cache", "off"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["cache"] == "off"
+        assert payload["store"] is None
+
+
+class TestCheckWithCache:
+    def test_repeated_check_hits_the_store(self, violating_file, tmp_path, capsys):
+        argv = [
+            "check",
+            violating_file,
+            "--poles",
+            "8",
+            "--cache",
+            "readwrite",
+            "--cache-dir",
+            str(tmp_path),
+            "--json",
+        ]
+        assert main(argv) == 2  # NOT passive
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache"] == {"hits": 0, "misses": 2, "writes": 2}
+
+        assert main(argv) == 2
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache"] == {"hits": 2, "misses": 0, "writes": 0}
+        assert second["passivity"] == first["passivity"]
+        assert second["fit"] == first["fit"]
+
+    def test_cache_env_applies(self, violating_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "readwrite")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["check", violating_file, "--poles", "8", "--json"]
+        assert main(argv) == 2
+        json.loads(capsys.readouterr().out)
+        assert main(argv) == 2
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache"]["hits"] == 2
+
+
+class TestBatchWithCache:
+    def test_fleet_cache_counters(self, tmp_path, capsys):
+        argv = [
+            "batch",
+            "--synth",
+            "2",
+            "--synth-order",
+            "6",
+            "--backend",
+            "serial",
+            "--cache",
+            "readwrite",
+            "--cache-dir",
+            str(tmp_path),
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_hits"] == 0
+        assert first["cache_misses"] == 2
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hits"] == 2
+        assert second["cache_misses"] == 0
+        assert second["results"][0]["crossings"] == first["results"][0]["crossings"]
