@@ -609,7 +609,9 @@ class Macromodel:
         elif self._solve is not None:
             top_rad = self._solve.band[1]
         else:
-            poles = model.poles if isinstance(model, PoleResidueModel) else model.poles()
+            poles = (
+                model.poles if isinstance(model, PoleResidueModel) else model.poles()
+            )
             top_rad = 1.5 * float(np.abs(poles).max()) if np.size(poles) else 1.0
         top_hz = max(top_rad, 1e-9) / (2.0 * np.pi)
         return np.linspace(top_hz / num_points, top_hz, num_points)
@@ -640,7 +642,9 @@ class Macromodel:
         return self._fit
 
     @property
-    def passivity_report(self) -> Optional[Union[PassivityReport, ImmittancePassivityReport]]:
+    def passivity_report(
+        self,
+    ) -> Optional[Union[PassivityReport, ImmittancePassivityReport]]:
         """Most recent passivity characterization.
 
         A :class:`PassivityReport` for the scattering test, an

@@ -169,7 +169,11 @@ def collect_result(
     tol = options.dedup_rtol * max(scale, scheduler.omega_max)
     distinct = dedup_eigenvalues(all_eigs, tol)
 
-    imag_tol = options.imag_rtol * np.maximum(scale, np.abs(distinct)) if distinct.size else None
+    imag_tol = (
+        options.imag_rtol * np.maximum(scale, np.abs(distinct))
+        if distinct.size
+        else None
+    )
     if distinct.size:
         mask = np.abs(distinct.real) <= imag_tol
         omegas = distinct[mask].imag

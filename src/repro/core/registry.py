@@ -268,7 +268,9 @@ def _register_builtins() -> None:
         backends=("serial",),
         description="classical sequential bisection (ref. [9]; Table I baseline)",
     )
-    def _bisection(model, *, num_threads, representation, omega_min, omega_max, options):
+    def _bisection(
+        model, *, num_threads, representation, omega_min, omega_max, options
+    ):
         return solve_serial(
             model,
             representation=representation,

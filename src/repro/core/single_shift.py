@@ -110,7 +110,9 @@ class SingleShiftSolver:
     local to :meth:`run`).
     """
 
-    def __init__(self, hamiltonian: HamiltonianOperator, options: SolverOptions) -> None:
+    def __init__(
+        self, hamiltonian: HamiltonianOperator, options: SolverOptions
+    ) -> None:
         self.hamiltonian = hamiltonian
         self.options = options
         # Problem scale for relative tolerances: the spectral radius of the

@@ -26,7 +26,9 @@ from repro.core.results import SolveResult
 __all__ = ["solve", "find_imaginary_eigenvalues"]
 
 
-def solve(model: ModelInput, config: Optional[RunConfig] = None, **overrides) -> SolveResult:
+def solve(
+    model: ModelInput, config: Optional[RunConfig] = None, **overrides
+) -> SolveResult:
     """Compute all purely imaginary Hamiltonian eigenvalues under ``config``.
 
     Parameters

@@ -121,7 +121,9 @@ def dense_hamiltonian_immittance(model: ModelLike) -> np.ndarray:
     return np.block([[top_left, top_right], [bottom_left, bottom_right]])
 
 
-def dense_hamiltonian(model: ModelLike, representation: str = "scattering") -> np.ndarray:
+def dense_hamiltonian(
+    model: ModelLike, representation: str = "scattering"
+) -> np.ndarray:
     """Dispatch on ``representation`` in {"scattering", "immittance"}."""
     if representation == "scattering":
         return dense_hamiltonian_scattering(model)

@@ -84,7 +84,9 @@ def reconstruct_poles(real_poles, pair_poles) -> np.ndarray:
     ``(p, conj(p))`` — the canonical ordering used by the realization layer.
     """
     real_poles = ensure_vector(real_poles, "real_poles", dtype=float, allow_empty=True)
-    pair_poles = ensure_vector(pair_poles, "pair_poles", dtype=complex, allow_empty=True)
+    pair_poles = ensure_vector(
+        pair_poles, "pair_poles", dtype=complex, allow_empty=True
+    )
     full = np.empty(real_poles.size + 2 * pair_poles.size, dtype=complex)
     full[: real_poles.size] = real_poles
     full[real_poles.size :: 2][: pair_poles.size] = pair_poles

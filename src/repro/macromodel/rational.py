@@ -25,7 +25,11 @@ from repro.utils.serialization import (
     float_array_from_jsonable,
     to_jsonable,
 )
-from repro.utils.validation import ensure_matrix, ensure_sorted_frequencies, ensure_vector
+from repro.utils.validation import (
+    ensure_matrix,
+    ensure_sorted_frequencies,
+    ensure_vector,
+)
 
 __all__ = ["PoleResidueModel"]
 
@@ -61,17 +65,22 @@ class PoleResidueModel:
         residues = np.asarray(self.residues, dtype=complex)
         d = ensure_matrix(self.d, "d", dtype=float)
         if residues.ndim != 3:
-            raise ValueError(f"residues must have shape (M, p, p), got {residues.shape}")
+            raise ValueError(
+                f"residues must have shape (M, p, p), got {residues.shape}"
+            )
         if residues.shape[0] != poles.size:
             raise ValueError(
                 f"number of residues ({residues.shape[0]}) must match number of"
                 f" poles ({poles.size})"
             )
         if residues.shape[1] != residues.shape[2]:
-            raise ValueError(f"residue matrices must be square, got {residues.shape[1:]}")
+            raise ValueError(
+                f"residue matrices must be square, got {residues.shape[1:]}"
+            )
         if d.shape != residues.shape[1:]:
             raise ValueError(
-                f"d has shape {d.shape}, expected {residues.shape[1:]} to match residues"
+                f"d has shape {d.shape}, expected {residues.shape[1:]} to match"
+                " residues"
             )
         # Bypass frozen-ness to store normalized arrays.
         object.__setattr__(self, "poles", poles)
@@ -142,7 +151,9 @@ class PoleResidueModel:
             best = int(np.argmin(mismatches))
             j = int(candidates[best])
             used[j] = True
-            if mismatches[best] > tol * max(1.0, float(np.max(np.abs(self.residues[m])))):
+            if mismatches[best] > tol * max(
+                1.0, float(np.max(np.abs(self.residues[m])))
+            ):
                 return False
         return True
 

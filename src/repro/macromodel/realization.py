@@ -69,7 +69,9 @@ def realize_column(poles, residues) -> SimoColumn:
         used[j] = True
         res = residues[j]
         if np.max(np.abs(res.imag)) > 1e-8 * max(1.0, float(np.max(np.abs(res)))):
-            raise ValueError(f"residue of real pole {rp} has a non-negligible imaginary part")
+            raise ValueError(
+                f"residue of real pole {rp} has a non-negligible imaginary part"
+            )
         real_residues[i] = res.real
 
     for i, pp in enumerate(pair_poles):

@@ -339,7 +339,9 @@ class SimoRealization:
             If ``shift`` coincides with a pole of the realization.
         """
         rhs = np.asarray(rhs)
-        out = np.zeros(rhs.shape, dtype=np.result_type(rhs.dtype, np.asarray(shift).dtype))
+        out = np.zeros(
+            rhs.shape, dtype=np.result_type(rhs.dtype, np.asarray(shift).dtype)
+        )
         if self.real_pos.size:
             out[self.real_pos] = la.solve_shifted_diagonal(
                 self.real_val, shift, rhs[self.real_pos]

@@ -269,7 +269,9 @@ def violation_bands_from_crossings(
 
 def _make_band(simo: SimoRealization, lo: float, hi: float) -> ViolationBand:
     peak_freq, peak_sigma = refine_peak(simo, lo, hi)
-    return ViolationBand(lo=float(lo), hi=float(hi), peak_freq=peak_freq, peak_sigma=peak_sigma)
+    return ViolationBand(
+        lo=float(lo), hi=float(hi), peak_freq=peak_freq, peak_sigma=peak_sigma
+    )
 
 
 def characterize_passivity(

@@ -78,7 +78,9 @@ class HinfResult:
         )
 
 
-def _scaled_simo(model: Union[PoleResidueModel, SimoRealization], gamma: float) -> SimoRealization:
+def _scaled_simo(
+    model: Union[PoleResidueModel, SimoRealization], gamma: float
+) -> SimoRealization:
     """Return the realization of ``H / gamma``."""
     if isinstance(model, PoleResidueModel):
         scaled = PoleResidueModel(

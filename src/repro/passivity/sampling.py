@@ -142,7 +142,9 @@ def sampled_violations(
     # exceeding max_evaluations.
     if grid.size > max_evaluations:
         keep = np.unique(
-            np.round(np.linspace(0, grid.size - 1, max(2, max_evaluations))).astype(np.intp)
+            np.round(np.linspace(0, grid.size - 1, max(2, max_evaluations))).astype(
+                np.intp
+            )
         )
         grid = grid[keep]
 

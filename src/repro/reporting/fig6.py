@@ -90,7 +90,9 @@ def run_fig6(
                 res = solve_serial(model, strategy="queue", options=rep_options)
             else:
                 res = solve_parallel(model, num_threads=t, options=rep_options)
-            eta_wall.append(serial_time[rep] / res.elapsed if res.elapsed > 0 else np.inf)
+            eta_wall.append(
+                serial_time[rep] / res.elapsed if res.elapsed > 0 else np.inf
+            )
             eta_work.append(
                 serial_work[rep] / max(res.work.get("operator_applies", 1), 1)
             )
@@ -114,7 +116,9 @@ def run_fig6(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command-line entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0, help="order scale factor (0, 1]")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="order scale factor (0, 1]"
+    )
     parser.add_argument("--max-threads", type=int, default=16)
     parser.add_argument("--repeats", type=int, default=20)
     parser.add_argument(

@@ -112,7 +112,10 @@ def run_table1(
     rows = []
     for spec in cases:
         if verbose:
-            print(f"running {spec.name} (n={spec.order}, p={spec.ports})...", file=sys.stderr)
+            print(
+                f"running {spec.name} (n={spec.order}, p={spec.ports})...",
+                file=sys.stderr,
+            )
         rows.append(
             run_case(
                 spec,
@@ -129,9 +132,13 @@ def run_table1(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command-line entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0, help="order scale factor (0, 1]")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="order scale factor (0, 1]"
+    )
     parser.add_argument("--threads", type=int, default=16, help="parallel thread count")
-    parser.add_argument("--repeats", type=int, default=1, help="parallel repetitions per case")
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="parallel repetitions per case"
+    )
     parser.add_argument(
         "--cases",
         type=str,

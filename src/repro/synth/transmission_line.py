@@ -23,7 +23,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.macromodel.rational import PoleResidueModel
-from repro.synth.generator import _random_direct_term, _scaling_grid, scale_to_sigma_target
+from repro.synth.generator import (
+    _random_direct_term,
+    _scaling_grid,
+    scale_to_sigma_target,
+)
 from repro.utils.rng import as_generator
 from repro.utils.validation import ensure_positive_float, ensure_positive_int
 

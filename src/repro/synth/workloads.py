@@ -67,17 +67,35 @@ class CaseSpec:
 #: Table I of the paper: (n, p, N_lambda, tau1, tau16, tau16max, eta16).
 TABLE1_CASES = (
     CaseSpec(1, 1000, 20, 6, 13.763, 0.655, 0.844, 21.028, sigma_target=1.02, seed=101),
-    CaseSpec(2, 1000, 20, 42, 10.911, 0.521, 0.579, 20.957, sigma_target=1.08, seed=102),
-    CaseSpec(3, 1000, 20, 40, 11.729, 0.565, 0.639, 20.745, sigma_target=1.08, seed=103),
+    CaseSpec(
+        2, 1000, 20, 42, 10.911, 0.521, 0.579, 20.957, sigma_target=1.08, seed=102
+    ),
+    CaseSpec(
+        3, 1000, 20, 40, 11.729, 0.565, 0.639, 20.745, sigma_target=1.08, seed=103
+    ),
     CaseSpec(4, 1980, 18, 0, 81.193, 5.020, 5.208, 16.175, sigma_target=0.95, seed=104),
-    CaseSpec(5, 2240, 56, 22, 33.972, 1.950, 2.121, 17.420, sigma_target=1.05, seed=105),
+    CaseSpec(
+        5, 2240, 56, 22, 33.972, 1.950, 2.121, 17.420, sigma_target=1.05, seed=105
+    ),
     CaseSpec(6, 1728, 18, 0, 46.735, 3.022, 3.109, 15.463, sigma_target=0.95, seed=106),
-    CaseSpec(7, 1734, 83, 10, 22.836, 1.518, 1.563, 15.040, sigma_target=1.03, seed=107),
-    CaseSpec(8, 1792, 56, 104, 50.933, 3.627, 3.736, 14.044, sigma_target=1.12, seed=108),
-    CaseSpec(9, 1702, 56, 115, 14.206, 0.976, 1.055, 14.554, sigma_target=1.12, seed=109),
-    CaseSpec(10, 4150, 83, 114, 64.396, 5.171, 6.024, 12.453, sigma_target=1.10, seed=110),
-    CaseSpec(11, 1792, 56, 125, 54.470, 3.809, 3.911, 14.301, sigma_target=1.13, seed=111),
-    CaseSpec(12, 2432, 83, 46, 27.842, 1.955, 2.043, 14.242, sigma_target=1.06, seed=112),
+    CaseSpec(
+        7, 1734, 83, 10, 22.836, 1.518, 1.563, 15.040, sigma_target=1.03, seed=107
+    ),
+    CaseSpec(
+        8, 1792, 56, 104, 50.933, 3.627, 3.736, 14.044, sigma_target=1.12, seed=108
+    ),
+    CaseSpec(
+        9, 1702, 56, 115, 14.206, 0.976, 1.055, 14.554, sigma_target=1.12, seed=109
+    ),
+    CaseSpec(
+        10, 4150, 83, 114, 64.396, 5.171, 6.024, 12.453, sigma_target=1.10, seed=110
+    ),
+    CaseSpec(
+        11, 1792, 56, 125, 54.470, 3.809, 3.911, 14.301, sigma_target=1.13, seed=111
+    ),
+    CaseSpec(
+        12, 2432, 83, 46, 27.842, 1.955, 2.043, 14.242, sigma_target=1.06, seed=112
+    ),
 )
 
 

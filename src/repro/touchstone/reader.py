@@ -197,7 +197,9 @@ def _infer_ports(data: np.ndarray) -> int:
     raise ValueError("could not infer the port count from the data layout")
 
 
-def read_touchstone(path: Union[str, Path], *, num_ports: Optional[int] = None) -> TouchstoneData:
+def read_touchstone(
+    path: Union[str, Path], *, num_ports: Optional[int] = None
+) -> TouchstoneData:
     """Read a Touchstone file from disk.
 
     The port count is taken from the ``.sNp`` suffix when present,

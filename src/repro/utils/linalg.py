@@ -47,7 +47,9 @@ def blkdiag(blocks: Sequence[np.ndarray]) -> np.ndarray:
     return out
 
 
-def solve_shifted_diagonal(diag: np.ndarray, shift: complex, rhs: np.ndarray) -> np.ndarray:
+def solve_shifted_diagonal(
+    diag: np.ndarray, shift: complex, rhs: np.ndarray
+) -> np.ndarray:
     """Solve ``(diag(d) - shift*I) x = rhs`` element-wise.
 
     Parameters
@@ -69,7 +71,9 @@ def solve_shifted_diagonal(diag: np.ndarray, shift: complex, rhs: np.ndarray) ->
     diag = np.asarray(diag)
     denom = diag - shift
     if denom.size and np.min(np.abs(denom)) == 0.0:
-        raise ZeroDivisionError("shift coincides with a real pole; shifted block is singular")
+        raise ZeroDivisionError(
+            "shift coincides with a real pole; shifted block is singular"
+        )
     if rhs.ndim == 1:
         return rhs / denom
     return rhs / denom[:, None]
@@ -109,7 +113,9 @@ def solve_shifted_diagonal_many(
     rhs = np.asarray(rhs)
     denom = diag[None, :] - shifts[:, None]  # (K, m)
     if denom.size and np.min(np.abs(denom)) == 0.0:
-        raise ZeroDivisionError("shift coincides with a real pole; shifted block is singular")
+        raise ZeroDivisionError(
+            "shift coincides with a real pole; shifted block is singular"
+        )
     if rhs.ndim == 1:
         return rhs[None, :] / denom
     return rhs[None, :, :] / denom[:, :, None]
@@ -180,7 +186,9 @@ def solve_shifted_rot2(
     b = beta
     det = a * a + b * b
     if det.size and np.min(np.abs(det)) == 0.0:
-        raise ZeroDivisionError("shift coincides with a complex pole; shifted block is singular")
+        raise ZeroDivisionError(
+            "shift coincides with a complex pole; shifted block is singular"
+        )
     if rhs.ndim == 2:
         out = np.empty(rhs.shape, dtype=np.result_type(rhs.dtype, det.dtype))
         out[:, 0] = (a * rhs[:, 0] - b * rhs[:, 1]) / det
@@ -229,7 +237,9 @@ def solve_shifted_rot2_many(
     b = beta  # (m,)
     det = a * a + (b * b)[None, :]
     if det.size and np.min(np.abs(det)) == 0.0:
-        raise ZeroDivisionError("shift coincides with a complex pole; shifted block is singular")
+        raise ZeroDivisionError(
+            "shift coincides with a complex pole; shifted block is singular"
+        )
     dtype = np.result_type(rhs.dtype, det.dtype)
     if rhs.ndim == 2:
         out = np.empty((shifts.size,) + rhs.shape, dtype=dtype)

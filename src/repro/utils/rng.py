@@ -84,7 +84,9 @@ class RandomStream:
 
     def complex_vector(self, size: int) -> np.ndarray:
         """Draw a unit-norm complex vector (Arnoldi start vector)."""
-        v = self._generator.standard_normal(size) + 1j * self._generator.standard_normal(size)
+        v = self._generator.standard_normal(
+            size
+        ) + 1j * self._generator.standard_normal(size)
         norm = np.linalg.norm(v)
         if norm == 0.0:  # astronomically unlikely, but stay safe
             v = np.ones(size, dtype=complex)

@@ -97,7 +97,9 @@ class WorkCounter:
     shifts_processed: int = 0
     shifts_eliminated: int = 0
     small_solves: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def add(self, **counts: int) -> None:
         """Atomically add increments, e.g. ``counter.add(arnoldi_steps=1)``."""

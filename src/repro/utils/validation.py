@@ -58,7 +58,9 @@ def ensure_matrix(value, name: str, *, dtype=None) -> np.ndarray:
     return arr
 
 
-def ensure_vector(value, name: str, *, dtype=None, allow_empty: bool = False) -> np.ndarray:
+def ensure_vector(
+    value, name: str, *, dtype=None, allow_empty: bool = False
+) -> np.ndarray:
     """Coerce ``value`` to a 1-D :class:`numpy.ndarray`.
 
     Raises

@@ -124,7 +124,9 @@ def initial_poles(
     freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
     num_poles = ensure_positive_int(num_poles, "num_poles")
     w_max = float(freqs_rad[-1]) if freqs_rad[-1] > 0 else 1.0
-    w_min = float(freqs_rad[freqs_rad > 0][0]) if np.any(freqs_rad > 0) else w_max / 100.0
+    w_min = (
+        float(freqs_rad[freqs_rad > 0][0]) if np.any(freqs_rad > 0) else w_max / 100.0
+    )
 
     num_real = int(round(real_fraction * num_poles))
     if (num_poles - num_real) % 2:
@@ -144,7 +146,9 @@ def initial_poles(
     return poles
 
 
-def _basis(freqs_rad: np.ndarray, poles: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _basis(
+    freqs_rad: np.ndarray, poles: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Real-coefficient partial-fraction basis evaluated at ``j w``.
 
     Returns ``(phi, real_poles, pair_poles)`` with ``phi`` of shape
@@ -351,7 +355,9 @@ def _relocate_poles(
     """One sigma stage: solve for sigma coefficients, return new poles."""
     phi, real_poles, pair_poles = _basis(freqs_rad, poles)
     k_samples, num_funcs = phi.shape
-    const = np.ones((k_samples, 1)) if options.fit_direct_term else np.zeros((k_samples, 0))
+    const = (
+        np.ones((k_samples, 1)) if options.fit_direct_term else np.zeros((k_samples, 0))
+    )
     basis = np.concatenate([phi, const.astype(complex)], axis=1)  # (K, F)
 
     # Per-element projection of the sigma block onto the orthogonal
@@ -375,7 +381,9 @@ def _relocate_poles(
 
     zeros = _sigma_realization(real_poles, pair_poles, sigma)
     if options.enforce_stability:
-        zeros = make_stable(zeros, min_real=1e-12 * max(1.0, float(np.abs(zeros).max())))
+        zeros = make_stable(
+            zeros, min_real=1e-12 * max(1.0, float(np.abs(zeros).max()))
+        )
     return _symmetrize(zeros)
 
 
@@ -395,7 +403,9 @@ def _identify_residues(
     """
     phi, real_poles, pair_poles = _basis(freqs_rad, poles)
     k_samples, num_funcs = phi.shape
-    const = np.ones((k_samples, 1)) if options.fit_direct_term else np.zeros((k_samples, 0))
+    const = (
+        np.ones((k_samples, 1)) if options.fit_direct_term else np.zeros((k_samples, 0))
+    )
     basis = np.concatenate([phi, const.astype(complex)], axis=1)
 
     num_elems = flat.shape[1]

@@ -136,7 +136,9 @@ class TestEnvOverride:
         payload = json.loads(out[out.index("{"):])
         assert payload["config"]["num_threads"] == 2
 
-    def test_explicit_default_value_beats_env(self, violating_file, capsys, monkeypatch):
+    def test_explicit_default_value_beats_env(
+        self, violating_file, capsys, monkeypatch
+    ):
         # --threads 1 equals the parser default but was typed explicitly,
         # so it must force a serial run despite REPRO_NUM_THREADS.
         monkeypatch.setenv("REPRO_NUM_THREADS", "4")

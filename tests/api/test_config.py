@@ -233,7 +233,9 @@ class TestResolvedStrategy:
         assert RunConfig(num_threads=4).resolved_strategy() == "queue"
 
     def test_explicit(self):
-        assert RunConfig(strategy="static", num_threads=2).resolved_strategy() == "static"
+        assert (
+            RunConfig(strategy="static", num_threads=2).resolved_strategy() == "static"
+        )
 
 
 class TestCacheAxis:

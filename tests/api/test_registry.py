@@ -57,7 +57,9 @@ class TestPluginMechanism:
         calls = []
 
         @register_strategy("testonly", min_threads=2, description="test plugin")
-        def driver(model, *, num_threads, representation, omega_min, omega_max, options):
+        def driver(
+            model, *, num_threads, representation, omega_min, omega_max, options
+        ):
             calls.append(num_threads)
             return "sentinel"
 
@@ -97,7 +99,9 @@ class TestPluginMechanism:
         seen = {}
 
         @register_strategy("recording")
-        def driver(model, *, num_threads, representation, omega_min, omega_max, options):
+        def driver(
+            model, *, num_threads, representation, omega_min, omega_max, options
+        ):
             seen["model"] = model
             seen["num_threads"] = num_threads
             return "driver-result"

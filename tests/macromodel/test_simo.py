@@ -58,11 +58,18 @@ class TestSimoColumn:
 
     def test_rejects_lower_half_pair(self):
         with pytest.raises(ValueError, match="upper half"):
-            SimoColumn(np.array([]), np.zeros((0, 1)), np.array([-1 - 1j]), np.ones((1, 1)) + 0j)
+            SimoColumn(
+                np.array([]),
+                np.zeros((0, 1)),
+                np.array([-1 - 1j]),
+                np.ones((1, 1)) + 0j,
+            )
 
     def test_rejects_residue_count_mismatch(self):
         with pytest.raises(ValueError, match="match"):
-            SimoColumn(np.array([-1.0, -2.0]), np.ones((1, 2)), np.array([]), np.zeros((0, 2)))
+            SimoColumn(
+                np.array([-1.0, -2.0]), np.ones((1, 2)), np.array([]), np.zeros((0, 2))
+            )
 
 
 class TestAgainstDense:
@@ -155,7 +162,9 @@ class TestAgainstDense:
         a = simo.dense_a()
         b = simo.dense_b()
         shift = 0.2 + 3.0j
-        expected = simo.c @ np.linalg.solve(a - shift * np.eye(simo.order), b.astype(complex))
+        expected = simo.c @ np.linalg.solve(
+            a - shift * np.eye(simo.order), b.astype(complex)
+        )
         np.testing.assert_allclose(simo.gamma(shift), expected, atol=1e-10)
 
     def test_gamma_transpose_consistency(self, simo):

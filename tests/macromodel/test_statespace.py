@@ -26,19 +26,27 @@ class TestConstruction:
 
     def test_rejects_nonsquare_a(self):
         with pytest.raises(ValueError, match="square"):
-            StateSpace(np.zeros((2, 3)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+            StateSpace(
+                np.zeros((2, 3)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((1, 1))
+            )
 
     def test_rejects_b_rows(self):
         with pytest.raises(ValueError, match="rows"):
-            StateSpace(np.zeros((2, 2)), np.zeros((3, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+            StateSpace(
+                np.zeros((2, 2)), np.zeros((3, 1)), np.zeros((1, 2)), np.zeros((1, 1))
+            )
 
     def test_rejects_c_shape(self):
         with pytest.raises(ValueError, match="c must have shape"):
-            StateSpace(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((2, 2)), np.zeros((1, 1)))
+            StateSpace(
+                np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((2, 2)), np.zeros((1, 1))
+            )
 
     def test_rejects_d_shape(self):
         with pytest.raises(ValueError, match="d must have shape"):
-            StateSpace(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((2, 2)))
+            StateSpace(
+                np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((2, 2))
+            )
 
 
 class TestBehaviour:

@@ -72,7 +72,9 @@ class TestRoundTrip:
         s = np.array([[[1.0, 2.0], [3.0, 4.0]]], dtype=complex)
         text = format_touchstone(freqs, s)
         # Raw record must be S11 S21 S12 S22.
-        data_line = [row for row in text.splitlines() if not row.startswith(("#", "!"))][0]
+        data_line = [
+            row for row in text.splitlines() if not row.startswith(("#", "!"))
+        ][0]
         reals = [float(tok) for tok in data_line.split()][1::2]
         assert reals == [1.0, 3.0, 2.0, 4.0]
         back = parse_touchstone(text, num_ports=2)

@@ -162,7 +162,9 @@ class TestOrthonormalizeAgainst:
         np.testing.assert_allclose(np.linalg.norm(q), 1.0)
 
     def test_orthogonality(self, rng):
-        basis, _ = np.linalg.qr(rng.standard_normal((8, 3)) + 1j * rng.standard_normal((8, 3)))
+        basis, _ = np.linalg.qr(
+            rng.standard_normal((8, 3)) + 1j * rng.standard_normal((8, 3))
+        )
         v = rng.standard_normal(8) + 1j * rng.standard_normal(8)
         coeffs, norm, q = la.orthonormalize_against(basis, v)
         np.testing.assert_allclose(basis.conj().T @ q, 0.0, atol=1e-12)
