@@ -54,6 +54,8 @@ from repro.store import (
     encode_result,
     result_key,
 )
+from repro.timedomain.energy import EnergyReport
+from repro.timedomain.engine import SimulationResult
 from repro.touchstone.reader import TouchstoneData, read_touchstone
 from repro.touchstone.writer import write_touchstone
 from repro.utils.serialization import to_jsonable
@@ -118,6 +120,7 @@ class Macromodel:
         self._enforcement: Optional[EnforcementResult] = None
         self._hinf: Optional[HinfResult] = None
         self._solve: Optional[SolveResult] = None
+        self._simulation: Optional[SimulationResult] = None
         self._exports: list = []
         self._result_store: Optional[ResultStore] = None
         self._result_store_dir: Optional[str] = None
@@ -410,6 +413,7 @@ class Macromodel:
         self._enforcement = None
         self._solve = None
         self._hinf = None
+        self._simulation = None
         return self
 
     def check_passivity(self, **overrides: Any) -> "Macromodel":
@@ -513,11 +517,12 @@ class Macromodel:
             self._report = self._enforcement.reports[-1]
             self._report_model = self._model
             self._report_config = config
-        # Sweep/norm results of the pre-enforcement model no longer
-        # describe the session model; drop them so to_dict() stays
-        # self-consistent (re-run find_crossings()/hinf() if needed).
+        # Sweep/norm/transient results of the pre-enforcement model no
+        # longer describe the session model; drop them so to_dict() stays
+        # self-consistent (re-run find_crossings()/hinf()/simulate()).
         self._solve = None
         self._hinf = None
+        self._simulation = None
         return self
 
     def hinf(self, *, rtol: float = 1e-6, **overrides: Any) -> "Macromodel":
@@ -553,6 +558,102 @@ class Macromodel:
             params=None,
             key_config=config,
             compute=lambda: solve(model, config),
+        )
+        return self
+
+    def simulate(
+        self,
+        stimulus: Any = "prbs",
+        *,
+        dt: Optional[float] = None,
+        num_steps: int = 4096,
+        integrator: str = "recursive",
+        discretization: str = "tustin",
+        termination: Any = None,
+        tol: float = 1e-8,
+        keep_waveforms: bool = False,
+        **overrides: Any,
+    ) -> "Macromodel":
+        """Transient-simulate the session model and meter its port energy.
+
+        The time-domain acceptance check of the frequency-domain
+        verdict: a non-passive model driven near its violation peak
+        returns more energy than it receives
+        (``energy_report.energy_gain > 1``), an enforced model never
+        does.  See :func:`repro.timedomain.simulate` for the engine
+        parameters; on top of those this stage accepts the stimulus
+        shorthand ``"worst-tone"`` — a tone aligned with the top
+        singular vector at the worst violation peak of the session's
+        passivity report (requires a prior :meth:`check_passivity` that
+        found violations).
+
+        Results are kept compact by default (``keep_waveforms=False``),
+        which also makes this stage cacheable through the result store;
+        keeping the waveform arrays marks the run uncacheable.
+        """
+        from repro.timedomain import engine as _engine
+        from repro.timedomain.stimulus import worst_tone
+        from repro.timedomain.terminations import Termination
+
+        config = self._run_config(overrides)
+        model = self._require_model()
+        if stimulus == "worst-tone":
+            report = self._report
+            if report is None or not getattr(report, "bands", ()):
+                raise RuntimeError(
+                    "stimulus 'worst-tone' needs a prior check_passivity()"
+                    " whose report found violation bands"
+                )
+            band = max(report.bands, key=lambda b: b.severity)
+            stimulus = worst_tone(model, band.peak_freq)
+        stim = _engine._as_stimulus(stimulus)
+        if termination is None:
+            term = Termination.matched()
+        elif isinstance(termination, dict):
+            term = Termination.from_dict(termination)
+        else:
+            term = termination
+        if isinstance(model, SimoRealization) and integrator == "recursive":
+            # Structured realizations have no pole/residue form; fall
+            # through to the dense integrator rather than failing.
+            integrator = "statespace"
+        if dt is None:
+            dt = _engine.default_timestep(
+                model, freq=stim.freq if stim.kind == "tone" else None
+            )
+        params = {
+            "stimulus": stim.to_dict(),
+            "termination": term.to_dict(),
+            "dt": float(dt),
+            "num_steps": int(num_steps),
+            "integrator": str(integrator),
+            # The recursive path never reads the discretization rule, so
+            # normalize it out of the key — otherwise identical results
+            # would split across distinct store entries.
+            "discretization": (
+                str(discretization) if integrator == "statespace" else None
+            ),
+            "tol": float(tol),
+        }
+        self._simulation = self._cached_stage(
+            stage="simulate",
+            config=config,
+            # Waveform-carrying results are not stored (the payloads
+            # would dwarf every other stage); such runs just compute.
+            digest_fn=self._model_digest if not keep_waveforms else lambda: None,
+            params=params,
+            key_config=None,
+            compute=lambda: _engine.simulate(
+                model,
+                stim,
+                dt=dt,
+                num_steps=num_steps,
+                integrator=integrator,
+                discretization=discretization,
+                termination=term,
+                tol=tol,
+                keep_waveforms=keep_waveforms,
+            ),
         )
         return self
 
@@ -672,6 +773,18 @@ class Macromodel:
         return self._solve
 
     @property
+    def simulation_result(self) -> Optional[SimulationResult]:
+        """Outcome of the last :meth:`simulate`."""
+        return self._simulation
+
+    @property
+    def energy_report(self) -> Optional[EnergyReport]:
+        """Energy witness of the last :meth:`simulate` (None before)."""
+        if self._simulation is None:
+            return None
+        return self._simulation.energy
+
+    @property
     def is_passive(self) -> Optional[bool]:
         """Passivity verdict; ``None`` before any characterization."""
         if self._report is None:
@@ -718,6 +831,8 @@ class Macromodel:
             )
         if self._solve is not None:
             lines.append(f"  sweep: {self._solve.summary()}")
+        if self._simulation is not None:
+            lines.append(f"  transient: {self._simulation.energy.summary()}")
         for path in self._exports:
             lines.append(f"  exported: {path}")
         return "\n".join(lines)
@@ -742,6 +857,8 @@ class Macromodel:
             payload["hinf"] = self._hinf.to_dict()
         if self._solve is not None:
             payload["solve"] = self._solve.to_dict(include_shifts=False)
+        if self._simulation is not None:
+            payload["simulation"] = self._simulation.to_dict()
         if any(self._cache_counters.values()):
             payload["cache"] = self.cache_stats
         return to_jsonable(payload)

@@ -18,12 +18,14 @@ the facade shorthand :meth:`repro.api.Macromodel.map`, and the
 """
 
 from repro.batch.jobs import (
+    VALID_TASKS,
     BatchJob,
     ModelJob,
     SynthJob,
     TouchstoneJob,
     expand_jobs,
     synth_fleet,
+    task_settings,
 )
 from repro.batch.runner import (
     BATCH_BACKENDS,
@@ -43,6 +45,8 @@ __all__ = [
     "ModelJob",
     "SynthJob",
     "TouchstoneJob",
+    "VALID_TASKS",
     "expand_jobs",
     "synth_fleet",
+    "task_settings",
 ]

@@ -33,9 +33,47 @@ __all__ = [
     "TouchstoneJob",
     "SynthJob",
     "ModelJob",
+    "VALID_TASKS",
+    "task_settings",
     "expand_jobs",
     "synth_fleet",
 ]
+
+#: The single source of truth for pipeline task names: task -> the
+#: :class:`~repro.batch.runner.BatchRunner` keyword overrides that task
+#: adds on top of the base fit -> characterize pipeline.  ``fit`` and
+#: ``check`` run that base pipeline as-is (a fit is only trustworthy
+#: with its characterization); ``enforce`` adds the enforcement stage,
+#: ``hinf`` the H-infinity norm, ``simulate`` the transient energy
+#: witness.  The HTTP service validates and dispatches through this
+#: table, so adding a task here is the whole registration.
+_TASK_SETTINGS = {
+    "fit": {},
+    "check": {},
+    "enforce": {"enforce": True},
+    "hinf": {"hinf": True},
+    "simulate": {"simulate": True},
+}
+
+#: Pipeline variants a batch/service job may request.
+VALID_TASKS = tuple(_TASK_SETTINGS)
+
+
+def task_settings(task: str) -> dict:
+    """Runner keyword overrides of one named task.
+
+    Raises
+    ------
+    ValueError
+        Naming every valid task, so callers (the HTTP 400 path) can
+        surface the allowed list verbatim.
+    """
+    try:
+        return dict(_TASK_SETTINGS[task])
+    except KeyError:
+        raise ValueError(
+            f"unknown task {task!r}; valid tasks: {', '.join(VALID_TASKS)}"
+        ) from None
 
 ModelLike = Union[PoleResidueModel, SimoRealization]
 JobSource = Union[

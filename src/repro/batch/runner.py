@@ -74,6 +74,10 @@ class JobSettings:
     margin: float = 0.002
     in_process_pool: bool = False
     hinf: bool = False
+    simulate: bool = False
+    #: Keyword arguments of :meth:`Macromodel.simulate` (stimulus,
+    #: num_steps, integrator, ...); ``None`` uses the engine defaults.
+    simulate_params: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -107,6 +111,10 @@ class JobResult:
         Result-store traffic of the job's session (all zero when the
         fleet config leaves ``cache="off"``).  A hit means the stage
         skipped its computation and served the stored payload.
+    energy_gain:
+        Port-energy gain of the transient stage (``None`` unless the
+        fleet ran with ``simulate=True``) — the fleet-level passivity
+        witness: greater than 1 means the model manufactured energy.
     """
 
     name: str
@@ -119,6 +127,7 @@ class JobResult:
     source: Optional[dict] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    energy_gain: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -139,6 +148,7 @@ class JobResult:
                 "source": self.source,
                 "cache_hits": int(self.cache_hits),
                 "cache_misses": int(self.cache_misses),
+                "energy_gain": self.energy_gain,
             }
         )
 
@@ -265,6 +275,10 @@ def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
             session.enforce(margin=settings.margin)
         if settings.hinf:
             session.hinf()
+        energy_gain = None
+        if settings.simulate:
+            session.simulate(**(settings.simulate_params or {}))
+            energy_gain = float(session.energy_report.energy_gain)
         cache_stats = session.cache_stats
         return JobResult(
             name=job.name,
@@ -276,6 +290,7 @@ def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
             source=job.describe(),
             cache_hits=int(cache_stats.get("hits", 0)),
             cache_misses=int(cache_stats.get("misses", 0)),
+            energy_gain=energy_gain,
         )
     except Exception as exc:  # one bad model must not sink the fleet
         return JobResult(
@@ -339,6 +354,14 @@ class BatchRunner:
         Also compute the H-infinity norm after the characterization
         (scattering sessions only; used by the HTTP service's ``hinf``
         task).
+    simulate:
+        Also run the transient energy witness after the final
+        characterization/enforcement stage (the HTTP service's
+        ``simulate`` task); per-job gains surface as
+        ``JobResult.energy_gain``.
+    simulate_params:
+        Keyword arguments forwarded to :meth:`Macromodel.simulate`
+        (stimulus, num_steps, integrator, ...).
     """
 
     def __init__(
@@ -352,6 +375,8 @@ class BatchRunner:
         enforce: bool = False,
         margin: float = 0.002,
         hinf: bool = False,
+        simulate: bool = False,
+        simulate_params: Optional[dict] = None,
     ) -> None:
         ensure_choice(backend, "batch backend", BATCH_BACKENDS)
         if workers is None:
@@ -368,6 +393,8 @@ class BatchRunner:
             margin=float(margin),
             in_process_pool=(backend == "process"),
             hinf=bool(hinf),
+            simulate=bool(simulate),
+            simulate_params=dict(simulate_params) if simulate_params else None,
         )
 
     def run(self, sources: Union[JobSource, Sequence[JobSource]]) -> FleetReport:

@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     repro check      device.s4p --poles 40 --threads 8
     repro enforce    device.s4p --poles 40 --out passive.s4p
     repro hinf       device.s4p --poles 40
+    repro simulate   device.s4p --stimulus prbs --steps 8192 --json
+    repro simulate   --synth --seed 7 --stimulus worst-tone --enforce
     repro batch      'devices/*.s4p' --workers 4 --timeout 120
     repro batch      --synth 10 --seed 7 --backend process --json
     repro cache      stats --json
@@ -17,7 +19,10 @@ Usage (after ``pip install -e .``)::
 macromodel to the file and runs the Hamiltonian passivity
 characterization; ``enforce`` additionally repairs the model and writes
 the resampled passive response; ``hinf`` computes the H-infinity norm by
-Hamiltonian bisection; ``batch`` runs the fit → check (→ enforce)
+Hamiltonian bisection; ``simulate`` transient-simulates the model
+against a stimulus/termination scenario and reports the port-energy
+passivity witness (gain > 1 exposes a non-passive model in the time
+domain); ``batch`` runs the fit → check (→ enforce → simulate)
 pipeline over a whole fleet of models on a bounded worker pool;
 ``cache`` inspects and manages the content-addressed result store;
 ``serve`` runs the persistent HTTP job service (see
@@ -177,6 +182,113 @@ def build_parser() -> argparse.ArgumentParser:
     add_fit_args(hinf)
     hinf.add_argument("--rtol", type=float, default=1e-6, help="bracket tolerance")
 
+    from repro.timedomain import DISCRETIZATIONS, INTEGRATORS, STIMULUS_KINDS
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="transient-simulate a macromodel and report its energy balance",
+    )
+    simulate.add_argument(
+        "path", nargs="?", help="input .sNp file (omit with --synth)"
+    )
+    simulate.add_argument(
+        "--poles", type=int, default=30, help="fit model order (file inputs)"
+    )
+    simulate.add_argument(
+        "--synth",
+        action="store_true",
+        help="simulate a seeded synthetic macromodel instead of a file",
+    )
+    simulate.add_argument(
+        "--synth-order", type=int, default=10, help="synthetic poles per column"
+    )
+    simulate.add_argument(
+        "--synth-ports", type=int, default=2, help="synthetic port count"
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0, help="synthetic model seed"
+    )
+    simulate.add_argument(
+        "--sigma-target",
+        type=float,
+        default=1.05,
+        help="peak singular value of the synthetic model (>1 = violating)",
+    )
+    simulate.add_argument(
+        "--stimulus",
+        default="prbs",
+        choices=STIMULUS_KINDS + ("worst-tone",),
+        help="excitation ('worst-tone' drives the worst violation peak;"
+        " implies a passivity check first)",
+    )
+    simulate.add_argument(
+        "--steps", type=int, default=4096, help="simulation window in samples"
+    )
+    simulate.add_argument(
+        "--dt",
+        type=float,
+        default=None,
+        help="timestep in seconds (default: resolve the fastest pole)",
+    )
+    simulate.add_argument(
+        "--amplitude", type=float, default=1.0, help="stimulus amplitude"
+    )
+    simulate.add_argument(
+        "--bit-steps", type=int, default=8, help="PRBS samples per bit"
+    )
+    simulate.add_argument(
+        "--stim-seed", type=int, default=0, help="PRBS pattern seed"
+    )
+    simulate.add_argument(
+        "--tone-freq",
+        type=float,
+        default=None,
+        help="tone frequency in rad/s (required for --stimulus tone)",
+    )
+    simulate.add_argument(
+        "--integrator",
+        default="recursive",
+        choices=INTEGRATORS,
+        help="transient integrator (default: recursive convolution)",
+    )
+    simulate.add_argument(
+        "--discretization",
+        default="tustin",
+        choices=DISCRETIZATIONS,
+        help="state-space discretization rule",
+    )
+    simulate.add_argument(
+        "--resistance",
+        type=float,
+        default=None,
+        help="terminate every port with this resistance in ohm"
+        " (default: matched, no reflections)",
+    )
+    simulate.add_argument(
+        "--tol",
+        type=float,
+        default=1e-8,
+        help="energy-gain slack of the passivity verdict",
+    )
+    simulate.add_argument(
+        "--enforce",
+        action="store_true",
+        help="enforce passivity first and simulate the repaired model",
+    )
+    simulate.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        action=_TrackedStore,
+        help="solver threads (for the check/enforce stages)",
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable session payload",
+    )
+    add_cache_args(simulate)
+
     batch = sub.add_parser(
         "batch", help="run fit+check (+enforce) over a fleet of models"
     )
@@ -225,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--enforce",
         action="store_true",
         help="also enforce passivity on violating models",
+    )
+    batch.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also run the transient energy witness on each final model",
     )
     batch.add_argument(
         "--margin", type=float, default=0.002, help="enforcement margin"
@@ -472,6 +589,105 @@ def _cmd_hinf(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    from repro.timedomain import Stimulus, Termination
+
+    if args.synth:
+        from repro.synth import random_macromodel
+
+        model = random_macromodel(
+            args.synth_order,
+            args.synth_ports,
+            seed=args.seed,
+            sigma_target=args.sigma_target,
+        )
+        session = Macromodel.from_pole_residue(model)
+        session.configure(_session_config(args, base=session.config))
+        _say(
+            args,
+            f"synthetic model: {args.synth_ports} ports,"
+            f" {model.num_poles} poles, seed {args.seed},"
+            f" sigma target {args.sigma_target:g}",
+        )
+    else:
+        if not args.path:
+            raise ValueError(
+                "nothing to simulate: give a Touchstone path or --synth"
+            )
+        session = _fit_session(args, scattering_only=True)
+
+    needs_check = args.enforce or args.stimulus == "worst-tone"
+    if needs_check:
+        session.check_passivity()
+        _say(args, session.passivity_report.summary())
+
+    # Resolve the worst-tone target from the *pre-enforcement* report:
+    # the point of the scenario is to hit the repaired model with the
+    # very stimulus that exposed the original violation.
+    if args.stimulus == "worst-tone":
+        from repro.timedomain import worst_tone
+
+        bands = getattr(session.passivity_report, "bands", ())
+        if not bands:
+            _say(
+                args,
+                "no violation bands to target; falling back to the PRBS"
+                " stimulus",
+            )
+            stimulus = Stimulus.prbs(
+                amplitude=args.amplitude,
+                bit_steps=args.bit_steps,
+                seed=args.stim_seed,
+            )
+        else:
+            band = max(bands, key=lambda b: b.severity)
+            stimulus = worst_tone(
+                session.model, band.peak_freq, amplitude=args.amplitude
+            )
+    elif args.stimulus == "prbs":
+        stimulus = Stimulus.prbs(
+            amplitude=args.amplitude,
+            bit_steps=args.bit_steps,
+            seed=args.stim_seed,
+        )
+    elif args.stimulus == "tone":
+        if args.tone_freq is None:
+            raise ValueError("--stimulus tone requires --tone-freq (rad/s)")
+        stimulus = Stimulus.tone(args.tone_freq, amplitude=args.amplitude)
+    else:
+        stimulus = Stimulus(kind=args.stimulus, amplitude=args.amplitude)
+
+    if args.enforce and not session.is_passive:
+        session.enforce()
+        result = session.enforcement_result
+        _say(
+            args,
+            f"enforced in {result.iterations} iteration(s),"
+            f" perturbation norm {result.perturbation_norm:.3e}",
+        )
+
+    termination = None
+    if args.resistance is not None:
+        termination = Termination(resistances=args.resistance)
+    session.simulate(
+        stimulus,
+        dt=args.dt,
+        num_steps=args.steps,
+        integrator=args.integrator,
+        discretization=args.discretization,
+        termination=termination,
+        tol=args.tol,
+    )
+    result = session.simulation_result
+    _say(args, result.summary())
+    for port, (e_in, e_out) in enumerate(
+        zip(result.energy.port_input, result.energy.port_output)
+    ):
+        _say(args, f"  port {port}: in {e_in:.6g}, out {e_out:.6g}")
+    _maybe_json(args, session)
+    return 0 if result.energy.passive else 2
+
+
 def _cmd_batch(args) -> int:
     from repro.batch import BatchRunner, synth_fleet
 
@@ -498,6 +714,7 @@ def _cmd_batch(args) -> int:
         num_poles=args.poles,
         enforce=args.enforce,
         margin=args.margin,
+        simulate=args.simulate,
     )
     report = runner.run(sources)
     _say(args, report.summary())
@@ -631,6 +848,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "enforce": _cmd_enforce,
     "hinf": _cmd_hinf,
+    "simulate": _cmd_simulate,
     "batch": _cmd_batch,
     "cache": _cmd_cache,
     "serve": _cmd_serve,

@@ -2,7 +2,7 @@
 
 ``repro serve`` turns the library into a long-running daemon: clients
 POST job specifications (synthetic, Touchstone, or inline-model sources;
-fit/check/enforce/hinf tasks) to ``/v1/jobs``, poll ``/v1/jobs/<id>``,
+fit/check/enforce/hinf/simulate tasks) to ``/v1/jobs``, poll ``/v1/jobs/<id>``,
 and fetch content-addressed payloads from ``/v1/results/<key>``.  Jobs
 execute asynchronously on a bounded worker pool backed by the process
 batch backend (real per-job timeout kills), results land in the

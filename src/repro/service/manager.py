@@ -25,7 +25,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
-from repro.batch.jobs import BatchJob, ModelJob, SynthJob, TouchstoneJob
+from repro.batch.jobs import (
+    VALID_TASKS,
+    BatchJob,
+    ModelJob,
+    SynthJob,
+    TouchstoneJob,
+    task_settings,
+)
 from repro.batch.runner import BATCH_BACKENDS, BatchRunner
 from repro.core.config import RunConfig
 from repro.macromodel.rational import PoleResidueModel
@@ -37,11 +44,22 @@ __all__ = ["JobError", "JobRecord", "JobManager", "VALID_TASKS", "VALID_KINDS"]
 
 _LOG = get_logger("service")
 
-#: Pipeline variants a job may request.  ``fit`` and ``check`` run the
-#: same fit -> characterize pipeline (a fit is only trustworthy with its
-#: characterization); ``enforce`` adds the enforcement stage; ``hinf``
-#: adds the H-infinity norm.
-VALID_TASKS = ("fit", "check", "enforce", "hinf")
+# VALID_TASKS now lives in repro.batch.jobs (one registry drives both
+# the validation here and the runner dispatch) and is re-exported for
+# backwards compatibility.
+
+#: Keys a job spec's "simulate" object may carry (the kwargs of
+#: Macromodel.simulate that make sense over the wire; waveform-keeping
+#: is deliberately excluded — responses stay compact witnesses).
+SIMULATE_SPEC_KEYS = (
+    "stimulus",
+    "dt",
+    "num_steps",
+    "integrator",
+    "discretization",
+    "termination",
+    "tol",
+)
 
 #: Model sources a job may name.
 VALID_KINDS = ("synth", "touchstone", "model")
@@ -258,7 +276,14 @@ class JobManager:
         if not isinstance(spec, Mapping):
             raise JobError("job spec must be a JSON object")
         task = str(spec.get("task", "check")).lower()
-        ensure_choice(task, "task", VALID_TASKS)
+        try:
+            # One registry (repro.batch.jobs) validates the task AND
+            # names the runner settings it maps to; unknown tasks become
+            # a clean 400 carrying the full allowed list.
+            task_overrides = task_settings(task)
+        except ValueError as exc:
+            raise JobError(str(exc)) from None
+        sim_params = self._simulate_params(spec, task)
         job_id = uuid.uuid4().hex[:12]
         name = str(spec.get("name") or f"{task}-{job_id}")
         job = _job_from_spec(spec, name)
@@ -268,12 +293,17 @@ class JobManager:
         )
         margin = float(spec.get("margin", self.margin))
         key: Optional[str] = None
+        key_params = {"task": task, "num_poles": num_poles, "margin": margin}
+        if task == "simulate":
+            # Folded into the key only for simulate jobs, so the keys of
+            # every pre-existing task stay byte-identical.
+            key_params["simulate"] = sim_params or {}
         try:
             key = result_key(
                 stage="service-job",
                 input_digest=_input_digest(job, spec),
                 config=config,
-                params={"task": task, "num_poles": num_poles, "margin": margin},
+                params=key_params,
             )
         except (OSError, TypeError, ValueError):
             # Unhashable source (e.g. the file vanished between checks):
@@ -316,9 +346,40 @@ class JobManager:
                 return record
 
         self._pool.submit(
-            self._run, record, job, config, task, num_poles, margin, key
+            self._run,
+            record,
+            job,
+            config,
+            task_overrides,
+            sim_params,
+            num_poles,
+            margin,
+            key,
         )
         return record
+
+    @staticmethod
+    def _simulate_params(spec: Mapping[str, Any], task: str) -> Optional[dict]:
+        """Validate the optional ``"simulate"`` object of a job spec."""
+        sim = spec.get("simulate")
+        if sim is None:
+            return None
+        if task != "simulate":
+            raise JobError(
+                "the 'simulate' object only applies to task 'simulate'"
+            )
+        if not isinstance(sim, Mapping):
+            raise JobError(
+                "'simulate' must be an object of Macromodel.simulate"
+                " parameters"
+            )
+        unknown = sorted(set(sim) - set(SIMULATE_SPEC_KEYS))
+        if unknown:
+            raise JobError(
+                f"unknown simulate parameter(s) {', '.join(unknown)};"
+                f" allowed: {', '.join(SIMULATE_SPEC_KEYS)}"
+            )
+        return dict(sim)
 
     # -- execution ----------------------------------------------------------
 
@@ -327,7 +388,8 @@ class JobManager:
         record: JobRecord,
         job: BatchJob,
         config: RunConfig,
-        task: str,
+        task_overrides: dict,
+        sim_params: Optional[dict],
         num_poles: int,
         margin: float,
         key: Optional[str],
@@ -341,9 +403,9 @@ class JobManager:
                 timeout=self.timeout,
                 backend=self.backend,
                 num_poles=num_poles,
-                enforce=(task == "enforce"),
                 margin=margin,
-                hinf=(task == "hinf"),
+                simulate_params=sim_params,
+                **task_overrides,
             )
             report = runner.run([job])
             result = report.results[0]

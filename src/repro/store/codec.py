@@ -18,6 +18,7 @@ from repro.passivity.characterization import PassivityReport
 from repro.passivity.enforcement import EnforcementResult
 from repro.passivity.hinf import HinfResult
 from repro.passivity.immittance import ImmittancePassivityReport
+from repro.timedomain.engine import SimulationResult
 from repro.vectfit.vector_fitting import FitResult
 
 __all__ = ["STAGES", "encode_result", "decode_result"]
@@ -48,6 +49,13 @@ STAGES: Dict[str, Tuple[Callable[[Any], dict], Callable[[dict], Any]]] = {
     "solve": (
         lambda result: result.to_dict(include_shifts=True),
         SolveResult.from_dict,
+    ),
+    # Waveform arrays are deliberately NOT stored: cacheable simulate
+    # runs are the compact (keep_waveforms=False) ones, so the stored
+    # witness payload is a few hundred bytes regardless of step count.
+    "simulate": (
+        lambda result: result.to_dict(),
+        SimulationResult.from_dict,
     ),
 }
 

@@ -102,7 +102,11 @@ def result_key(
     ----------
     stage:
         Stage name (``"fit"``, ``"check"``, ``"enforce"``, ``"hinf"``,
-        ``"solve"``, ``"service-job"``, ...).
+        ``"solve"``, ``"simulate"``, ``"service-job"``, ...).  Stages
+        whose outcome is independent of the solver config (fitting, the
+        transient ``simulate`` stage) pass ``config=None`` and carry
+        everything that matters in ``params`` — e.g. the stimulus and
+        termination ``to_dict()`` payloads.
     input_digest:
         Digest of the stage input (:func:`content_key` of a model dict,
         :func:`array_digest` of sample arrays, :func:`file_digest` of

@@ -1,0 +1,74 @@
+"""Time-domain simulation subsystem: transient validation of macromodels.
+
+The frequency-domain pipeline (fit → characterize → enforce) certifies
+passivity analytically; this package demonstrates the *consequence* —
+a non-passive macromodel manufactures energy once embedded in a
+circuit, a repaired one does not:
+
+    from repro.synth import random_macromodel
+    from repro.timedomain import Stimulus, simulate
+
+    model = random_macromodel(20, 2, seed=7, sigma_target=1.05)
+    result = simulate(model, Stimulus.prbs(seed=3), num_steps=8192)
+    print(result.energy.summary())      # energy gain, per-port balance
+
+Layers: :mod:`~repro.timedomain.stimulus` (impulse / step / trapezoid /
+PRBS / tone excitations, seeded and serializable),
+:mod:`~repro.timedomain.terminations` (resistive source networks
+closing the p-port), :mod:`~repro.timedomain.integrators` (exact
+recursive convolution on the pole/residue form, Tustin/ZOH state-space
+stepping), :mod:`~repro.timedomain.energy` (cumulative port-energy
+passivity witnesses), :mod:`~repro.timedomain.fft` (impulse-response ↔
+``transfer_many`` consistency oracle), and
+:mod:`~repro.timedomain.engine` (the :func:`simulate` front door the
+session facade, CLI, batch runner, and HTTP service share).
+"""
+
+from repro.timedomain.energy import EnergyReport, energy_report
+from repro.timedomain.engine import (
+    INTEGRATORS,
+    SimulationResult,
+    default_timestep,
+    simulate,
+)
+from repro.timedomain.fft import (
+    FftCheck,
+    discrete_transfer_many,
+    folded_transfer_many,
+    impulse_fft_check,
+)
+from repro.timedomain.integrators import (
+    DISCRETIZATIONS,
+    closed_loop_response,
+    discretize_statespace,
+    recursive_coefficients,
+    recursive_convolution,
+    recursive_convolution_reference,
+    statespace_step,
+)
+from repro.timedomain.stimulus import STIMULUS_KINDS, Stimulus, worst_tone
+from repro.timedomain.terminations import Termination
+
+__all__ = [
+    "DISCRETIZATIONS",
+    "EnergyReport",
+    "FftCheck",
+    "INTEGRATORS",
+    "STIMULUS_KINDS",
+    "SimulationResult",
+    "Stimulus",
+    "Termination",
+    "closed_loop_response",
+    "default_timestep",
+    "discrete_transfer_many",
+    "discretize_statespace",
+    "energy_report",
+    "folded_transfer_many",
+    "impulse_fft_check",
+    "recursive_coefficients",
+    "recursive_convolution",
+    "recursive_convolution_reference",
+    "simulate",
+    "statespace_step",
+    "worst_tone",
+]

@@ -1,0 +1,314 @@
+"""The transient engine: stimulus + integrator + termination -> result.
+
+:func:`simulate` is the subsystem's front door: it synthesizes the
+stimulus waveforms, closes the port loop through the termination
+network, advances the model with the chosen integrator, meters the port
+energies, and packages everything as an immutable, JSON-serializable
+:class:`SimulationResult` — the object the :class:`~repro.api.Macromodel`
+facade, the CLI, the batch runner, and the HTTP service all share.
+
+The default configuration (matched termination, recursive convolution,
+timestep resolving the fastest pole) is chosen so that
+``simulate(model)`` on any stable macromodel is a one-liner that either
+witnesses a passivity violation (``energy.energy_gain > 1``) or
+demonstrates a contractive response.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.macromodel.rational import PoleResidueModel
+from repro.macromodel.simo import SimoRealization
+from repro.macromodel.statespace import StateSpace
+from repro.timedomain.energy import DEFAULT_ENERGY_TOL, EnergyReport, energy_report
+from repro.timedomain.integrators import (
+    DISCRETIZATIONS,
+    closed_loop_response,
+)
+from repro.timedomain.stimulus import Stimulus
+from repro.timedomain.terminations import Termination
+from repro.utils.serialization import (
+    float_array_from_jsonable,
+    float_from_jsonable,
+    to_jsonable,
+)
+from repro.utils.validation import (
+    ensure_choice,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+
+__all__ = [
+    "INTEGRATORS",
+    "SimulationResult",
+    "default_timestep",
+    "simulate",
+]
+
+#: Integrators the engine dispatches on.
+INTEGRATORS = ("recursive", "statespace")
+
+ModelLike = Union[PoleResidueModel, SimoRealization, StateSpace]
+
+
+def _model_poles(model: ModelLike) -> np.ndarray:
+    if isinstance(model, PoleResidueModel):
+        return model.poles
+    return model.poles()
+
+
+def default_timestep(
+    model: ModelLike, *, oversample: float = 16.0, freq: Optional[float] = None
+) -> float:
+    """Timestep resolving the model's fastest dynamics.
+
+    ``2 pi / (oversample * w_max)`` with ``w_max`` the largest pole
+    magnitude (and the stimulus tone frequency, when given) — the
+    default puts ~16 samples on the fastest natural period.
+    """
+    ensure_positive_float(oversample, "oversample")
+    poles = np.asarray(_model_poles(model))
+    w_max = float(np.max(np.abs(poles))) if poles.size else 1.0
+    if freq is not None:
+        w_max = max(w_max, float(freq))
+    w_max = max(w_max, 1e-12)
+    return 2.0 * np.pi / (oversample * w_max)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one transient run (immutable, JSON-serializable).
+
+    Attributes
+    ----------
+    integrator:
+        ``"recursive"`` or ``"statespace"``.
+    discretization:
+        The state-space rule used (``None`` for recursive convolution).
+    dt, num_steps:
+        The time grid.
+    stimulus, termination:
+        The excitation and the closing network, by value.
+    energy:
+        The :class:`EnergyReport` passivity witness.
+    elapsed:
+        Wall-clock seconds the integration took.
+    incident, reflected:
+        The simulated port waves ``(num_steps, p)``; ``None`` when the
+        run was asked not to keep waveforms (compact results for the
+        store/service tier).
+    """
+
+    integrator: str
+    discretization: Optional[str]
+    dt: float
+    num_steps: int
+    stimulus: Stimulus
+    termination: Termination
+    energy: EnergyReport
+    elapsed: float
+    incident: Optional[np.ndarray] = None
+    reflected: Optional[np.ndarray] = None
+
+    @property
+    def energy_gain(self) -> float:
+        """Shortcut to the witness number (``energy.energy_gain``)."""
+        return self.energy.energy_gain
+
+    @property
+    def times(self) -> np.ndarray:
+        """The sample instants ``0, dt, ..., (num_steps - 1) dt``."""
+        return np.arange(self.num_steps) * self.dt
+
+    def without_waveforms(self) -> "SimulationResult":
+        """A compact copy with the waveform arrays dropped."""
+        if self.incident is None and self.reflected is None:
+            return self
+        return SimulationResult(
+            integrator=self.integrator,
+            discretization=self.discretization,
+            dt=self.dt,
+            num_steps=self.num_steps,
+            stimulus=self.stimulus,
+            termination=self.termination,
+            energy=self.energy,
+            elapsed=self.elapsed,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable description of the run."""
+        rule = (
+            self.integrator
+            if self.discretization is None
+            else f"{self.integrator}/{self.discretization}"
+        )
+        return f"{self.stimulus!r} through {rule}: {self.energy.summary()}"
+
+    def to_dict(self, *, include_waveforms: bool = False) -> dict:
+        """JSON-serializable dictionary (exact :meth:`from_dict` inverse).
+
+        Waveforms are excluded by default — a result headed for the
+        content-addressed store or an HTTP response only needs the
+        witness, not megabytes of samples.
+        """
+        payload = {
+            "integrator": self.integrator,
+            "discretization": self.discretization,
+            "dt": float(self.dt),
+            "num_steps": int(self.num_steps),
+            "stimulus": self.stimulus.to_dict(),
+            "termination": self.termination.to_dict(),
+            "energy": self.energy.to_dict(),
+            "elapsed": float(self.elapsed),
+        }
+        if include_waveforms and self.incident is not None:
+            payload["incident"] = to_jsonable(self.incident)
+            payload["reflected"] = to_jsonable(self.reflected)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from a :meth:`to_dict` payload."""
+        incident = payload.get("incident")
+        reflected = payload.get("reflected")
+        return cls(
+            integrator=str(payload["integrator"]),
+            discretization=(
+                None
+                if payload.get("discretization") is None
+                else str(payload["discretization"])
+            ),
+            dt=float_from_jsonable(payload["dt"]),
+            num_steps=int(payload["num_steps"]),
+            stimulus=Stimulus.from_dict(payload["stimulus"]),
+            termination=Termination.from_dict(payload["termination"]),
+            energy=EnergyReport.from_dict(payload["energy"]),
+            elapsed=float_from_jsonable(payload["elapsed"]),
+            incident=(
+                None
+                if incident is None
+                else float_array_from_jsonable(incident, ndim=2)
+            ),
+            reflected=(
+                None
+                if reflected is None
+                else float_array_from_jsonable(reflected, ndim=2)
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.integrator}, steps={self.num_steps},"
+            f" gain={self.energy.energy_gain:.6f})"
+        )
+
+
+def _as_stimulus(stimulus) -> Stimulus:
+    if isinstance(stimulus, Stimulus):
+        return stimulus
+    if isinstance(stimulus, str):
+        return Stimulus(kind=stimulus)
+    if isinstance(stimulus, dict):
+        return Stimulus.from_dict(stimulus)
+    raise TypeError(
+        f"stimulus must be a Stimulus, kind string, or to_dict() payload,"
+        f" got {type(stimulus).__name__}"
+    )
+
+
+def _statespace_of(model: ModelLike) -> StateSpace:
+    if isinstance(model, StateSpace):
+        return model
+    if isinstance(model, SimoRealization):
+        return model.to_statespace()
+    from repro.macromodel.realization import pole_residue_to_simo
+
+    return pole_residue_to_simo(model).to_statespace()
+
+
+def simulate(
+    model: ModelLike,
+    stimulus: Union[Stimulus, str, dict] = "prbs",
+    *,
+    dt: Optional[float] = None,
+    num_steps: int = 4096,
+    integrator: str = "recursive",
+    discretization: str = "tustin",
+    termination: Optional[Termination] = None,
+    tol: float = DEFAULT_ENERGY_TOL,
+    keep_waveforms: bool = True,
+) -> SimulationResult:
+    """Run one transient simulation and meter the port energies.
+
+    Parameters
+    ----------
+    model:
+        A :class:`PoleResidueModel`, :class:`SimoRealization`, or dense
+        :class:`StateSpace`.  Recursive convolution requires the
+        pole/residue form; the state-space integrator accepts all three
+        (structured models are realized densely first).
+    stimulus:
+        A :class:`Stimulus`, a kind string (``"prbs"``, ``"impulse"``,
+        ...) using that kind's defaults, or a ``Stimulus.to_dict()``
+        payload.
+    dt:
+        Timestep; defaults to :func:`default_timestep`.
+    num_steps:
+        Window length in samples.
+    integrator:
+        ``"recursive"`` (exact exponential updates on the poles) or
+        ``"statespace"`` (discretized dense stepping).
+    discretization:
+        ``"tustin"`` or ``"zoh"`` — state-space integrator only.
+    termination:
+        Port closing network; matched (reflectionless) by default.
+    tol:
+        Energy-gain slack of the passivity verdict.
+    keep_waveforms:
+        Keep the simulated wave arrays on the result (drop them for
+        compact store/service payloads).
+    """
+    ensure_choice(integrator, "integrator", INTEGRATORS)
+    ensure_choice(discretization, "discretization", DISCRETIZATIONS)
+    num_steps = ensure_positive_int(num_steps, "num_steps")
+    stim = _as_stimulus(stimulus)
+    term = termination if termination is not None else Termination.matched()
+    if integrator == "recursive":
+        if not isinstance(model, PoleResidueModel):
+            raise TypeError(
+                "the recursive-convolution integrator needs a"
+                f" PoleResidueModel, got {type(model).__name__}; use"
+                " integrator='statespace' for realized models"
+            )
+        target: ModelLike = model
+    else:
+        target = _statespace_of(model)
+    if dt is None:
+        dt = default_timestep(
+            model, freq=stim.freq if stim.kind == "tone" else None
+        )
+    dt = ensure_positive_float(dt, "dt")
+    sources = stim.waveforms(num_steps, dt, model.num_ports)
+    started = time.perf_counter()
+    incident, reflected = closed_loop_response(
+        target, sources, dt, term, method=discretization
+    )
+    elapsed = time.perf_counter() - started
+    energy = energy_report(incident, reflected, dt, tol=tol)
+    return SimulationResult(
+        integrator=integrator,
+        discretization=None if integrator == "recursive" else discretization,
+        dt=float(dt),
+        num_steps=num_steps,
+        stimulus=stim,
+        termination=term,
+        energy=energy,
+        elapsed=float(elapsed),
+        incident=incident if keep_waveforms else None,
+        reflected=reflected if keep_waveforms else None,
+    )

@@ -1,0 +1,304 @@
+"""Port excitation library for transient simulation.
+
+A :class:`Stimulus` describes the incident waveform driven into the
+macromodel ports — fully by value (kind + parameters + seed), so a
+stimulus can cross process boundaries, enter content-addressed cache
+keys, and round-trip through JSON exactly.  Five kinds cover the
+validation scenarios:
+
+* ``impulse`` — a single nonzero sample (the FFT cross-check input);
+* ``step`` — a held level after the delay;
+* ``pulse`` — a trapezoid (rise / hold / fall in whole steps), the
+  classic signal-integrity excitation;
+* ``prbs`` — a seeded pseudo-random ±A bit pattern held for
+  ``bit_steps`` samples per bit (broadband energy content, reproducible
+  via :class:`repro.utils.rng.RandomStream`);
+* ``tone`` — a steady sinusoid, optionally with per-port complex
+  weights so the input can align with a singular vector of ``H(j w)``
+  (see :func:`worst_tone`).
+
+Every waveform starts with at least one zero sample
+(``delay_steps >= 1``).  The integrators treat sample sequences as
+piecewise-linear input; a zero first sample makes the causal simulation
+exactly equal to the doubly-infinite LTI response, which the
+energy-based passivity witnesses rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomStream
+from repro.utils.serialization import (
+    complex_array_from_jsonable,
+    to_jsonable,
+)
+from repro.utils.validation import (
+    ensure_choice,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+
+__all__ = ["STIMULUS_KINDS", "Stimulus", "worst_tone"]
+
+#: Stimulus kinds the library knows how to synthesize.
+STIMULUS_KINDS = ("impulse", "step", "pulse", "prbs", "tone")
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One port-excitation specification (immutable, JSON-serializable).
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`STIMULUS_KINDS`.
+    amplitude:
+        Peak level of the waveform.
+    port:
+        Port index the waveform drives; ``None`` drives every port with
+        the same waveform (``tone`` with ``weights`` ignores this).
+    delay_steps:
+        Leading zero samples (at least 1 — see the module docstring).
+    rise_steps, hold_steps, fall_steps:
+        Trapezoid shape of the ``pulse`` kind, in whole steps.
+    bit_steps, seed:
+        Bit hold length and root seed of the ``prbs`` pattern.
+    freq:
+        Angular frequency (rad/s) of the ``tone`` kind.
+    weights:
+        Optional per-port complex weights of the ``tone`` kind: port j
+        receives ``amplitude * Re(weights[j] * exp(i freq t))``.
+    """
+
+    kind: str
+    amplitude: float = 1.0
+    port: Optional[int] = None
+    delay_steps: int = 1
+    rise_steps: int = 8
+    hold_steps: int = 32
+    fall_steps: int = 8
+    bit_steps: int = 8
+    seed: int = 0
+    freq: float = 1.0
+    weights: Optional[Tuple[complex, ...]] = None
+
+    def __post_init__(self):
+        ensure_choice(self.kind, "stimulus kind", STIMULUS_KINDS)
+        ensure_positive_float(self.amplitude, "amplitude")
+        if self.delay_steps < 1:
+            raise ValueError(
+                f"delay_steps must be >= 1 (the first sample must be zero"
+                f" for the causal start to match the LTI response),"
+                f" got {self.delay_steps}"
+            )
+        if self.port is not None and self.port < 0:
+            raise ValueError(f"port must be >= 0, got {self.port}")
+        if self.kind == "pulse":
+            ensure_positive_int(self.rise_steps, "rise_steps")
+            ensure_positive_int(self.fall_steps, "fall_steps")
+            if self.hold_steps < 0:
+                raise ValueError(
+                    f"hold_steps must be >= 0, got {self.hold_steps}"
+                )
+        if self.kind == "prbs":
+            ensure_positive_int(self.bit_steps, "bit_steps")
+        if self.kind == "tone":
+            ensure_positive_float(self.freq, "freq")
+        if self.weights is not None:
+            if self.kind != "tone":
+                raise ValueError("weights apply to the 'tone' kind only")
+            object.__setattr__(
+                self, "weights", tuple(complex(w) for w in self.weights)
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def impulse(cls, *, amplitude: float = 1.0, **kwargs) -> "Stimulus":
+        """A single nonzero sample of the given amplitude."""
+        return cls(kind="impulse", amplitude=amplitude, **kwargs)
+
+    @classmethod
+    def step(cls, *, amplitude: float = 1.0, **kwargs) -> "Stimulus":
+        """A held level starting after the delay."""
+        return cls(kind="step", amplitude=amplitude, **kwargs)
+
+    @classmethod
+    def pulse(
+        cls,
+        *,
+        amplitude: float = 1.0,
+        rise_steps: int = 8,
+        hold_steps: int = 32,
+        fall_steps: int = 8,
+        **kwargs,
+    ) -> "Stimulus":
+        """A trapezoidal pulse (rise / hold / fall in whole steps)."""
+        return cls(
+            kind="pulse",
+            amplitude=amplitude,
+            rise_steps=rise_steps,
+            hold_steps=hold_steps,
+            fall_steps=fall_steps,
+            **kwargs,
+        )
+
+    @classmethod
+    def prbs(
+        cls, *, amplitude: float = 1.0, bit_steps: int = 8, seed: int = 0, **kwargs
+    ) -> "Stimulus":
+        """A seeded pseudo-random ±amplitude bit pattern."""
+        return cls(
+            kind="prbs",
+            amplitude=amplitude,
+            bit_steps=bit_steps,
+            seed=seed,
+            **kwargs,
+        )
+
+    @classmethod
+    def tone(
+        cls,
+        freq: float,
+        *,
+        amplitude: float = 1.0,
+        weights=None,
+        **kwargs,
+    ) -> "Stimulus":
+        """A steady sinusoid at ``freq`` rad/s."""
+        if weights is not None:
+            weights = tuple(complex(w) for w in weights)
+        return cls(
+            kind="tone",
+            amplitude=amplitude,
+            freq=freq,
+            weights=weights,
+            **kwargs,
+        )
+
+    # -- synthesis ----------------------------------------------------------
+
+    def _scalar_waveform(self, num_steps: int, dt: float) -> np.ndarray:
+        """The (T,) base waveform before port placement."""
+        u = np.zeros(num_steps, dtype=float)
+        d = self.delay_steps
+        if d >= num_steps:
+            return u
+        if self.kind == "impulse":
+            u[d] = self.amplitude
+        elif self.kind == "step":
+            u[d:] = self.amplitude
+        elif self.kind == "pulse":
+            ramp_up = np.linspace(0.0, 1.0, self.rise_steps + 1)[1:]
+            ramp_down = np.linspace(1.0, 0.0, self.fall_steps + 1)[1:]
+            shape = np.concatenate(
+                [ramp_up, np.ones(self.hold_steps), ramp_down]
+            )
+            end = min(num_steps, d + shape.size)
+            u[d:end] = self.amplitude * shape[: end - d]
+        elif self.kind == "prbs":
+            rng = RandomStream(self.seed).generator
+            num_bits = -(-(num_steps - d) // self.bit_steps)
+            bits = 2.0 * rng.integers(0, 2, size=num_bits) - 1.0
+            u[d:] = self.amplitude * np.repeat(bits, self.bit_steps)[: num_steps - d]
+        else:  # tone
+            t = (np.arange(d, num_steps) - d) * dt
+            u[d:] = self.amplitude * np.sin(self.freq * t)
+        return u
+
+    def waveforms(self, num_steps: int, dt: float, num_ports: int) -> np.ndarray:
+        """Synthesize the ``(num_steps, num_ports)`` port waveform matrix."""
+        num_steps = ensure_positive_int(num_steps, "num_steps")
+        dt = ensure_positive_float(dt, "dt")
+        num_ports = ensure_positive_int(num_ports, "num_ports")
+        if self.kind == "tone" and self.weights is not None:
+            if len(self.weights) != num_ports:
+                raise ValueError(
+                    f"stimulus carries {len(self.weights)} port weights but"
+                    f" the model has {num_ports} ports"
+                )
+            d = self.delay_steps
+            out = np.zeros((num_steps, num_ports), dtype=float)
+            if d < num_steps:
+                t = (np.arange(d, num_steps) - d) * dt
+                phasor = np.exp(1j * self.freq * t)
+                w = np.asarray(self.weights, dtype=complex)
+                out[d:] = self.amplitude * (phasor[:, None] * w[None, :]).real
+            return out
+        base = self._scalar_waveform(num_steps, dt)
+        out = np.zeros((num_steps, num_ports), dtype=float)
+        if self.port is None:
+            out[:] = base[:, None]
+        else:
+            if self.port >= num_ports:
+                raise ValueError(
+                    f"stimulus drives port {self.port} but the model has"
+                    f" {num_ports} ports"
+                )
+            out[:, self.port] = base
+        return out
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (exact :meth:`from_dict` inverse)."""
+        payload = {
+            "kind": self.kind,
+            "amplitude": float(self.amplitude),
+            "port": self.port,
+            "delay_steps": int(self.delay_steps),
+        }
+        if self.kind == "pulse":
+            payload["rise_steps"] = int(self.rise_steps)
+            payload["hold_steps"] = int(self.hold_steps)
+            payload["fall_steps"] = int(self.fall_steps)
+        if self.kind == "prbs":
+            payload["bit_steps"] = int(self.bit_steps)
+            payload["seed"] = int(self.seed)
+        if self.kind == "tone":
+            payload["freq"] = float(self.freq)
+            payload["weights"] = (
+                to_jsonable(np.asarray(self.weights))
+                if self.weights is not None
+                else None
+            )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Stimulus":
+        """Rebuild a stimulus from a :meth:`to_dict` payload."""
+        kwargs = dict(payload)
+        weights = kwargs.pop("weights", None)
+        if weights is not None:
+            weights = tuple(complex_array_from_jsonable(weights).tolist())
+        return cls(weights=weights, **kwargs)
+
+    def __repr__(self) -> str:
+        target = "all ports" if self.port is None else f"port {self.port}"
+        if self.kind == "tone" and self.weights is not None:
+            target = "weighted ports"
+        return f"Stimulus({self.kind}, A={self.amplitude:g}, {target})"
+
+
+def worst_tone(
+    model, omega: float, *, amplitude: float = 1.0, delay_steps: int = 1
+) -> Stimulus:
+    """Tone aligned with the top right singular vector of ``H(j omega)``.
+
+    Driving the ports with the (complex) components of the right
+    singular vector makes the steady-state energy gain approach
+    ``sigma_max(H(j omega))^2`` — the sharpest time-domain witness of a
+    passivity violation at a known peak frequency (take ``omega`` from
+    ``PassivityReport.bands[k].peak_freq``).
+    """
+    omega = ensure_positive_float(omega, "omega")
+    h = np.asarray(model.transfer(1j * omega))
+    _u, _s, vh = np.linalg.svd(h)
+    v = np.conj(vh[0])
+    return Stimulus.tone(
+        omega, amplitude=amplitude, weights=tuple(v), delay_steps=delay_steps
+    )

@@ -1,0 +1,131 @@
+"""Port termination networks: closing the p-port into a simulable system.
+
+A scattering macromodel maps incident waves ``a`` to reflected waves
+``b = H a``.  Embedding it in a circuit means terminating each port with
+a resistive source network: a Thevenin source of impedance ``R_k``
+behind port k re-injects part of the reflected wave,
+
+.. math::
+
+    a_k(t) = \\Gamma_k\\, b_k(t) + e_k(t), \\qquad
+    \\Gamma_k = \\frac{R_k - z_0}{R_k + z_0},
+
+where ``e_k`` is the source wave (the stimulus) and ``Gamma_k`` the
+termination's reflection coefficient.  ``R_k = z_0`` (matched, the
+default) gives ``Gamma = 0`` — the open-loop case where the stimulus
+drives the ports directly.  ``R_k = 0`` is a short (``Gamma = -1``),
+``R_k = inf`` an open (``Gamma = +1``).
+
+The integrators absorb the algebraic loop exactly: with the one-step
+input coupling of the discretized model the per-step feedback equation
+is linear, so each step solves a precomputed ``p x p`` system instead of
+iterating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Termination"]
+
+
+@dataclass(frozen=True)
+class Termination:
+    """Per-port resistive termination (immutable, JSON-serializable).
+
+    Parameters
+    ----------
+    resistances:
+        Per-port termination resistances in ohms; ``None`` (default)
+        terminates every port with the reference impedance ``z0``
+        (matched — no reflections).  A single float broadcasts to all
+        ports.  ``0.0`` shorts a port, ``math.inf`` leaves it open.
+    z0:
+        Reference impedance of the wave variables.
+    """
+
+    resistances: Optional[Tuple[float, ...]] = None
+    z0: float = 50.0
+
+    def __post_init__(self):
+        if not (self.z0 > 0.0 and math.isfinite(self.z0)):
+            raise ValueError(f"z0 must be positive and finite, got {self.z0}")
+        if self.resistances is not None:
+            if isinstance(self.resistances, (int, float)):
+                object.__setattr__(
+                    self, "resistances", (float(self.resistances),)
+                )
+            else:
+                object.__setattr__(
+                    self,
+                    "resistances",
+                    tuple(float(r) for r in self.resistances),
+                )
+            for r in self.resistances:
+                if math.isnan(r) or r < 0.0:
+                    raise ValueError(
+                        f"resistances must be >= 0 (inf = open), got {r}"
+                    )
+
+    @classmethod
+    def matched(cls, *, z0: float = 50.0) -> "Termination":
+        """All ports terminated with the reference impedance."""
+        return cls(resistances=None, z0=z0)
+
+    @property
+    def is_matched(self) -> bool:
+        """True when every port reflection coefficient is zero."""
+        if self.resistances is None:
+            return True
+        return all(r == self.z0 for r in self.resistances)
+
+    def gamma(self, num_ports: int) -> np.ndarray:
+        """Per-port reflection coefficients, shape ``(num_ports,)``."""
+        if self.resistances is None:
+            return np.zeros(num_ports, dtype=float)
+        if len(self.resistances) == 1:
+            rs = np.full(num_ports, self.resistances[0], dtype=float)
+        elif len(self.resistances) == num_ports:
+            rs = np.asarray(self.resistances, dtype=float)
+        else:
+            raise ValueError(
+                f"termination names {len(self.resistances)} resistances but"
+                f" the model has {num_ports} ports"
+            )
+        with np.errstate(invalid="ignore"):
+            gamma = (rs - self.z0) / (rs + self.z0)
+        gamma[np.isinf(rs)] = 1.0
+        return gamma
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (exact :meth:`from_dict` inverse).
+
+        Infinite resistances (open ports) serialize as the string
+        ``"inf"`` — JSON has no infinity literal and the canonical cache
+        keys reject NaN/Inf floats.
+        """
+        resistances = None
+        if self.resistances is not None:
+            resistances = [
+                "inf" if math.isinf(r) else float(r) for r in self.resistances
+            ]
+        return {"resistances": resistances, "z0": float(self.z0)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Termination":
+        """Rebuild a termination from a :meth:`to_dict` payload."""
+        resistances = payload.get("resistances")
+        if resistances is not None:
+            resistances = tuple(
+                math.inf if r == "inf" else float(r) for r in resistances
+            )
+        return cls(resistances=resistances, z0=float(payload.get("z0", 50.0)))
+
+    def __repr__(self) -> str:
+        if self.resistances is None:
+            return f"Termination(matched, z0={self.z0:g})"
+        return f"Termination(R={list(self.resistances)}, z0={self.z0:g})"

@@ -1,0 +1,108 @@
+"""The Macromodel.simulate stage: results, staleness, store caching."""
+
+import numpy as np
+import pytest
+
+from repro.api import Macromodel
+from repro.core.config import RunConfig
+from repro.synth import random_macromodel, random_simo_macromodel
+from repro.timedomain import SimulationResult, Stimulus
+from repro.utils.serialization import to_jsonable
+
+
+def _session(seed=3, target=1.02, **config):
+    model = random_macromodel(8, 2, seed=seed, sigma_target=target)
+    cfg = RunConfig(**config) if config else None
+    return Macromodel.from_pole_residue(model, config=cfg)
+
+
+def test_simulate_records_result_and_payload():
+    session = _session().simulate(num_steps=256)
+    result = session.simulation_result
+    assert isinstance(result, SimulationResult)
+    assert session.energy_report is result.energy
+    payload = session.to_dict()
+    assert payload["simulation"]["num_steps"] == 256
+    assert isinstance(
+        payload["simulation"]["energy"]["energy_gain"], float
+    )
+    assert "transient" in session.summary()
+
+
+def test_simulate_defaults_are_compact():
+    session = _session().simulate(num_steps=64)
+    assert session.simulation_result.incident is None
+    kept = _session().simulate(num_steps=64, keep_waveforms=True)
+    assert kept.simulation_result.incident.shape == (64, 2)
+
+
+def test_simulate_requires_model():
+    freqs = np.linspace(0.1, 10.0, 50)
+    samples = np.zeros((50, 2, 2), dtype=complex)
+    session = Macromodel.from_samples(freqs, samples)
+    with pytest.raises(RuntimeError, match="no model"):
+        session.simulate(num_steps=16)
+
+
+def test_simo_sessions_fall_back_to_statespace():
+    simo = random_simo_macromodel(8, 2, seed=5)
+    session = Macromodel.from_pole_residue(simo).simulate(num_steps=128)
+    assert session.simulation_result.integrator == "statespace"
+
+
+def test_worst_tone_needs_prior_check():
+    with pytest.raises(RuntimeError, match="worst-tone"):
+        _session().simulate("worst-tone", num_steps=16)
+
+
+def test_worst_tone_targets_peak():
+    session = _session(seed=7, target=1.05).check_passivity(num_threads=2)
+    band = max(session.passivity_report.bands, key=lambda b: b.severity)
+    session.simulate("worst-tone", num_steps=512)
+    stim = session.simulation_result.stimulus
+    assert stim.kind == "tone"
+    assert stim.freq == pytest.approx(band.peak_freq)
+    assert stim.weights is not None
+
+
+def test_enforce_invalidates_simulation():
+    session = _session(seed=7, target=1.05).simulate(num_steps=64)
+    assert session.simulation_result is not None
+    session.check_passivity(num_threads=2).enforce()
+    assert session.simulation_result is None
+    assert session.energy_report is None
+
+
+def test_termination_dict_accepted():
+    session = _session().simulate(
+        num_steps=64, termination={"resistances": [100.0, 25.0], "z0": 50.0}
+    )
+    term = session.simulation_result.termination
+    assert term.resistances == (100.0, 25.0)
+
+
+def test_simulate_caches_through_the_store(tmp_path):
+    config = dict(cache="readwrite", cache_dir=str(tmp_path))
+    first = _session(**config).simulate(num_steps=256, dt=0.05)
+    assert first.cache_stats == {"hits": 0, "misses": 1, "writes": 1}
+
+    second = _session(**config).simulate(num_steps=256, dt=0.05)
+    assert second.cache_stats == {"hits": 1, "misses": 0, "writes": 0}
+    assert to_jsonable(second.to_dict()["simulation"]) == to_jsonable(
+        first.to_dict()["simulation"]
+    )
+
+    # a different stimulus is a different key
+    third = _session(**config).simulate(
+        Stimulus.prbs(seed=1), num_steps=256, dt=0.05
+    )
+    assert third.cache_stats["hits"] == 0
+
+
+def test_waveform_runs_bypass_the_store(tmp_path):
+    config = dict(cache="readwrite", cache_dir=str(tmp_path))
+    session = _session(**config).simulate(
+        num_steps=64, dt=0.05, keep_waveforms=True
+    )
+    assert session.cache_stats == {"hits": 0, "misses": 0, "writes": 0}
+    assert session.simulation_result.incident is not None

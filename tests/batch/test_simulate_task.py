@@ -1,0 +1,71 @@
+"""The centralized task registry and the fleet-level simulate stage."""
+
+import pytest
+
+from repro.batch import (
+    VALID_TASKS,
+    BatchRunner,
+    ModelJob,
+    task_settings,
+)
+from repro.synth import random_macromodel
+
+
+def test_registry_names_every_task():
+    assert VALID_TASKS == ("fit", "check", "enforce", "hinf", "simulate")
+
+
+@pytest.mark.parametrize(
+    ("task", "expected"),
+    [
+        ("fit", {}),
+        ("check", {}),
+        ("enforce", {"enforce": True}),
+        ("hinf", {"hinf": True}),
+        ("simulate", {"simulate": True}),
+    ],
+)
+def test_task_settings_mapping(task, expected):
+    assert task_settings(task) == expected
+
+
+def test_task_settings_returns_copies():
+    task_settings("enforce")["enforce"] = False
+    assert task_settings("enforce") == {"enforce": True}
+
+
+def test_unknown_task_lists_alternatives():
+    with pytest.raises(ValueError) as err:
+        task_settings("profile")
+    message = str(err.value)
+    for task in VALID_TASKS:
+        assert task in message
+
+
+def test_runner_simulate_flag_builds_settings():
+    runner = BatchRunner(
+        backend="serial", simulate=True, simulate_params={"num_steps": 128}
+    )
+    assert runner.settings.simulate is True
+    assert runner.settings.simulate_params == {"num_steps": 128}
+    off = BatchRunner(backend="serial")
+    assert off.settings.simulate is False
+    assert off.settings.simulate_params is None
+
+
+def test_fleet_rows_carry_energy_gain():
+    passive = random_macromodel(6, 2, seed=1, sigma_target=0.9)
+    report = BatchRunner(
+        backend="serial", simulate=True, simulate_params={"num_steps": 512}
+    ).run([ModelJob(name="passive", model=passive)])
+    row = report.result("passive")
+    assert row.ok
+    assert 0.0 <= row.energy_gain <= 1.0 + 1e-8
+    assert row.to_dict()["energy_gain"] == row.energy_gain
+
+
+def test_rows_without_simulation_have_no_gain():
+    model = random_macromodel(6, 2, seed=1, sigma_target=0.9)
+    report = BatchRunner(backend="serial").run([ModelJob(name="m", model=model)])
+    assert report.result("m").energy_gain is None
+    assert report.result("m").to_dict()["energy_gain"] is None

@@ -1,0 +1,129 @@
+"""End-to-end acceptance: the transient witness through every layer.
+
+The acceptance scenario of the time-domain subsystem: on a seeded
+synthetic non-passive model the simulated port-energy gain exceeds 1
+(violation witnessed); after enforcement, the *same* stimulus reports
+gain <= 1 + 1e-8 — asserted through the session facade, the batch
+runner, and the HTTP service, with exact store round trips for
+``SimulationResult`` and ``EnergyReport``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.api import Macromodel
+from repro.batch import BatchRunner, ModelJob
+from repro.core.config import RunConfig
+from repro.service import ReproServer
+from repro.synth import random_macromodel
+from repro.timedomain import EnergyReport, SimulationResult, worst_tone
+from repro.utils.serialization import to_jsonable
+
+SEED = 7  # sigma_target 1.05 -> one clean violation band
+
+
+@pytest.fixture(scope="module")
+def violating_model():
+    return random_macromodel(10, 2, seed=SEED, sigma_target=1.05)
+
+
+def test_witness_then_enforce_same_stimulus(violating_model):
+    session = Macromodel.from_pole_residue(violating_model)
+    session.check_passivity(num_threads=2)
+    report = session.passivity_report
+    assert not report.passive and report.bands
+
+    band = max(report.bands, key=lambda b: b.severity)
+    stimulus = worst_tone(violating_model, band.peak_freq)
+
+    # 1. The violation is witnessed in the time domain.
+    session.simulate(stimulus, num_steps=200_000)
+    gain_before = session.energy_report.energy_gain
+    assert gain_before > 1.0, session.energy_report.summary()
+
+    # 2. The repaired model under the *same* stimulus contracts.
+    session.enforce()
+    assert session.is_passive
+    session.simulate(stimulus, num_steps=200_000)
+    gain_after = session.energy_report.energy_gain
+    assert gain_after <= 1.0 + 1e-8, session.energy_report.summary()
+
+    # 3. Exact serialization round trips (the store contract).
+    result = session.simulation_result
+    rebuilt = SimulationResult.from_dict(result.to_dict())
+    assert to_jsonable(rebuilt.to_dict()) == to_jsonable(result.to_dict())
+    energy = EnergyReport.from_dict(session.energy_report.to_dict())
+    assert energy == session.energy_report
+
+
+def test_batch_simulate_task(violating_model, tmp_path):
+    runner = BatchRunner(
+        backend="serial",
+        simulate=True,
+        simulate_params={"num_steps": 2048},
+    )
+    report = runner.run([ModelJob(name="dev", model=violating_model)])
+    assert report.all_ok
+    row = report.result("dev")
+    assert isinstance(row.energy_gain, float)
+    payload = report.to_dict()
+    json.dumps(payload)
+    assert payload["results"][0]["energy_gain"] == row.energy_gain
+    assert "simulation" in payload["results"][0]["session"]
+
+
+def test_service_simulate_job_with_cached_resubmission(tmp_path):
+    import urllib.request
+
+    config = RunConfig(cache="readwrite", cache_dir=str(tmp_path / "store"))
+    server = ReproServer.create(
+        port=0, config=config, workers=1, backend="serial", timeout=300.0
+    )
+    server.start_background()
+    try:
+        spec = {
+            "kind": "synth",
+            "order": 6,
+            "ports": 2,
+            "seed": 3,
+            "task": "simulate",
+            "simulate": {"num_steps": 1024},
+        }
+
+        def post():
+            request = urllib.request.Request(
+                server.url + "/v1/jobs",
+                data=json.dumps(spec).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+
+        status, first = post()
+        assert status == 202 and first["cached"] is False
+
+        deadline = time.time() + 120
+        record = None
+        while time.time() < deadline:
+            with urllib.request.urlopen(
+                server.url + "/v1/jobs/" + first["id"], timeout=30
+            ) as response:
+                record = json.loads(response.read())
+            if record["status"] in ("done", "error", "timeout"):
+                break
+            time.sleep(0.05)
+        assert record["status"] == "done", record
+        gain = record["result"]["energy_gain"]
+        assert isinstance(gain, float) and 0.0 <= gain <= 1.0
+        sim_payload = record["result"]["session"]["simulation"]
+        rebuilt = SimulationResult.from_dict(sim_payload)
+        assert to_jsonable(rebuilt.to_dict()) == to_jsonable(sim_payload)
+
+        status, second = post()
+        assert status == 200 and second["cached"] is True
+        assert second["result"]["energy_gain"] == gain
+    finally:
+        server.stop()

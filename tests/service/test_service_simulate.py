@@ -1,0 +1,111 @@
+"""Service-level simulate task: validation, dispatch, clean 400s."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.service import VALID_TASKS, JobError, JobManager, ReproServer
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    mgr = JobManager(
+        config=RunConfig(cache="off"),
+        workers=1,
+        backend="serial",
+        timeout=300.0,
+    )
+    yield mgr
+    mgr.shutdown()
+
+
+def _wait(manager, job_id, budget=120.0):
+    deadline = time.time() + budget
+    while time.time() < deadline:
+        record = manager.get(job_id)
+        if record.status in ("done", "error", "timeout"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError("job never finished")
+
+
+def test_valid_tasks_include_simulate():
+    assert "simulate" in VALID_TASKS
+
+
+def test_unknown_task_raises_joberror_with_allowed_list(manager):
+    with pytest.raises(JobError) as err:
+        manager.submit({"kind": "synth", "task": "profile"})
+    message = str(err.value)
+    for task in VALID_TASKS:
+        assert task in message
+
+
+def test_simulate_object_requires_simulate_task(manager):
+    with pytest.raises(JobError, match="task 'simulate'"):
+        manager.submit(
+            {"kind": "synth", "task": "check", "simulate": {"num_steps": 64}}
+        )
+
+
+def test_unknown_simulate_key_rejected(manager):
+    with pytest.raises(JobError, match="keep_waveforms"):
+        manager.submit(
+            {
+                "kind": "synth",
+                "task": "simulate",
+                "simulate": {"keep_waveforms": True},
+            }
+        )
+
+
+def test_simulate_must_be_object(manager):
+    with pytest.raises(JobError, match="object"):
+        manager.submit(
+            {"kind": "synth", "task": "simulate", "simulate": [1, 2]}
+        )
+
+
+def test_simulate_job_runs_and_reports_gain(manager):
+    record = manager.submit(
+        {
+            "kind": "synth",
+            "order": 6,
+            "ports": 2,
+            "seed": 3,
+            "task": "simulate",
+            "simulate": {"num_steps": 512, "stimulus": {"kind": "prbs", "seed": 1}},
+        }
+    )
+    record = _wait(manager, record.id)
+    assert record.status == "done", record.error
+    assert isinstance(record.result["energy_gain"], float)
+    assert "simulation" in record.result["session"]
+    stim = record.result["session"]["simulation"]["stimulus"]
+    assert stim["kind"] == "prbs" and stim["seed"] == 1
+
+
+def test_http_unknown_task_is_a_clean_400(tmp_path):
+    server = ReproServer.create(
+        port=0, config=RunConfig(cache="off"), workers=1, backend="serial"
+    )
+    server.start_background()
+    try:
+        request = urllib.request.Request(
+            server.url + "/v1/jobs",
+            data=json.dumps({"kind": "synth", "task": "bogus"}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        for task in VALID_TASKS:
+            assert task in body["error"]
+    finally:
+        server.stop()

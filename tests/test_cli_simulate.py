@@ -1,0 +1,153 @@
+"""CLI tests for the ``repro simulate`` subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.synth import random_macromodel
+from repro.touchstone import write_touchstone
+
+
+@pytest.fixture(scope="module")
+def passive_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-sim") / "passive.s2p"
+    model = random_macromodel(10, 2, seed=34, sigma_target=0.9)
+    freqs = np.linspace(0.05, 14.0, 250)
+    write_touchstone(path, freqs / (2 * np.pi), model.frequency_response(freqs))
+    return str(path)
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate", "--synth"])
+        assert args.stimulus == "prbs"
+        assert args.steps == 4096
+        assert args.integrator == "recursive"
+        assert args.path is None
+
+    def test_stimulus_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--synth", "--stimulus", "x"])
+
+
+class TestSynth:
+    def test_synth_prbs_json(self, capsys):
+        code = main(
+            ["simulate", "--synth", "--seed", "7", "--steps", "1024", "--json"]
+        )
+        assert code == 0  # PRBS on a mildly violating model still contracts
+        payload = json.loads(capsys.readouterr().out)
+        gain = payload["simulation"]["energy"]["energy_gain"]
+        assert isinstance(gain, float) and 0.0 <= gain <= 1.0
+        assert payload["simulation"]["stimulus"]["kind"] == "prbs"
+
+    def test_worst_tone_witnesses_violation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--synth",
+                "--seed",
+                "7",
+                "--stimulus",
+                "worst-tone",
+                "--steps",
+                "200000",
+                "--threads",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 2  # energy gain > 1: the witness fires
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["energy"]["energy_gain"] > 1.0
+        assert payload["simulation"]["energy"]["passive"] is False
+
+    def test_statespace_integrator(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--synth",
+                "--seed",
+                "3",
+                "--steps",
+                "256",
+                "--integrator",
+                "statespace",
+                "--discretization",
+                "zoh",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["integrator"] == "statespace"
+        assert payload["simulation"]["discretization"] == "zoh"
+
+    def test_resistance_termination(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--synth",
+                "--seed",
+                "3",
+                "--steps",
+                "256",
+                "--resistance",
+                "100",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["termination"]["resistances"] == [100.0]
+
+
+class TestErrors:
+    def test_no_input(self, capsys):
+        assert main(["simulate"]) == 1
+        assert "nothing to simulate" in capsys.readouterr().err
+
+    def test_tone_requires_freq(self, capsys):
+        assert main(["simulate", "--synth", "--stimulus", "tone"]) == 1
+        assert "--tone-freq" in capsys.readouterr().err
+
+
+class TestFile:
+    def test_touchstone_input(self, passive_file, capsys):
+        code = main(
+            [
+                "simulate",
+                passive_file,
+                "--poles",
+                "10",
+                "--steps",
+                "512",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["energy"]["passive"] is True
+
+
+class TestBatchFlag:
+    def test_batch_simulate_reports_gain(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--synth",
+                "1",
+                "--synth-order",
+                "6",
+                "--backend",
+                "serial",
+                "--simulate",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        gain = payload["results"][0]["energy_gain"]
+        assert isinstance(gain, float)

@@ -1,0 +1,61 @@
+"""Energy monitor: balances, verdicts, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.timedomain import EnergyReport, energy_report
+
+
+def test_known_energies():
+    a = np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 1.0]])
+    b = 0.5 * a
+    report = energy_report(a, b, 0.1)
+    np.testing.assert_allclose(report.port_input, [0.2, 0.5])
+    np.testing.assert_allclose(report.port_output, [0.05, 0.125])
+    np.testing.assert_allclose(report.input_energy, 0.7)
+    np.testing.assert_allclose(report.output_energy, 0.175)
+    np.testing.assert_allclose(report.energy_gain, 0.25)
+    assert report.passive
+    assert report.num_steps == 3 and report.num_ports == 2
+    np.testing.assert_allclose(report.peak_output, 1.0)  # row [0, 2]/2
+
+
+def test_gain_above_tolerance_flags():
+    a = np.ones((10, 1))
+    b = 1.001 * np.ones((10, 1))
+    assert not energy_report(a, b, 1.0).passive
+    assert energy_report(a, b, 1.0, tol=0.01).passive
+
+
+def test_zero_input_edge_cases():
+    z = np.zeros((4, 2))
+    silent = energy_report(z, z, 0.5)
+    assert silent.energy_gain == 0.0 and silent.passive
+    loud = energy_report(z, np.ones((4, 2)), 0.5)
+    assert loud.energy_gain == float("inf") and not loud.passive
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="shape"):
+        energy_report(np.zeros((4, 2)), np.zeros((4, 3)), 0.1)
+
+
+def test_negative_tol_rejected():
+    with pytest.raises(ValueError, match="tol"):
+        energy_report(np.zeros((2, 1)), np.zeros((2, 1)), 0.1, tol=-1e-3)
+
+
+def test_round_trip_exact():
+    rng = np.random.default_rng(0)
+    report = energy_report(
+        rng.standard_normal((32, 3)), rng.standard_normal((32, 3)), 0.02
+    )
+    rebuilt = EnergyReport.from_dict(report.to_dict())
+    assert rebuilt == report
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_summary_mentions_gain():
+    report = energy_report(np.ones((4, 1)), np.zeros((4, 1)), 0.1)
+    assert "gain" in report.summary()
+    assert "passive" in report.summary()

@@ -1,0 +1,139 @@
+"""The simulate() front door and SimulationResult serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.synth import random_macromodel, random_simo_macromodel
+from repro.timedomain import (
+    SimulationResult,
+    Stimulus,
+    Termination,
+    default_timestep,
+    simulate,
+)
+from repro.utils.serialization import to_jsonable
+
+
+def _model(seed=3):
+    return random_macromodel(10, 2, seed=seed, sigma_target=1.02)
+
+
+def test_simulate_defaults():
+    result = simulate(_model(), num_steps=512)
+    assert result.integrator == "recursive"
+    assert result.discretization is None
+    assert result.num_steps == 512
+    assert result.incident.shape == (512, 2)
+    assert result.reflected.shape == (512, 2)
+    assert result.energy.num_steps == 512
+    assert result.energy_gain == result.energy.energy_gain
+    assert result.times.shape == (512,)
+    assert "gain" in result.summary()
+
+
+def test_default_timestep_resolves_fastest_pole():
+    model = _model()
+    dt = default_timestep(model, oversample=16.0)
+    w_max = float(np.max(np.abs(model.poles)))
+    np.testing.assert_allclose(dt, 2.0 * np.pi / (16.0 * w_max))
+    # a faster tone tightens the step
+    assert default_timestep(model, freq=10.0 * w_max) < dt
+
+
+def test_stimulus_shorthands():
+    model = _model()
+    by_str = simulate(model, "impulse", num_steps=64, dt=0.05)
+    by_obj = simulate(model, Stimulus.impulse(), num_steps=64, dt=0.05)
+    by_dict = simulate(
+        model, Stimulus.impulse().to_dict(), num_steps=64, dt=0.05
+    )
+    np.testing.assert_array_equal(by_str.reflected, by_obj.reflected)
+    np.testing.assert_array_equal(by_str.reflected, by_dict.reflected)
+    with pytest.raises(TypeError, match="stimulus"):
+        simulate(model, 123, num_steps=16)
+
+
+def test_statespace_integrator_accepts_all_model_kinds():
+    model = _model()
+    simo = pole_residue_to_simo(model)
+    ss = simo.to_statespace()
+    dt = 0.01
+    runs = [
+        simulate(kind, "pulse", num_steps=256, dt=dt, integrator="statespace")
+        for kind in (model, simo, ss)
+    ]
+    for run in runs[1:]:
+        np.testing.assert_allclose(
+            runs[0].reflected, run.reflected, atol=1e-8
+        )
+        assert run.discretization == "tustin"
+
+
+def test_recursive_rejects_realized_models():
+    simo = random_simo_macromodel(8, 2, seed=1)
+    with pytest.raises(TypeError, match="statespace"):
+        simulate(simo, num_steps=16)
+
+
+def test_unknown_integrator_rejected():
+    with pytest.raises(ValueError, match="integrator"):
+        simulate(_model(), num_steps=16, integrator="rk4")
+
+
+def test_keep_waveforms_false_drops_arrays():
+    result = simulate(_model(), num_steps=64, keep_waveforms=False)
+    assert result.incident is None and result.reflected is None
+    assert result.energy.num_steps == 64
+
+
+def test_without_waveforms_copy():
+    result = simulate(_model(), num_steps=64)
+    compact = result.without_waveforms()
+    assert compact.incident is None
+    assert compact.energy == result.energy
+    assert compact.without_waveforms() is compact
+
+
+def test_round_trip_exact_compact():
+    result = simulate(
+        _model(),
+        Stimulus.prbs(seed=9),
+        num_steps=128,
+        termination=Termination(resistances=80.0),
+        keep_waveforms=False,
+    )
+    payload = result.to_dict()
+    json.dumps(payload)  # strictly JSON-serializable
+    rebuilt = SimulationResult.from_dict(payload)
+    assert rebuilt.to_dict() == payload
+    assert rebuilt.stimulus == result.stimulus
+    assert rebuilt.termination == result.termination
+    assert rebuilt.energy == result.energy
+
+
+def test_round_trip_exact_with_waveforms():
+    result = simulate(_model(), num_steps=96)
+    payload = result.to_dict(include_waveforms=True)
+    rebuilt = SimulationResult.from_dict(payload)
+    np.testing.assert_array_equal(rebuilt.incident, result.incident)
+    np.testing.assert_array_equal(rebuilt.reflected, result.reflected)
+    assert to_jsonable(rebuilt.to_dict(include_waveforms=True)) == to_jsonable(
+        payload
+    )
+
+
+def test_termination_changes_response():
+    model = _model()
+    matched = simulate(model, "step", num_steps=256, dt=0.02)
+    shorted = simulate(
+        model,
+        "step",
+        num_steps=256,
+        dt=0.02,
+        termination=Termination(resistances=0.0),
+    )
+    assert not np.allclose(matched.reflected, shorted.reflected)
+    assert shorted.termination.to_dict()["resistances"] == [0.0]

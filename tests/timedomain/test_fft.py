@@ -1,0 +1,90 @@
+"""FFT cross-check: the integrator vs the frequency-domain kernels."""
+
+import numpy as np
+import pytest
+
+from repro.synth import random_macromodel
+from repro.timedomain import (
+    default_timestep,
+    discrete_transfer_many,
+    folded_transfer_many,
+    impulse_fft_check,
+)
+
+
+def _well_damped(seed):
+    """Models whose slowest resonance rings down inside a small window."""
+    return random_macromodel(
+        10, 2, seed=seed, sigma_target=1.02, q_range=(2.0, 10.0),
+        band=(0.5, 4.0),
+    )
+
+
+def _window(model, dt):
+    slowest = float(np.min(np.abs(model.poles.real)))
+    return 1 << int(np.ceil(np.log2(14.0 / (slowest * dt))))
+
+
+def test_discrete_transfer_dc_equals_continuous():
+    model = _well_damped(0)
+    hd = discrete_transfer_many(model, 0.05, [0.0])[0]
+    np.testing.assert_allclose(hd, model.transfer(0.0 + 0.0j), atol=1e-12)
+
+
+def test_folded_transfer_converges_cubically():
+    model = _well_damped(1)
+    thetas = np.linspace(-np.pi, np.pi, 41)
+    hd = discrete_transfer_many(model, 0.08, thetas)
+    errors = [
+        float(np.max(np.abs(
+            folded_transfer_many(model, 0.08, thetas, aliases=k) - hd
+        )))
+        for k in (4, 8, 16)
+    ]
+    assert errors[1] < errors[0] and errors[2] < errors[1]
+    assert errors[2] < 1e-6
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_impulse_fft_check_passes(seed):
+    model = _well_damped(seed)
+    dt = default_timestep(model)
+    check = impulse_fft_check(
+        model, dt=dt, num_steps=_window(model, dt), aliases=24
+    )
+    assert check.max_discrete_error < 1e-7, check.to_dict()
+    assert check.max_folded_error < 1e-6, check.to_dict()
+    assert check.tail_magnitude < 1e-6
+    assert check.ok(1e-6)
+
+
+def test_check_reports_underresolved_window():
+    model = _well_damped(3)
+    dt = default_timestep(model)
+    short = impulse_fft_check(model, dt=dt, num_steps=128, aliases=8)
+    assert short.tail_magnitude > 1e-6  # response clearly not rung down
+
+
+def test_check_payload_is_jsonable():
+    import json
+
+    model = _well_damped(5)
+    check = impulse_fft_check(model, dt=0.1, num_steps=256)
+    payload = check.to_dict()
+    json.dumps(payload)
+    assert set(payload) >= {
+        "dt",
+        "num_steps",
+        "aliases",
+        "max_discrete_error",
+        "max_folded_error",
+        "tail_magnitude",
+    }
+
+
+def test_impulse_index_validated():
+    model = _well_damped(2)
+    with pytest.raises(ValueError, match="impulse_index"):
+        impulse_fft_check(model, dt=0.1, num_steps=16, impulse_index=16)
+    with pytest.raises(ValueError, match="impulse_index"):
+        impulse_fft_check(model, dt=0.1, num_steps=16, impulse_index=0)

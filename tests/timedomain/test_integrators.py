@@ -1,0 +1,237 @@
+"""Integrator correctness: chunked vs naive, discretizations, feedback."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.realization import pole_residue_to_simo
+from repro.synth import random_macromodel
+from repro.timedomain import (
+    Stimulus,
+    Termination,
+    closed_loop_response,
+    default_timestep,
+    discretize_statespace,
+    recursive_coefficients,
+    recursive_convolution,
+    recursive_convolution_reference,
+    statespace_step,
+)
+
+from tests.conftest import make_pole_residue
+
+
+def _model(seed=3, ports=2, poles=10, target=1.02):
+    return random_macromodel(poles, ports, seed=seed, sigma_target=target)
+
+
+def _prbs(model, steps, dt, seed=5):
+    return Stimulus.prbs(seed=seed).waveforms(steps, dt, model.num_ports)
+
+
+# ---------------------------------------------------------------------------
+# Recursive convolution
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk", [8, 100, 512, 5000])
+def test_chunked_matches_reference(chunk):
+    model = _model()
+    dt = default_timestep(model)
+    u = _prbs(model, 3001, dt)
+    fast = recursive_convolution(model, u, dt, chunk_steps=chunk)
+    slow = recursive_convolution_reference(model, u, dt)
+    np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+
+def test_single_step_window():
+    model = _model()
+    u = np.ones((1, model.num_ports))
+    out = recursive_convolution(model, u, 0.1)
+    _alpha, _beta, gamma = recursive_coefficients(model.poles, 0.1)
+    expected = (
+        np.einsum(
+            "mj,mij->i", gamma[:, None] * u[0][None, :], model.residues
+        ).real
+        + model.d @ u[0]
+    )
+    np.testing.assert_allclose(out[0], expected, atol=1e-14)
+
+
+def test_step_response_reaches_dc_gain():
+    model = _model()
+    dt = default_timestep(model)
+    steps = 200_000
+    u = Stimulus.step(amplitude=0.3).waveforms(steps, dt, model.num_ports)
+    out = recursive_convolution(model, u, dt)
+    h0 = model.transfer(0.0 + 0.0j).real
+    np.testing.assert_allclose(out[-1], 0.3 * h0.sum(axis=1), rtol=1e-6)
+
+
+def test_recursive_coefficients_dc_identity():
+    """(beta + gamma) / (1 - alpha) == -1/p — the exact DC gain."""
+    poles = np.array([-0.5, -0.1 + 2.0j, -0.1 - 2.0j])
+    alpha, beta, gamma = recursive_coefficients(poles, 0.07)
+    np.testing.assert_allclose(
+        (beta + gamma) / (1.0 - alpha), -1.0 / poles, atol=1e-13
+    )
+
+
+def _series_coefficients(x: complex, dt: float):
+    """High-order reference series for beta/gamma (converges for |x| < 1)."""
+    from math import factorial
+
+    # gamma/dt = sum_{k>=0} x^k / (k+2)!,  (beta+gamma)/dt = (e^x-1)/x
+    g = sum(x**k / factorial(k + 2) for k in range(25))
+    i0 = sum(x**k / factorial(k + 1) for k in range(25))
+    return dt * (i0 - g), dt * g
+
+
+@pytest.mark.parametrize("mag", [1e-12, 1e-8, 1e-5, 1e-3, 5e-3, 0.1])
+def test_recursive_coefficients_slow_pole_accuracy(mag):
+    """No catastrophic cancellation when |p dt| is tiny.
+
+    Broadband models span many pole decades while dt resolves the
+    fastest pole, so the slow-pole weights must stay accurate across
+    the whole range (the naive (i0 - dt)/p form loses all digits by
+    |p dt| ~ 1e-8).
+    """
+    dt = 0.05
+    for pole in (-mag / dt, (-0.3 - 1j) * mag / dt):
+        alpha, beta, gamma = recursive_coefficients(np.array([pole]), dt)
+        ref_beta, ref_gamma = _series_coefficients(pole * dt, dt)
+        np.testing.assert_allclose(beta[0], ref_beta, rtol=1e-11)
+        np.testing.assert_allclose(gamma[0], ref_gamma, rtol=1e-11)
+        np.testing.assert_allclose(alpha[0], np.exp(pole * dt), rtol=1e-14)
+
+
+def test_recursive_requires_pole_residue():
+    ss = pole_residue_to_simo(_model()).to_statespace()
+    with pytest.raises(TypeError, match="PoleResidueModel"):
+        recursive_convolution(ss, np.zeros((4, 2)), 0.1)
+
+
+def test_input_shape_validated():
+    model = _model()
+    with pytest.raises(ValueError, match="shape"):
+        recursive_convolution(model, np.zeros((8, 5)), 0.1)
+    with pytest.raises(ValueError, match="at least one"):
+        recursive_convolution(model, np.zeros((0, 2)), 0.1)
+
+
+# ---------------------------------------------------------------------------
+# State-space stepping
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    # Tustin is second order against the PWL-exact reference; ZOH models
+    # the input as piecewise *constant*, so it converges first order.
+    ("method", "shrink"),
+    [("tustin", 2.5), ("zoh", 1.6)],
+)
+def test_statespace_converges_to_recursive(method, shrink):
+    """Halving dt shrinks the discretization error at the method's order."""
+    model = make_pole_residue(seed=1, num_ports=2)
+    ss = pole_residue_to_simo(model).to_statespace()
+    errors = []
+    for dt in (0.02, 0.01):
+        steps = int(40.0 / dt)
+        u = Stimulus.tone(1.3).waveforms(steps, dt, 2)
+        exact = recursive_convolution(model, u, dt)
+        approx = statespace_step(ss, u, dt, method=method)
+        errors.append(float(np.max(np.abs(exact - approx))))
+    assert errors[1] < errors[0] / shrink
+
+
+def test_tustin_discretization_algebra():
+    ss = pole_residue_to_simo(make_pole_residue(seed=2)).to_statespace()
+    dt = 0.05
+    ad, b0, b1 = discretize_statespace(ss, dt, method="tustin")
+    n = ss.order
+    m = np.eye(n) - 0.5 * dt * ss.a
+    np.testing.assert_allclose(m @ ad, np.eye(n) + 0.5 * dt * ss.a, atol=1e-12)
+    np.testing.assert_allclose(m @ b0, 0.5 * dt * ss.b, atol=1e-12)
+    np.testing.assert_allclose(b0, b1, atol=0.0)
+
+
+def test_zoh_matches_expm():
+    scipy_linalg = pytest.importorskip("scipy.linalg")
+    ss = pole_residue_to_simo(make_pole_residue(seed=4)).to_statespace()
+    dt = 0.1
+    ad, b0, b1 = discretize_statespace(ss, dt, method="zoh")
+    np.testing.assert_allclose(ad, scipy_linalg.expm(ss.a * dt), atol=1e-12)
+    # B0 = A^-1 (Ad - I) B for invertible (stable) A
+    np.testing.assert_allclose(
+        ss.a @ b0, (ad - np.eye(ss.order)) @ ss.b, atol=1e-12
+    )
+    assert np.all(b1 == 0.0)
+
+
+def test_unknown_discretization_rejected():
+    ss = pole_residue_to_simo(_model()).to_statespace()
+    with pytest.raises(ValueError, match="discretization"):
+        discretize_statespace(ss, 0.1, method="euler")
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop (terminated) stepping
+# ---------------------------------------------------------------------------
+
+
+def test_matched_closed_loop_is_open_loop():
+    model = _model()
+    dt = default_timestep(model)
+    u = _prbs(model, 1024, dt)
+    incident, reflected = closed_loop_response(
+        model, u, dt, Termination.matched()
+    )
+    np.testing.assert_array_equal(incident, u)
+    np.testing.assert_allclose(
+        reflected, recursive_convolution(model, u, dt), atol=0.0
+    )
+
+
+def test_reflective_termination_feedback_consistency():
+    """The solved waves satisfy a = Gamma b + e at every step."""
+    model = _model()
+    dt = default_timestep(model)
+    e = _prbs(model, 512, dt)
+    term = Termination(resistances=(150.0, 20.0))
+    incident, reflected = closed_loop_response(model, e, dt, term)
+    gamma = term.gamma(model.num_ports)
+    np.testing.assert_allclose(
+        incident, gamma[None, :] * reflected + e, atol=1e-10
+    )
+    # and b is the model's response to the solved incident waves
+    np.testing.assert_allclose(
+        reflected, recursive_convolution(model, incident, dt), atol=1e-10
+    )
+
+
+def test_closed_loop_statespace_agrees_with_recursive():
+    model = make_pole_residue(seed=6, num_ports=2)
+    ss = pole_residue_to_simo(model).to_statespace()
+    dt = 0.005
+    e = Stimulus.pulse(rise_steps=20, hold_steps=200, fall_steps=20).waveforms(
+        2000, dt, 2
+    )
+    term = Termination(resistances=(75.0, 30.0))
+    a1, b1 = closed_loop_response(model, e, dt, term)
+    a2, b2 = closed_loop_response(ss, e, dt, term, method="tustin")
+    # Tustin is O(dt^2)-accurate against the exact recursive path.
+    assert float(np.max(np.abs(b1 - b2))) < 0.05 * float(np.abs(b1).max())
+
+
+def test_passive_model_contracts_under_any_termination():
+    model = random_macromodel(8, 2, seed=9, sigma_target=0.9)
+    dt = default_timestep(model)
+    e = _prbs(model, 4096, dt)
+    for term in (
+        Termination.matched(),
+        Termination(resistances=0.0),
+        Termination(resistances=(float("inf"), 10.0)),
+    ):
+        incident, reflected = closed_loop_response(model, e, dt, term)
+        e_in = np.sum(incident**2)
+        e_out = np.sum(reflected**2)
+        assert e_out <= e_in * (1.0 + 1e-10)

@@ -1,0 +1,131 @@
+"""Stimulus library: shapes, seeding, serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.synth import random_macromodel
+from repro.timedomain import STIMULUS_KINDS, Stimulus, worst_tone
+
+
+def test_all_kinds_have_shape_and_zero_start():
+    for kind in STIMULUS_KINDS:
+        stim = Stimulus(kind=kind)
+        u = stim.waveforms(64, 0.1, 3)
+        assert u.shape == (64, 3)
+        assert np.all(u[0] == 0.0), f"{kind} must start at zero"
+
+
+def test_impulse_single_sample():
+    u = Stimulus.impulse(amplitude=2.5, delay_steps=3).waveforms(32, 0.1, 2)
+    assert np.count_nonzero(u) == 2  # both ports, one sample each
+    assert u[3, 0] == 2.5 and u[3, 1] == 2.5
+    assert np.all(u[:3] == 0.0) and np.all(u[4:] == 0.0)
+
+
+def test_step_holds_level():
+    u = Stimulus.step(amplitude=0.5, delay_steps=4).waveforms(16, 0.1, 1)
+    assert np.all(u[:4] == 0.0)
+    assert np.all(u[4:] == 0.5)
+
+
+def test_pulse_trapezoid_shape():
+    stim = Stimulus.pulse(rise_steps=2, hold_steps=3, fall_steps=2, delay_steps=1)
+    u = stim.waveforms(16, 0.1, 1)[:, 0]
+    assert u[0] == 0.0
+    assert np.max(u) == 1.0
+    # rise (2) + hold (3) + fall includes the final zero sample
+    assert np.count_nonzero(u) == 2 + 3 + 1
+    # monotone rise then flat hold
+    assert u[1] == 0.5 and u[2] == 1.0 and u[5] == 1.0 and u[6] == 0.5
+
+
+def test_prbs_is_seeded_and_bit_held():
+    a = Stimulus.prbs(seed=5, bit_steps=4).waveforms(64, 0.1, 1)
+    b = Stimulus.prbs(seed=5, bit_steps=4).waveforms(64, 0.1, 1)
+    c = Stimulus.prbs(seed=6, bit_steps=4).waveforms(64, 0.1, 1)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+    bits = a[1:, 0]
+    assert set(np.unique(bits)) <= {-1.0, 1.0}
+    # each bit is held for bit_steps samples
+    assert np.all(bits[:4] == bits[0])
+
+
+def test_tone_frequency():
+    stim = Stimulus.tone(2.0, amplitude=1.0, delay_steps=1)
+    dt = 0.01
+    u = stim.waveforms(1000, dt, 1)[:, 0]
+    t = (np.arange(1, 1000) - 1) * dt
+    np.testing.assert_allclose(u[1:], np.sin(2.0 * t), atol=1e-12)
+
+
+def test_tone_weights_drive_ports_with_phase():
+    stim = Stimulus.tone(1.5, weights=(1.0, 1j))
+    u = stim.waveforms(500, 0.02, 2)
+    t = (np.arange(1, 500) - 1) * 0.02
+    np.testing.assert_allclose(u[1:, 0], np.cos(1.5 * t), atol=1e-12)
+    np.testing.assert_allclose(u[1:, 1], -np.sin(1.5 * t), atol=1e-12)
+
+
+def test_tone_weights_count_must_match_ports():
+    with pytest.raises(ValueError, match="port weights"):
+        Stimulus.tone(1.0, weights=(1.0,)).waveforms(16, 0.1, 2)
+
+
+def test_port_selection_and_range():
+    u = Stimulus.step(port=1).waveforms(8, 0.1, 3)
+    assert np.all(u[:, 0] == 0.0) and np.all(u[:, 2] == 0.0)
+    assert np.any(u[:, 1] != 0.0)
+    with pytest.raises(ValueError, match="port 5"):
+        Stimulus.step(port=5).waveforms(8, 0.1, 2)
+
+
+def test_delay_must_be_positive():
+    with pytest.raises(ValueError, match="delay_steps"):
+        Stimulus.step(delay_steps=0)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="stimulus kind"):
+        Stimulus(kind="chirp")
+
+
+def test_weights_only_for_tone():
+    with pytest.raises(ValueError, match="tone"):
+        Stimulus(kind="step", weights=(1.0,))
+
+
+@pytest.mark.parametrize(
+    "stim",
+    [
+        Stimulus.impulse(amplitude=0.25, delay_steps=2),
+        Stimulus.step(port=1),
+        Stimulus.pulse(rise_steps=3, hold_steps=7, fall_steps=5),
+        Stimulus.prbs(seed=42, bit_steps=16, amplitude=0.1),
+        Stimulus.tone(3.5, weights=(0.5 + 0.5j, -1.0)),
+        Stimulus.tone(3.5),
+    ],
+)
+def test_to_dict_round_trip_exact(stim):
+    rebuilt = Stimulus.from_dict(stim.to_dict())
+    assert rebuilt == stim
+    assert rebuilt.to_dict() == stim.to_dict()
+    u1 = stim.waveforms(128, 0.05, 2)
+    u2 = rebuilt.waveforms(128, 0.05, 2)
+    np.testing.assert_array_equal(u1, u2)
+
+
+def test_worst_tone_aligns_with_singular_vector():
+    model = random_macromodel(8, 2, seed=3, sigma_target=1.05)
+    omega = 1.0
+    stim = worst_tone(model, omega)
+    assert stim.kind == "tone"
+    assert stim.freq == omega
+    h = model.transfer(1j * omega)
+    _u, s, vh = np.linalg.svd(h)
+    v = np.asarray(stim.weights)
+    # the weights are the top right singular vector (unit norm, up to phase)
+    np.testing.assert_allclose(np.linalg.norm(v), 1.0, atol=1e-12)
+    np.testing.assert_allclose(
+        np.linalg.norm(h @ v), s[0], atol=1e-10
+    )

@@ -1,0 +1,59 @@
+"""Termination networks: reflection coefficients and serialization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.timedomain import Termination
+
+
+def test_matched_default():
+    term = Termination()
+    assert term.is_matched
+    np.testing.assert_array_equal(term.gamma(3), np.zeros(3))
+
+
+def test_gamma_endpoints():
+    term = Termination(resistances=(50.0, 0.0, math.inf, 150.0), z0=50.0)
+    gamma = term.gamma(4)
+    np.testing.assert_allclose(gamma, [0.0, -1.0, 1.0, 0.5])
+    assert not term.is_matched
+
+
+def test_scalar_broadcasts():
+    term = Termination(resistances=100.0, z0=50.0)
+    np.testing.assert_allclose(term.gamma(3), [1.0 / 3.0] * 3)
+
+
+def test_matched_by_value():
+    assert Termination(resistances=(50.0, 50.0), z0=50.0).is_matched
+
+
+def test_port_count_mismatch():
+    with pytest.raises(ValueError, match="2 resistances"):
+        Termination(resistances=(50.0, 75.0)).gamma(3)
+
+
+def test_negative_resistance_rejected():
+    with pytest.raises(ValueError, match=">= 0"):
+        Termination(resistances=(-1.0,))
+
+
+def test_bad_z0_rejected():
+    with pytest.raises(ValueError, match="z0"):
+        Termination(z0=0.0)
+
+
+@pytest.mark.parametrize(
+    "term",
+    [
+        Termination(),
+        Termination(resistances=75.0),
+        Termination(resistances=(0.0, math.inf, 120.0), z0=42.0),
+    ],
+)
+def test_round_trip_exact(term):
+    rebuilt = Termination.from_dict(term.to_dict())
+    assert rebuilt == term
+    assert rebuilt.to_dict() == term.to_dict()
