@@ -1,0 +1,187 @@
+"""Scale the macromodel service out: a front-end plus a worker fleet.
+
+Boots a queue-backed HTTP front-end with **zero** embedded workers,
+spawns N ``repro worker`` processes draining the shared queue, submits a
+fleet of characterization jobs, follows each one over the long-poll
+``/v1/jobs/<id>/events`` endpoint (no busy polling), fetches a result,
+then drains the fleet with SIGTERM — every worker finishes its leased
+job and exits 0.
+
+Run it self-contained (embedded front-end, throwaway store and queue)::
+
+    python examples/worker_fleet.py
+    python examples/worker_fleet.py --workers 3 --jobs 8
+
+or point the same submit/watch client at a deployment you started
+yourself::
+
+    repro serve --port 8080 --workers 0 --cache-dir /shared/store &
+    repro worker --cache-dir /shared/store &
+    repro worker --cache-dir /shared/store &
+    python examples/worker_fleet.py --url http://127.0.0.1:8080
+
+The client half uses nothing beyond ``urllib`` and ``json``.
+"""
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+
+def api(base_url: str, path: str, doc=None, timeout: float = 90.0):
+    """One JSON round trip (GET when ``doc`` is None, else POST)."""
+    data = None if doc is None else json.dumps(doc).encode("utf-8")
+    request = urllib.request.Request(
+        base_url + path,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="GET" if doc is None else "POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def watch(base_url: str, record: dict, budget: float = 600.0) -> dict:
+    """Follow one job over ``/events`` until it reaches a terminal state.
+
+    Each request long-polls: the server answers the moment the job's
+    row changes (queued -> running, running -> done/error/...), so the
+    client sees every transition without hammering ``GET /v1/jobs``.
+    """
+    deadline = time.time() + budget
+    since = record["version"]
+    while record["status"] not in ("done", "error", "timeout", "failed"):
+        if time.time() > deadline:
+            raise TimeoutError(f"job {record['id']} still {record['status']}")
+        record = api(
+            base_url,
+            f"/v1/jobs/{record['id']}/events?since={since}&timeout=30",
+        )
+        since = record["version"]
+        worker = record.get("worker") or "-"
+        print(f"    {record['id']}  ->  {record['status']:<8} (worker {worker})")
+    return record
+
+
+def spawn_workers(queue_path: str, count: int) -> list:
+    """Start ``repro worker`` processes sharing one queue file."""
+    fleet = []
+    for index in range(count):
+        fleet.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    "--queue",
+                    queue_path,
+                    "--worker-id",
+                    f"fleet-{index}",
+                    "--backend",
+                    "serial",
+                ],
+            )
+        )
+    return fleet
+
+
+def drain_fleet(fleet: list) -> None:
+    """SIGTERM every worker: finish the leased job, ack it, exit 0."""
+    for proc in fleet:
+        proc.send_signal(signal.SIGTERM)
+    for proc in fleet:
+        code = proc.wait(timeout=300)
+        print(f"  worker pid {proc.pid} exited {code}")
+
+
+def run_fleet(base_url: str, jobs: int) -> None:
+    health = api(base_url, "/healthz")
+    print(f"server {base_url} is {health['status']} (v{health['version']})")
+
+    specs = [
+        {"kind": "synth", "order": 10, "ports": 2, "seed": seed, "task": "check"}
+        for seed in range(jobs)
+    ]
+    submitted = [api(base_url, "/v1/jobs", spec) for spec in specs]
+    print(f"submitted {len(submitted)} jobs; watching /events:")
+    finished = [watch(base_url, record) for record in submitted]
+
+    for record in finished:
+        result = record["result"] or {}
+        if record["status"] != "done":
+            print(f"  {record['id']:<12} [{record['status']}] {record['error']}")
+            continue
+        verdict = "passive" if result["is_passive"] else "NOT passive"
+        print(
+            f"  {result['name']:<18} [{record['status']}] {verdict},"
+            f" attempts={record['attempts']}"
+        )
+
+    done = [record for record in finished if record["status"] == "done"]
+    if done:
+        stored = api(base_url, f"/v1/results/{done[0]['key']}")
+        print(f"fetched /v1/results/...  ->  {stored['payload']['name']}")
+
+    stats = api(base_url, "/v1/stats")
+    print(
+        f"queue depth: {stats['queue']['depth']};"
+        f" completed per task: {stats['tasks_completed']}"
+    )
+    for worker in stats["queue_workers"]:
+        print(
+            f"  worker {worker['id']:<12} {worker['state']:<8}"
+            f" jobs_done={worker['jobs_done']}"
+            f" heartbeat_age={worker['heartbeat_age']:.1f}s"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running `repro serve` (default: embed one)",
+    )
+    parser.add_argument("--jobs", type=int, default=6, help="fleet size")
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes to spawn"
+    )
+    args = parser.parse_args()
+
+    if args.url is not None:
+        # Against an external deployment the workers are yours to run
+        # (see the module docstring); this client only submits/watches.
+        run_fleet(args.url.rstrip("/"), args.jobs)
+        return 0
+
+    from repro.core.config import RunConfig
+    from repro.service import ReproServer
+
+    with tempfile.TemporaryDirectory() as tmp:
+        queue_path = f"{tmp}/queue.sqlite3"
+        server = ReproServer.create(
+            port=0,
+            config=RunConfig(cache="readwrite", cache_dir=f"{tmp}/store"),
+            workers=0,  # pure front-end: the fleet does the computing
+            queue_path=queue_path,
+        )
+        server.start_background()
+        print(f"front-end on {server.url} (queue: {queue_path})")
+        fleet = spawn_workers(queue_path, args.workers)
+        try:
+            run_fleet(server.url, args.jobs)
+        finally:
+            print("draining the fleet (SIGTERM):")
+            drain_fleet(fleet)
+            server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     repro batch      --synth 10 --seed 7 --backend process --json
     repro cache      stats --json
     repro serve      --port 8080 --workers 4 --cache readwrite
+    repro worker     --backend process --timeout 120
+    repro jobs       list --state failed --json
     repro strategies
     repro --version
 
@@ -26,7 +28,10 @@ domain); ``batch`` runs the fit → check (→ enforce → simulate)
 pipeline over a whole fleet of models on a bounded worker pool;
 ``cache`` inspects and manages the content-addressed result store;
 ``serve`` runs the persistent HTTP job service (see
-:mod:`repro.service`); ``info`` summarizes the file; ``strategies``
+:mod:`repro.service`); ``worker`` attaches one queue-draining worker
+process to the service's durable queue (run N of them to scale out;
+SIGTERM drains gracefully); ``jobs`` administers that queue (list /
+show / retry / purge); ``info`` summarizes the file; ``strategies``
 lists the registered scheduling strategies.
 
 The CLI is a thin shell over the :class:`~repro.api.Macromodel` facade.
@@ -163,6 +168,49 @@ def build_parser() -> argparse.ArgumentParser:
             action=_TrackedStore,
             help="result-store directory (default: REPRO_CACHE_DIR or"
             " ~/.cache/repro)",
+        )
+
+    def add_queue_args(p):
+        p.add_argument(
+            "--queue",
+            default=None,
+            action=_TrackedStore,
+            help="queue database file (default: REPRO_QUEUE_PATH or"
+            " queue.sqlite3 next to the result store)",
+        )
+        p.add_argument(
+            "--lease",
+            type=float,
+            default=None,
+            action=_TrackedStore,
+            metavar="SECONDS",
+            help="job lease; a worker silent this long is presumed dead"
+            " (default: REPRO_QUEUE_LEASE or 60)",
+        )
+        p.add_argument(
+            "--heartbeat",
+            type=float,
+            default=None,
+            action=_TrackedStore,
+            metavar="SECONDS",
+            help="lease-renewal interval of a busy worker (default:"
+            " REPRO_QUEUE_HEARTBEAT or 15; must stay below the lease)",
+        )
+        p.add_argument(
+            "--poll",
+            type=float,
+            default=None,
+            action=_TrackedStore,
+            metavar="SECONDS",
+            help="idle queue poll interval (default: REPRO_QUEUE_POLL or 0.2)",
+        )
+        p.add_argument(
+            "--max-attempts",
+            type=int,
+            default=None,
+            action=_TrackedStore,
+            help="claim attempts before a job is marked failed (default:"
+            " REPRO_QUEUE_MAX_ATTEMPTS or 3)",
         )
 
     check = sub.add_parser("check", help="fit a macromodel and test passivity")
@@ -393,7 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
     )
     serve.add_argument(
-        "--workers", type=int, default=2, help="concurrent jobs"
+        "--workers",
+        type=int,
+        default=2,
+        help="embedded queue workers (0 = pure front-end; drain the"
+        " queue with external 'repro worker' processes)",
     )
     serve.add_argument(
         "--timeout", type=float, default=None, help="per-job budget in seconds"
@@ -425,11 +477,122 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store directory (default: REPRO_CACHE_DIR or"
         " ~/.cache/repro)",
     )
+    add_queue_args(serve)
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        action=_TrackedStore,
+        help="per-client job submissions per second (0 = unlimited;"
+        " default: REPRO_QUEUE_RATE or off)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        action=_TrackedStore,
+        help="per-client submission burst size (token bucket)",
+    )
     serve.add_argument(
         "--print-config",
         action="store_true",
         help="print the resolved service configuration as JSON and exit"
         " (pure JSON on stdout; nothing is served)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain the service's durable job queue (run N for a fleet)",
+    )
+    add_queue_args(worker)
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        action=_TrackedStore,
+        help="result-store directory the default queue path resolves"
+        " against (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    worker.add_argument(
+        "--backend",
+        default="process",
+        choices=("process", "thread", "serial"),
+        help="job execution backend (default: process)",
+    )
+    worker.add_argument(
+        "--timeout", type=float, default=None, help="per-job budget in seconds"
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: host-pid-random)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after completing this many jobs",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit once the queue has been empty this long"
+        " (default: wait forever)",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="administer the durable job queue (list/show/retry/purge)"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def add_jobs_common(p):
+        add_queue_args(p)
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            action=_TrackedStore,
+            help="result-store directory the default queue path resolves"
+            " against (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the machine-readable payload",
+        )
+
+    jobs_list = jobs_sub.add_parser("list", help="list queued/finished jobs")
+    add_jobs_common(jobs_list)
+    jobs_list.add_argument(
+        "--state",
+        default=None,
+        choices=("queued", "running", "done", "error", "timeout", "failed"),
+        help="only jobs in this state",
+    )
+    jobs_list.add_argument("--task", default=None, help="only jobs of this task")
+    jobs_list.add_argument(
+        "--limit", type=int, default=50, help="newest N jobs (default: 50)"
+    )
+
+    jobs_show = jobs_sub.add_parser("show", help="show one job in full")
+    add_jobs_common(jobs_show)
+    jobs_show.add_argument("id", help="job id")
+
+    jobs_retry = jobs_sub.add_parser(
+        "retry", help="requeue a finished/failed job"
+    )
+    add_jobs_common(jobs_retry)
+    jobs_retry.add_argument("id", help="job id")
+
+    jobs_purge = jobs_sub.add_parser(
+        "purge", help="delete all jobs in one terminal state"
+    )
+    add_jobs_common(jobs_purge)
+    jobs_purge.add_argument(
+        "--state",
+        required=True,
+        choices=("done", "error", "timeout", "failed"),
+        help="terminal state to purge",
     )
 
     sub.add_parser("strategies", help="list registered scheduling strategies")
@@ -766,6 +929,30 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _queue_config(args):
+    """Layer the queue knobs: defaults < ``REPRO_QUEUE_*`` < typed flags."""
+    from repro.queue import QueueConfig
+
+    config = QueueConfig.from_env()
+    explicit = getattr(args, "_explicit", set())
+    overrides = {}
+    if "queue" in explicit:
+        overrides["path"] = args.queue
+    if "lease" in explicit:
+        overrides["lease_seconds"] = args.lease
+    if "heartbeat" in explicit:
+        overrides["heartbeat_seconds"] = args.heartbeat
+    if "poll" in explicit:
+        overrides["poll_seconds"] = args.poll
+    if "max_attempts" in explicit:
+        overrides["max_attempts"] = args.max_attempts
+    if "rate" in explicit:
+        overrides["rate"] = args.rate
+    if "burst" in explicit:
+        overrides["burst"] = args.burst
+    return config.merged(**overrides) if overrides else config
+
+
 def _cmd_serve(args) -> int:
     from repro.service import ReproServer
 
@@ -780,6 +967,7 @@ def _cmd_serve(args) -> int:
         overrides["cache_dir"] = args.cache_dir
     if overrides:
         config = config.merged(**overrides)
+    queue_config = _queue_config(args)
     if args.print_config:
         # Describing the configuration needs no socket: it must work
         # (and print the same JSON) while a server holds the port.
@@ -793,6 +981,7 @@ def _cmd_serve(args) -> int:
             backend=args.backend,
             num_poles=args.poles,
             margin=args.margin,
+            queue_config=queue_config,
         )
         try:
             payload = describe_manager(manager, args.host, args.port)
@@ -810,6 +999,7 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
         num_poles=args.poles,
         margin=args.margin,
+        queue_config=queue_config,
     )
     try:
         print(f"serving on {server.url} (ctrl-c to stop)", file=sys.stderr)
@@ -821,6 +1011,125 @@ def _cmd_serve(args) -> int:
     finally:
         server.server_close()
         server.manager.shutdown()
+
+
+def _cmd_worker(args) -> int:
+    import signal
+
+    from repro.queue import QueueWorker
+
+    queue_config = _queue_config(args)
+    queue_path = queue_config.resolve_path(args.cache_dir)
+    worker = QueueWorker(
+        queue_path,
+        queue_config=queue_config,
+        worker_id=args.worker_id,
+        backend=args.backend,
+        timeout=args.timeout,
+        max_jobs=args.max_jobs,
+        idle_seconds=args.idle_exit,
+    )
+
+    def drain(signum, frame):
+        # Graceful drain: finish (and ack) the leased job, then exit 0.
+        print("drain requested; finishing the current job", file=sys.stderr)
+        worker.request_stop()
+
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    print(
+        f"worker {worker.worker_id} draining {queue_path}"
+        f" ({args.backend} backend; ctrl-c or SIGTERM to drain)",
+        file=sys.stderr,
+    )
+    completed = worker.run()
+    print(f"worker exiting after {completed} job(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.queue import JobQueue
+
+    queue_config = _queue_config(args)
+    queue_path = queue_config.resolve_path(args.cache_dir)
+    if not queue_path.is_file():
+        raise ValueError(
+            f"no queue database at {queue_path} (start 'repro serve' or"
+            " point --queue/REPRO_QUEUE_PATH at one)"
+        )
+    queue = JobQueue(queue_path, max_attempts=queue_config.max_attempts)
+    try:
+        if args.jobs_command == "list":
+            rows = queue.list(
+                state=args.state, task=args.task, limit=args.limit
+            )
+            if args.json:
+                print(
+                    json.dumps(
+                        [row.to_dict() for row in rows],
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+                return 0
+            if not rows:
+                print("no jobs match")
+                return 0
+            print(
+                f"{'id':<14} {'state':<8} {'task':<9} {'att':>3}"
+                f" {'worker':<24} name"
+            )
+            for row in rows:
+                print(
+                    f"{row.id:<14} {row.state:<8} {row.task:<9}"
+                    f" {row.attempts:>3} {(row.worker or '-'):<24} {row.name}"
+                )
+            return 0
+        if args.jobs_command == "show":
+            row = queue.get(args.id)
+            if row is None:
+                raise ValueError(f"unknown job id {args.id!r}")
+            payload = dict(row.to_dict(), spec=row.spec)
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            for field in (
+                "id",
+                "name",
+                "task",
+                "kind",
+                "status",
+                "attempts",
+                "worker",
+                "key",
+                "error",
+            ):
+                print(f"{field + ':':<10} {payload[field]}")
+            return 0
+        if args.jobs_command == "retry":
+            if not queue.retry(args.id):
+                row = queue.get(args.id)
+                if row is None:
+                    raise ValueError(f"unknown job id {args.id!r}")
+                raise ValueError(
+                    f"job {args.id} is {row.state}; only finished jobs"
+                    " (done/error/timeout/failed) can be retried"
+                )
+            payload = {"id": args.id, "status": "queued"}
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(f"requeued job {args.id}")
+            return 0
+        removed = queue.purge(args.state)
+        payload = {"state": args.state, "removed": removed}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"purged {removed} {args.state} job(s)")
+        return 0
+    finally:
+        queue.close()
 
 
 def _cmd_strategies(args) -> int:
@@ -852,6 +1161,8 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "jobs": _cmd_jobs,
     "strategies": _cmd_strategies,
 }
 

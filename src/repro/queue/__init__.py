@@ -1,0 +1,58 @@
+"""Durable job queue + worker fleet (`PR 6`).
+
+The persistence and horizontal-scaling tier of the macromodel service:
+one WAL-mode SQLite file holds the job queue, the HTTP front-end
+enqueues into it, and any number of :class:`QueueWorker` processes (or
+embedded threads) drain it with leases, heartbeats, crash recovery, and
+exactly-once completion.
+
+Public surface:
+
+* :class:`QueueConfig` — the ``REPRO_QUEUE_*`` knobs;
+* :class:`JobQueue` / :class:`JobRow` — the durable queue itself;
+* :class:`QueueWorker` — the claim → execute → store → ack loop;
+* :func:`parse_spec` / :class:`ParsedSpec` — job-spec validation shared
+  by the front-end and the workers;
+* :class:`TokenBucketLimiter` — per-client submission rate limiting.
+"""
+
+from repro.queue.config import QUEUE_ENV_PREFIX, QUEUE_FILENAME, QueueConfig
+from repro.queue.db import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobQueue,
+    JobRow,
+)
+from repro.queue.ratelimit import TokenBucketLimiter
+from repro.queue.spec import (
+    SIMULATE_SPEC_KEYS,
+    VALID_KINDS,
+    VALID_TASKS,
+    JobError,
+    ParsedSpec,
+    input_digest,
+    job_from_spec,
+    parse_spec,
+)
+from repro.queue.worker import QueueWorker, default_worker_id
+
+__all__ = [
+    "JOB_STATES",
+    "QUEUE_ENV_PREFIX",
+    "QUEUE_FILENAME",
+    "SIMULATE_SPEC_KEYS",
+    "TERMINAL_STATES",
+    "VALID_KINDS",
+    "VALID_TASKS",
+    "JobError",
+    "JobQueue",
+    "JobRow",
+    "ParsedSpec",
+    "QueueConfig",
+    "QueueWorker",
+    "TokenBucketLimiter",
+    "default_worker_id",
+    "input_digest",
+    "job_from_spec",
+    "parse_spec",
+]

@@ -1,0 +1,89 @@
+"""Per-client token-bucket rate limiting for job submission.
+
+Each client (keyed by address) owns one bucket of ``burst`` tokens that
+refills continuously at ``rate`` tokens per second; a submission costs
+one token and an empty bucket means HTTP 429.  ``rate=0`` disables the
+limiter entirely (the default — a private deployment should not pay for
+bookkeeping it never uses).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.utils.validation import (
+    ensure_nonnegative_float,
+    ensure_positive_int,
+)
+
+__all__ = ["TokenBucketLimiter"]
+
+#: Client-table bound: beyond this many tracked clients, fully refilled
+#: (i.e. long-idle) buckets are pruned.
+_MAX_CLIENTS = 4096
+
+
+class TokenBucketLimiter:
+    """Thread-safe token-bucket limiter keyed by client identifier.
+
+    Parameters
+    ----------
+    rate:
+        Steady-state tokens (submissions) per second per client;
+        ``0.0`` disables limiting — every call is allowed.
+    burst:
+        Bucket capacity: how many submissions a client may make
+        instantly from a full bucket.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: int = 20) -> None:
+        self.rate = ensure_nonnegative_float(rate, "rate")
+        self.burst = ensure_positive_int(burst, "burst")
+        self._lock = threading.Lock()
+        # client -> (tokens, last refill timestamp)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True when a non-zero rate is configured."""
+        return self.rate > 0.0
+
+    def allow(
+        self, client: str, *, now: Optional[float] = None
+    ) -> Tuple[bool, float]:
+        """Spend one token for ``client``.
+
+        Returns ``(allowed, retry_after)``: ``retry_after`` is 0 when
+        allowed, else the seconds until one token will be available
+        (what the 429 response's ``Retry-After`` header should say).
+        """
+        if not self.enabled:
+            return True, 0.0
+        now = time.time() if now is None else now
+        with self._lock:
+            tokens, last = self._buckets.get(client, (float(self.burst), now))
+            tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                return True, 0.0
+            self._buckets[client] = (tokens, now)
+            retry_after = (1.0 - tokens) / self.rate
+            if len(self._buckets) > _MAX_CLIENTS:
+                self._prune(now)
+            return False, retry_after
+
+    def _prune(self, now: float) -> None:
+        """Drop clients whose buckets have fully refilled (idle clients).
+
+        Caller holds the lock.  A full bucket is indistinguishable from
+        an untracked client, so forgetting it loses nothing.
+        """
+        full_after = self.burst / self.rate
+        for client in [
+            client
+            for client, (_, last) in self._buckets.items()
+            if now - last >= full_after
+        ]:
+            del self._buckets[client]

@@ -1,0 +1,312 @@
+"""The queue worker: claim → execute → store → ack, forever.
+
+:class:`QueueWorker` is the execution tier of the durable service.  Each
+instance opens its own connection to the shared queue database and loops:
+claim the oldest queued job under a lease, re-parse its resolved spec
+(see :meth:`~repro.queue.spec.ParsedSpec.resolved_spec` — the stored
+document carries the effective configuration, so every worker computes
+exactly what the submitter keyed), execute it through the existing
+:class:`~repro.batch.BatchRunner`, write the result to the
+content-addressed store, and ack by job id guarded by ownership.
+
+A background heartbeat keeps the lease alive while the job runs; if the
+heartbeat discovers the lease was lost (this process stalled long enough
+to be presumed dead and the job was reclaimed), the result is discarded
+— the rightful owner's ack wins and every job completes exactly once.
+
+Deployment shapes, same class either way:
+
+* ``repro worker`` runs one instance as a whole process (N processes —
+  or machines sharing the filesystem — drain one queue), stopping
+  gracefully on SIGTERM: finish the leased job, ack it, exit 0.
+* ``repro serve`` embeds instances on daemon threads, so the single-
+  process developer experience still works out of the box.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.batch.runner import BATCH_BACKENDS, BatchRunner
+from repro.queue.config import QueueConfig
+from repro.queue.db import JobQueue, JobRow
+from repro.queue.spec import JobError, parse_spec
+from repro.store import ResultStore
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_choice
+
+__all__ = ["QueueWorker", "default_worker_id"]
+
+_LOG = get_logger("queue.worker")
+
+
+def default_worker_id() -> str:
+    """A queue-unique worker identity: host, pid, and a random suffix.
+
+    The random suffix keeps embedded workers (several per process)
+    distinct; host and pid keep fleet logs attributable.
+    """
+    return (
+        f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    )
+
+
+class QueueWorker:
+    """One queue-draining worker (run it on a thread or as a process).
+
+    Parameters
+    ----------
+    queue_path:
+        The shared queue database file.
+    queue_config:
+        Lease/heartbeat/poll knobs (:class:`QueueConfig`); defaults
+        apply when omitted.  The worker opens its *own* connection —
+        instances never share a :class:`JobQueue`.
+    worker_id:
+        Stable identity for leases and the liveness table; generated
+        when omitted.
+    backend:
+        :class:`BatchRunner` backend executing each job (``"process"``
+        gives real timeout kills and crash isolation).
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` — no limit).
+    max_jobs:
+        Exit after completing this many jobs (testing/bounded drains).
+    idle_seconds:
+        Exit after the queue has been empty this long (``None`` — wait
+        forever).  Lets batch-style fleets drain and disband.
+    """
+
+    def __init__(
+        self,
+        queue_path: Union[str, Path],
+        *,
+        queue_config: Optional[QueueConfig] = None,
+        worker_id: Optional[str] = None,
+        backend: str = "process",
+        timeout: Optional[float] = None,
+        max_jobs: Optional[int] = None,
+        idle_seconds: Optional[float] = None,
+    ) -> None:
+        ensure_choice(backend, "worker backend", BATCH_BACKENDS)
+        if timeout is not None and timeout <= 0.0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.queue_config = (
+            queue_config if queue_config is not None else QueueConfig()
+        )
+        self.worker_id = worker_id or default_worker_id()
+        self.backend = backend
+        self.timeout = timeout
+        self.max_jobs = max_jobs
+        self.idle_seconds = idle_seconds
+        self.jobs_done = 0
+        self.queue = JobQueue(
+            queue_path, max_attempts=self.queue_config.max_attempts
+        )
+        self._stop = threading.Event()
+        # One store per distinct cache directory: jobs may override
+        # cache_dir per submission, but same-dir jobs share the handle.
+        self._stores: Dict[Optional[str], ResultStore] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the worker to drain: finish the current job, then exit.
+
+        Safe from any thread and from signal handlers — this is what
+        ``repro worker`` wires SIGTERM/SIGINT to.
+        """
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        """True once a stop has been requested."""
+        return self._stop.is_set()
+
+    def run(self) -> int:
+        """Drain the queue until stopped; returns the jobs completed.
+
+        The graceful-drain contract: after :meth:`request_stop` (or
+        SIGTERM via the CLI) the job currently executing is finished and
+        acked — never abandoned mid-lease — and the loop exits cleanly.
+        """
+        self.queue.register_worker(self.worker_id)
+        _LOG.info(
+            "worker %s draining %s (%s backend)",
+            self.worker_id,
+            self.queue.path,
+            self.backend,
+        )
+        idle_since = time.time()
+        try:
+            while not self._stop.is_set():
+                if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
+                    break
+                row = self.queue.claim(
+                    self.worker_id,
+                    lease_seconds=self.queue_config.lease_seconds,
+                )
+                if row is None:
+                    if (
+                        self.idle_seconds is not None
+                        and time.time() - idle_since >= self.idle_seconds
+                    ):
+                        break
+                    self.queue.worker_update(self.worker_id, state="idle")
+                    self._stop.wait(self.queue_config.poll_seconds)
+                    continue
+                self._execute(row)
+                idle_since = time.time()
+        finally:
+            self.queue.worker_update(self.worker_id, state="stopped")
+            self.queue.close()
+        _LOG.info(
+            "worker %s stopped after %d job(s)", self.worker_id, self.jobs_done
+        )
+        return self.jobs_done
+
+    # -- execution ----------------------------------------------------------
+
+    def _store_for(self, config) -> Optional[ResultStore]:
+        if config.cache == "off":
+            return None
+        if config.cache_dir not in self._stores:
+            self._stores[config.cache_dir] = ResultStore.from_config(config)
+        return self._stores[config.cache_dir]
+
+    def _execute(self, row: JobRow) -> None:
+        self.queue.worker_update(
+            self.worker_id, state="busy", job_id=row.id
+        )
+        try:
+            parsed = parse_spec(row.spec, job_id=row.id)
+        except (JobError, TypeError, ValueError) as exc:
+            # The front-end validates at submission, so this only fires
+            # on specs enqueued through other paths (or future-version
+            # specs) — record it, don't retry what cannot parse.
+            self._finish(
+                row, state="error", error=f"unparseable spec: {exc}"
+            )
+            return
+
+        store = self._store_for(parsed.config)
+        key = row.key
+
+        # Same short-circuit the front-end applies, re-checked here:
+        # another worker may have stored this exact key since enqueue.
+        if (
+            key is not None
+            and store is not None
+            and parsed.config.cache in ("read", "readwrite")
+        ):
+            try:
+                payload = store.get(key)
+            except ValueError:
+                payload = None
+            if payload is not None:
+                self._finish(row, state="done", result=payload, cached=True)
+                return
+
+        lost = threading.Event()
+        hb_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(row.id, hb_stop, lost),
+            name=f"hb-{row.id}",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            runner = BatchRunner(
+                workers=1,
+                timeout=self.timeout,
+                backend=self.backend,
+                **parsed.runner_kwargs(),
+            )
+            result = runner.run([parsed.job]).results[0]
+            payload = result.to_dict()
+            state = "done" if result.ok else result.status
+            error = result.error
+        except Exception as exc:  # a broken job must not kill the worker
+            payload, state = None, "error"
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            hb_stop.set()
+            heartbeat.join()
+
+        if lost.is_set() or not self.queue.owns(row.id, self.worker_id):
+            # The lease was reclaimed while we ran (we were presumed
+            # dead).  The job belongs to someone else now: no store
+            # write, no ack — exactly-once means our late result loses.
+            _LOG.warning(
+                "worker %s lost the lease on job %s; discarding its result",
+                self.worker_id,
+                row.id,
+            )
+            return
+
+        if (
+            state == "done"
+            and key is not None
+            and store is not None
+            and parsed.config.cache == "readwrite"
+        ):
+            # Persist BEFORE the ack flips the job visible as done: a
+            # client resubmitting the instant it polls "done" must find
+            # the store entry already in place.
+            store.put(key, payload, stage="service-job")
+        self._finish(row, state=state, result=payload, error=error)
+
+    def _finish(
+        self,
+        row: JobRow,
+        *,
+        state: str,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+        cached: bool = False,
+    ) -> None:
+        acked = self.queue.ack(
+            row.id,
+            self.worker_id,
+            state=state,
+            result=result,
+            error=error,
+            cached=cached,
+        )
+        if not acked:
+            _LOG.warning(
+                "worker %s could not ack job %s (lease reclaimed)",
+                self.worker_id,
+                row.id,
+            )
+            return
+        self.jobs_done += 1
+        self.queue.worker_update(
+            self.worker_id, state="idle", bump_done=True
+        )
+        _LOG.info(
+            "worker %s finished job %s (%s%s)",
+            self.worker_id,
+            row.id,
+            state,
+            ", cached" if cached else "",
+        )
+
+    def _heartbeat_loop(
+        self, job_id: str, stop: threading.Event, lost: threading.Event
+    ) -> None:
+        while not stop.wait(self.queue_config.heartbeat_seconds):
+            if not self.queue.heartbeat(
+                job_id,
+                self.worker_id,
+                lease_seconds=self.queue_config.lease_seconds,
+            ):
+                lost.set()
+                return

@@ -1,168 +1,76 @@
-"""Job manager of the macromodel service: specs, records, worker pool.
+"""Job manager of the macromodel service: the durable-queue front tier.
 
-The manager turns JSON job specifications into
-:mod:`repro.batch.jobs` objects, runs them asynchronously on a bounded
-thread pool whose tasks execute through :class:`~repro.batch.BatchRunner`
-(one job per runner call — the existing process backend provides real
-per-job timeout kills and crash isolation), and keeps a registry of
-:class:`JobRecord` rows the HTTP layer serves.
+The manager validates JSON job specifications (via
+:func:`repro.queue.parse_spec`) and **enqueues** them into the
+persistent :class:`~repro.queue.JobQueue` — it no longer executes
+anything on an in-process pool.  Execution belongs to
+:class:`~repro.queue.QueueWorker` instances: external ``repro worker``
+processes attached to the same queue file, and/or the embedded worker
+threads this manager spawns (``workers`` > 0) so the single-process
+developer experience keeps working out of the box.
 
 Every job gets a content-addressed *job key* over (source, task,
 parameters, config).  With caching enabled, a submission whose key is
-already in the :class:`~repro.store.ResultStore` completes synchronously
-— the response carries ``"cached": true`` and the stored result, and no
-worker ever runs.  Completed results are written back to the store, so
-the cache warms itself under traffic.
+already in the :class:`~repro.store.ResultStore` is inserted already
+``done`` — the response carries ``"cached": true`` and the stored
+result, and no worker ever runs.  Completed results are written back to
+the store by the workers, so the cache warms itself under traffic.
+
+Because the queue is one SQLite file, a service restart loses nothing:
+queued jobs stay queued, running jobs are reclaimed when their lease
+expires, finished jobs keep serving their results.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.batch.jobs import (
-    VALID_TASKS,
-    BatchJob,
-    ModelJob,
-    SynthJob,
-    TouchstoneJob,
-    task_settings,
-)
-from repro.batch.runner import BATCH_BACKENDS, BatchRunner
+from repro.batch.runner import BATCH_BACKENDS
 from repro.core.config import RunConfig
-from repro.macromodel.rational import PoleResidueModel
-from repro.store import ResultStore, content_key, file_digest, result_key
+from repro.queue import (
+    SIMULATE_SPEC_KEYS,
+    VALID_KINDS,
+    VALID_TASKS,
+    JobError,
+    JobQueue,
+    JobRow,
+    QueueConfig,
+    QueueWorker,
+    TokenBucketLimiter,
+    input_digest,
+    job_from_spec,
+    parse_spec,
+)
+from repro.store import ResultStore
 from repro.utils.logging import get_logger
 from repro.utils.validation import ensure_choice, ensure_positive_int
 
-__all__ = ["JobError", "JobRecord", "JobManager", "VALID_TASKS", "VALID_KINDS"]
+__all__ = [
+    "JobError",
+    "JobRecord",
+    "JobManager",
+    "SIMULATE_SPEC_KEYS",
+    "VALID_TASKS",
+    "VALID_KINDS",
+]
 
 _LOG = get_logger("service")
 
-# VALID_TASKS now lives in repro.batch.jobs (one registry drives both
-# the validation here and the runner dispatch) and is re-exported for
-# backwards compatibility.
+#: Former name of the row type ``GET /v1/jobs/<id>`` serves; the queue's
+#: row kept the old field names, so the alias keeps old imports working.
+JobRecord = JobRow
 
-#: Keys a job spec's "simulate" object may carry (the kwargs of
-#: Macromodel.simulate that make sense over the wire; waveform-keeping
-#: is deliberately excluded — responses stay compact witnesses).
-SIMULATE_SPEC_KEYS = (
-    "stimulus",
-    "dt",
-    "num_steps",
-    "integrator",
-    "discretization",
-    "termination",
-    "tol",
-)
-
-#: Model sources a job may name.
-VALID_KINDS = ("synth", "touchstone", "model")
-
-#: Submission statuses a record moves through.
-_STATUSES = ("queued", "running", "done", "error", "timeout")
-
-
-class JobError(ValueError):
-    """A job specification could not be parsed or validated (HTTP 400)."""
-
-
-@dataclass
-class JobRecord:
-    """One submission's lifecycle row (what ``GET /v1/jobs/<id>`` serves)."""
-
-    id: str
-    task: str
-    name: str
-    key: Optional[str]
-    #: Light source summary only (kind); the full submission spec —
-    #: which may embed a multi-MB inline model — is deliberately NOT
-    #: retained, or the bounded registry would still pin gigabytes.
-    spec: dict
-    status: str = "queued"
-    cached: bool = False
-    submitted: float = field(default_factory=time.time)
-    started: Optional[float] = None
-    finished: Optional[float] = None
-    result: Optional[dict] = None
-    error: Optional[str] = None
-
-    def to_dict(self) -> dict:
-        """JSON payload of this record."""
-        return {
-            "id": self.id,
-            "task": self.task,
-            "name": self.name,
-            "key": self.key,
-            "status": self.status,
-            "cached": bool(self.cached),
-            "submitted": self.submitted,
-            "started": self.started,
-            "finished": self.finished,
-            "result": self.result,
-            "error": self.error,
-        }
-
-
-def _job_from_spec(spec: Mapping[str, Any], name: str) -> BatchJob:
-    """Build the :mod:`repro.batch.jobs` object a spec names."""
-    kind = str(spec.get("kind", "synth")).lower()
-    ensure_choice(kind, "job kind", VALID_KINDS)
-    if kind == "synth":
-        sigma_target = spec.get("sigma_target", 1.05)
-        return SynthJob(
-            name=name,
-            order_per_column=ensure_positive_int(
-                spec.get("order", 10), "order"
-            ),
-            num_ports=ensure_positive_int(spec.get("ports", 2), "ports"),
-            seed=int(spec.get("seed", 0)),
-            sigma_target=None if sigma_target is None else float(sigma_target),
-        )
-    if kind == "touchstone":
-        path = spec.get("path")
-        if not path or not isinstance(path, str):
-            raise JobError("touchstone jobs require a 'path' string")
-        if not Path(path).is_file():
-            raise JobError(f"touchstone path not found: {path!r}")
-        return TouchstoneJob(name=name, path=path)
-    model_doc = spec.get("model")
-    if not isinstance(model_doc, Mapping):
-        raise JobError(
-            "model jobs require a 'model' object"
-            " (PoleResidueModel.to_dict() payload)"
-        )
-    try:
-        model = PoleResidueModel.from_dict(dict(model_doc))
-    except (KeyError, TypeError, ValueError) as exc:
-        raise JobError(f"malformed model payload: {exc}") from exc
-    return ModelJob(name=name, model=model)
-
-
-def _input_digest(job: BatchJob, spec: Mapping[str, Any]) -> str:
-    """Content digest of the job's model source for the job-level key.
-
-    Deliberately excludes the job *name*: it is a display label (and
-    defaults to a fresh per-submission id), so two submissions of the
-    same source under different names must share one cache entry.
-    """
-    if isinstance(job, TouchstoneJob):
-        # Hash the file *content*, not the path: moving or editing the
-        # file must change the key, renaming the same bytes must not.
-        return file_digest(job.path)
-    if isinstance(job, ModelJob) and job.model is not None:
-        return content_key(job.model.to_dict())
-    source = {k: v for k, v in job.describe().items() if k != "name"}
-    return content_key(source)
+# The spec helpers moved to repro.queue.spec when the queue subsystem
+# absorbed job parsing; the old private names stay importable.
+_job_from_spec = job_from_spec
+_input_digest = input_digest
 
 
 class JobManager:
-    """Registry + bounded worker pool behind the HTTP endpoints.
+    """Validation + durable queue + embedded worker fleet.
 
     Parameters
     ----------
@@ -172,29 +80,24 @@ class JobManager:
         both the stage-level store use inside workers and the job-level
         short-circuit at submission time.
     workers:
-        Concurrent jobs (thread-pool bound; each thread drives one
-        :class:`BatchRunner` process worker).
+        Embedded worker threads draining the queue from inside this
+        process.  ``0`` is valid and makes the service a pure front-end
+        — submissions queue up for external ``repro worker`` processes.
     timeout:
-        Per-job wall-clock budget in seconds (process workers are killed
-        on expiry).
+        Per-job wall-clock budget in seconds for the embedded workers
+        (process-backend jobs are killed on expiry).
     backend:
-        Fleet backend jobs execute on (``"process"`` default).
+        Fleet backend the embedded workers execute on (``"process"``
+        default).
     num_poles, margin:
         Defaults for specs that omit them.
-    max_records:
-        In-memory registry bound: once more than this many *finished*
-        records accumulate, the oldest finished ones are dropped.
-        Queued and running jobs are never evicted.  Successful results
-        of cache-enabled jobs remain fetchable through
-        ``/v1/results/<key>`` (the store is the durable tier); failed
-        or cache-off outcomes are gone once evicted — the registry is a
-        polling window, not an archive.
+    queue_config:
+        :class:`~repro.queue.QueueConfig` — lease, heartbeat, poll,
+        retry, and rate-limit knobs (``REPRO_QUEUE_*``).
+    queue_path:
+        Queue database file; overrides ``queue_config.path``.  Defaults
+        to ``queue.sqlite3`` next to the result store.
     """
-
-    #: Default registry bound — generous for polling clients, small
-    #: enough that a long-running daemon cannot accumulate gigabytes of
-    #: result payloads in memory.
-    DEFAULT_MAX_RECORDS = 1024
 
     def __init__(
         self,
@@ -205,239 +108,127 @@ class JobManager:
         backend: str = "process",
         num_poles: int = 30,
         margin: float = 0.002,
-        max_records: Optional[int] = None,
+        queue_config: Optional[QueueConfig] = None,
+        queue_path: Optional[str] = None,
     ) -> None:
         ensure_choice(backend, "service backend", BATCH_BACKENDS)
         self.config = config if config is not None else RunConfig()
-        self.workers = ensure_positive_int(workers, "workers")
+        self.workers = int(workers)
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         if timeout is not None and timeout <= 0.0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         self.timeout = timeout
         self.backend = backend
         self.num_poles = ensure_positive_int(num_poles, "num_poles")
         self.margin = float(margin)
+        self.queue_config = (
+            queue_config if queue_config is not None else QueueConfig()
+        )
         self.store: Optional[ResultStore] = (
             ResultStore.from_config(self.config)
             if self.config.cache != "off"
             else None
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-serve"
+        store_root = self.store.root if self.store is not None else None
+        self.queue_path = (
+            Path(queue_path)
+            if queue_path is not None
+            else self.queue_config.resolve_path(store_root)
         )
-        self.max_records = ensure_positive_int(
-            max_records if max_records is not None else self.DEFAULT_MAX_RECORDS,
-            "max_records",
+        self.queue = JobQueue(
+            self.queue_path, max_attempts=self.queue_config.max_attempts
         )
-        self._lock = threading.Lock()
-        # Insertion-ordered (dict guarantee): eviction walks oldest-first.
-        self._jobs: Dict[str, JobRecord] = {}
-        self._counters = {"submitted": 0, "completed": 0, "cached": 0}
+        self.limiter = TokenBucketLimiter(
+            self.queue_config.rate, self.queue_config.burst
+        )
         self._shutdown = False
-
-    def _evict_finished_locked(self) -> None:
-        """Drop the oldest finished records beyond ``max_records``.
-
-        Caller holds ``self._lock``.  In-flight records are exempt, so a
-        registry packed with queued work can temporarily exceed the
-        bound rather than forget jobs clients are still waiting on.
-        """
-        excess = len(self._jobs) - self.max_records
-        if excess <= 0:
-            return
-        for job_id in [
-            job_id
-            for job_id, record in self._jobs.items()
-            if record.status in ("done", "error", "timeout")
-        ][:excess]:
-            del self._jobs[job_id]
+        self._embedded: List[Tuple[QueueWorker, threading.Thread]] = []
+        for index in range(self.workers):
+            worker = QueueWorker(
+                self.queue_path,
+                queue_config=self.queue_config,
+                worker_id=f"embedded-{index + 1}-{uuid.uuid4().hex[:6]}",
+                backend=self.backend,
+                timeout=self.timeout,
+            )
+            thread = threading.Thread(
+                target=worker.run,
+                name=f"repro-worker-{index + 1}",
+                daemon=True,
+            )
+            thread.start()
+            self._embedded.append((worker, thread))
 
     # -- submission ---------------------------------------------------------
 
-    def _effective_config(self, spec: Mapping[str, Any]) -> RunConfig:
-        overrides = spec.get("config")
-        if overrides is None:
-            return self.config
-        if not isinstance(overrides, Mapping):
-            raise JobError("'config' must be an object of RunConfig fields")
-        try:
-            return self.config.merged(**dict(overrides))
-        except (TypeError, ValueError) as exc:
-            raise JobError(f"invalid config override: {exc}") from exc
+    def check_rate(self, client: str) -> Tuple[bool, float]:
+        """Spend one submission token for ``client`` (HTTP 429 gate)."""
+        return self.limiter.allow(client)
 
-    def submit(self, spec: Mapping[str, Any]) -> JobRecord:
-        """Validate, register, and (unless cached) enqueue one job.
+    def submit(self, spec: Mapping[str, Any]) -> JobRow:
+        """Validate and durably enqueue one job.
 
-        Returns the registered record: status ``"queued"`` for fresh
-        work, or ``"done"`` with ``cached=True`` when the job-level key
-        was already in the store (the fast path the service exists for).
+        Returns the stored row: status ``"queued"`` for fresh work, or
+        ``"done"`` with ``cached=True`` when the job-level key was
+        already in the store (the fast path the service exists for).
         """
         if self._shutdown:
             raise RuntimeError("the job manager is shut down")
-        if not isinstance(spec, Mapping):
-            raise JobError("job spec must be a JSON object")
-        task = str(spec.get("task", "check")).lower()
-        try:
-            # One registry (repro.batch.jobs) validates the task AND
-            # names the runner settings it maps to; unknown tasks become
-            # a clean 400 carrying the full allowed list.
-            task_overrides = task_settings(task)
-        except ValueError as exc:
-            raise JobError(str(exc)) from None
-        sim_params = self._simulate_params(spec, task)
         job_id = uuid.uuid4().hex[:12]
-        name = str(spec.get("name") or f"{task}-{job_id}")
-        job = _job_from_spec(spec, name)
-        config = self._effective_config(spec)
-        num_poles = ensure_positive_int(
-            spec.get("num_poles", self.num_poles), "num_poles"
+        parsed = parse_spec(
+            spec,
+            base_config=self.config,
+            num_poles=self.num_poles,
+            margin=self.margin,
+            job_id=job_id,
         )
-        margin = float(spec.get("margin", self.margin))
-        key: Optional[str] = None
-        key_params = {"task": task, "num_poles": num_poles, "margin": margin}
-        if task == "simulate":
-            # Folded into the key only for simulate jobs, so the keys of
-            # every pre-existing task stay byte-identical.
-            key_params["simulate"] = sim_params or {}
-        try:
-            key = result_key(
-                stage="service-job",
-                input_digest=_input_digest(job, spec),
-                config=config,
-                params=key_params,
-            )
-        except (OSError, TypeError, ValueError):
-            # Unhashable source (e.g. the file vanished between checks):
-            # the job still runs, it just cannot short-circuit.
-            key = None
-
-        record = JobRecord(
-            id=job_id,
-            task=task,
-            name=name,
-            key=key,
-            spec={"kind": str(spec.get("kind", "synth")).lower()},
-        )
-        with self._lock:
-            self._jobs[job_id] = record
-            self._counters["submitted"] += 1
-            self._evict_finished_locked()
 
         # The short-circuit honors the *effective* config: a submission
         # that opts out (`"config": {"cache": "off"}`) must recompute,
-        # mirroring the write path in _run.
+        # mirroring the write path in the workers.
+        cached_payload: Optional[dict] = None
         if (
-            key is not None
+            parsed.key is not None
             and self.store is not None
-            and config.cache in ("read", "readwrite")
+            and parsed.config.cache in ("read", "readwrite")
         ):
-            payload = self.store.get(key)
-            if payload is not None:
-                now = time.time()
-                record.status = str(payload.get("status", "done"))
-                if record.status == "ok":
-                    record.status = "done"
-                record.cached = True
-                record.started = now
-                record.finished = now
-                record.result = payload
-                with self._lock:
-                    self._counters["cached"] += 1
-                    self._counters["completed"] += 1
-                return record
+            cached_payload = self.store.get(parsed.key)
 
-        self._pool.submit(
-            self._run,
-            record,
-            job,
-            config,
-            task_overrides,
-            sim_params,
-            num_poles,
-            margin,
-            key,
+        return self.queue.enqueue(
+            job_id=job_id,
+            task=parsed.task,
+            name=parsed.name,
+            kind=parsed.kind,
+            # The resolved spec bakes in the effective config and
+            # parameters, so any worker reproduces this exact
+            # computation no matter how it was booted.
+            spec=parsed.resolved_spec(),
+            key=parsed.key,
+            cached_result=cached_payload,
         )
-        return record
-
-    @staticmethod
-    def _simulate_params(spec: Mapping[str, Any], task: str) -> Optional[dict]:
-        """Validate the optional ``"simulate"`` object of a job spec."""
-        sim = spec.get("simulate")
-        if sim is None:
-            return None
-        if task != "simulate":
-            raise JobError(
-                "the 'simulate' object only applies to task 'simulate'"
-            )
-        if not isinstance(sim, Mapping):
-            raise JobError(
-                "'simulate' must be an object of Macromodel.simulate"
-                " parameters"
-            )
-        unknown = sorted(set(sim) - set(SIMULATE_SPEC_KEYS))
-        if unknown:
-            raise JobError(
-                f"unknown simulate parameter(s) {', '.join(unknown)};"
-                f" allowed: {', '.join(SIMULATE_SPEC_KEYS)}"
-            )
-        return dict(sim)
-
-    # -- execution ----------------------------------------------------------
-
-    def _run(
-        self,
-        record: JobRecord,
-        job: BatchJob,
-        config: RunConfig,
-        task_overrides: dict,
-        sim_params: Optional[dict],
-        num_poles: int,
-        margin: float,
-        key: Optional[str],
-    ) -> None:
-        record.status = "running"
-        record.started = time.time()
-        try:
-            runner = BatchRunner(
-                config=config,
-                workers=1,
-                timeout=self.timeout,
-                backend=self.backend,
-                num_poles=num_poles,
-                margin=margin,
-                simulate_params=sim_params,
-                **task_overrides,
-            )
-            report = runner.run([job])
-            result = report.results[0]
-            payload = result.to_dict()
-            # Persist BEFORE flipping the status: a client polling this
-            # record may resubmit the instant it sees "done", and that
-            # resubmission must find the store entry already in place.
-            if (
-                result.ok
-                and key is not None
-                and self.store is not None
-                and config.cache == "readwrite"
-            ):
-                self.store.put(key, payload, stage="service-job")
-            record.result = payload
-            record.error = result.error
-            record.status = "done" if result.ok else result.status
-        except Exception as exc:  # a broken job must not kill the worker
-            _LOG.debug("job %s failed: %r", record.id, exc)
-            record.status = "error"
-            record.error = f"{type(exc).__name__}: {exc}"
-        finally:
-            record.finished = time.time()
-            with self._lock:
-                self._counters["completed"] += 1
 
     # -- inspection ---------------------------------------------------------
 
-    def get(self, job_id: str) -> Optional[JobRecord]:
-        """Look up one record by id."""
-        with self._lock:
-            return self._jobs.get(job_id)
+    def get(self, job_id: str) -> Optional[JobRow]:
+        """Look up one job row by id."""
+        return self.queue.get(job_id)
+
+    def events(
+        self, job_id: str, *, since: int = 0, timeout: float = 30.0
+    ) -> Optional[JobRow]:
+        """Long-poll one job for a state transition past ``since``.
+
+        Returns the fresh row as soon as its version exceeds ``since``
+        (or immediately when the job is already terminal), the unchanged
+        row at timeout, or ``None`` for an unknown id.
+        """
+        return self.queue.wait_for_version(
+            job_id,
+            since=since,
+            timeout=timeout,
+            poll=min(0.1, self.queue_config.poll_seconds),
+        )
 
     def result_payload(self, key: str) -> Optional[dict]:
         """Fetch a raw store payload (``GET /v1/results/<key>``)."""
@@ -450,23 +241,34 @@ class JobManager:
 
     def stats(self) -> dict:
         """Aggregate service statistics (``GET /v1/stats``)."""
-        with self._lock:
-            by_status: Dict[str, int] = {status: 0 for status in _STATUSES}
-            for record in self._jobs.values():
-                by_status[record.status] = by_status.get(record.status, 0) + 1
-            counters = dict(self._counters)
+        queue_stats = self.queue.stats()
+        depth: Dict[str, int] = queue_stats["depth"]
         return {
             "workers": self.workers,
             "backend": self.backend,
             "timeout": self.timeout,
             "cache": self.config.cache,
-            "jobs": {"total": counters["submitted"], **by_status},
-            "cached_submissions": counters["cached"],
-            "completed": counters["completed"],
+            "jobs": {"total": queue_stats["total"], **depth},
+            "cached_submissions": queue_stats["cached"],
+            "completed": queue_stats["completed"],
+            "queue": {
+                "path": queue_stats["path"],
+                "depth": depth,
+                "max_attempts": self.queue_config.max_attempts,
+                "lease_seconds": self.queue_config.lease_seconds,
+                "rate": self.queue_config.rate,
+            },
+            "tasks_completed": queue_stats["tasks_completed"],
+            "queue_workers": queue_stats["workers"],
             "store": self.store.stats() if self.store is not None else None,
         }
 
-    def shutdown(self, *, wait: bool = False) -> None:
-        """Stop accepting jobs and release the pool."""
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting jobs and drain the embedded workers."""
         self._shutdown = True
-        self._pool.shutdown(wait=wait, cancel_futures=True)
+        for worker, _thread in self._embedded:
+            worker.request_stop()
+        if wait:
+            for _worker, thread in self._embedded:
+                thread.join(timeout=30.0)
+        self.queue.close()

@@ -1,18 +1,30 @@
-"""The HTTP front-end: a stdlib-only JSON API over the job manager.
+"""The HTTP front-end: a stdlib-only JSON API over the durable queue.
 
 Endpoints (all JSON)::
 
-    GET  /healthz            liveness: {"status": "ok", "version": ...}
-    GET  /v1/stats           jobs by status, worker pool, store stats
-    POST /v1/jobs            submit a job spec; 202 queued / 200 cached
-    GET  /v1/jobs/<id>       one job record (status, result when done)
-    GET  /v1/results/<key>   raw result-store payload by cache key
+    GET  /healthz                 liveness: {"status": "ok", ...}
+    GET  /v1/stats                queue depth, workers, store stats
+    POST /v1/jobs                 submit a job spec; 202 queued / 200 cached
+    GET  /v1/jobs/<id>            one job record (status, result when done)
+    GET  /v1/jobs/<id>/events     long-poll a state transition
+                                  (?since=<version>&timeout=<seconds>)
+    GET  /v1/results/<key>        raw result-store payload by cache key
+
+Errors use one envelope everywhere::
+
+    {"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+
+with codes ``bad_request`` (400), ``not_found`` (404), ``rate_limited``
+(429, with a ``Retry-After`` header), ``unavailable`` (503), and
+``internal`` (500 — sanitized; tracebacks go to the log, never the
+client).
 
 Built on ``http.server.ThreadingHTTPServer`` — no third-party web stack,
 so a clean wheel install serves traffic with nothing but the standard
-library.  Each request thread only touches the in-memory registry and
-the on-disk store; the heavy lifting happens on the manager's bounded
-worker pool, so polling stays microsecond-cheap while eigensweeps run.
+library.  Request threads only touch the queue database and the on-disk
+store; the heavy lifting happens in queue workers (embedded threads
+and/or external ``repro worker`` processes), so polling stays cheap
+while eigensweeps run.
 
 Embedding (tests, notebooks, the example client)::
 
@@ -31,17 +43,23 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.config import RunConfig
+from repro.queue import QueueConfig
 from repro.service.manager import JobError, JobManager
 from repro.utils.logging import get_logger
 
-__all__ = ["ReproServer", "MAX_BODY_BYTES", "describe_manager"]
+__all__ = ["ReproServer", "MAX_BODY_BYTES", "MAX_POLL_SECONDS", "describe_manager"]
 
 _LOG = get_logger("service.http")
 
 #: Upper bound on request bodies (model payloads are a few MiB at most).
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Upper bound on one ``/events`` long-poll (clients re-poll to wait
+#: longer; unbounded waits would pin handler threads forever).
+MAX_POLL_SECONDS = 60.0
 
 
 def _repro_version() -> str:
@@ -64,13 +82,32 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         _LOG.debug("%s - %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, *, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error_json(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        headers: Optional[dict] = None,
+    ) -> None:
+        """The one error envelope every endpoint speaks."""
+        self._send_json(
+            status,
+            {"error": {"code": code, "message": message}},
+            headers=headers,
+        )
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -89,10 +126,33 @@ class _Handler(BaseHTTPRequestHandler):
             raise JobError("request body must be a JSON object")
         return doc
 
+    def _query(self) -> dict:
+        return parse_qs(urlsplit(self.path).query)
+
+    def _query_number(self, query: dict, name: str, default: float) -> float:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return float(values[-1])
+        except ValueError as exc:
+            raise JobError(f"query parameter {name!r} must be a number") from exc
+
     # -- routes -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            self._route_get()
+        except JobError as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        except Exception:
+            # Sanitized: the traceback goes to the server log only —
+            # clients never see internals.
+            _LOG.exception("unhandled error serving GET %s", self.path)
+            self._send_error_json(500, "internal", "internal server error")
+
+    def _route_get(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/") or "/"
         if path == "/healthz":
             server: ReproServer = self.server  # type: ignore[assignment]
             self._send_json(
@@ -107,11 +167,29 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/v1/stats":
             self._send_json(200, self.manager.stats())
             return
+        if path.startswith("/v1/jobs/") and path.endswith("/events"):
+            job_id = path[len("/v1/jobs/"):-len("/events")]
+            query = self._query()
+            since = int(self._query_number(query, "since", 0))
+            timeout = min(
+                MAX_POLL_SECONDS,
+                max(0.0, self._query_number(query, "timeout", 30.0)),
+            )
+            record = self.manager.events(job_id, since=since, timeout=timeout)
+            if record is None:
+                self._send_error_json(
+                    404, "not_found", f"unknown job id {job_id!r}"
+                )
+                return
+            self._send_json(200, record.to_dict())
+            return
         if path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             record = self.manager.get(job_id)
             if record is None:
-                self._send_json(404, {"error": f"unknown job id {job_id!r}"})
+                self._send_error_json(
+                    404, "not_found", f"unknown job id {job_id!r}"
+                )
                 return
             self._send_json(200, record.to_dict())
             return
@@ -119,38 +197,56 @@ class _Handler(BaseHTTPRequestHandler):
             key = path[len("/v1/results/"):]
             payload = self.manager.result_payload(key)
             if payload is None:
-                self._send_json(
-                    404, {"error": f"no stored result under key {key!r}"}
+                self._send_error_json(
+                    404, "not_found", f"no stored result under key {key!r}"
                 )
                 return
             self._send_json(200, {"key": key, "payload": payload})
             return
-        self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+        self._send_error_json(404, "not_found", f"unknown endpoint {path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/v1/jobs":
-            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
-            return
         try:
-            spec = self._read_json_body()
-            record = self.manager.submit(spec)
+            self._route_post()
         except (JobError, TypeError, ValueError) as exc:
             # TypeError covers malformed numeric fields (e.g. "seed":
             # null) raised by the int()/float() coercions — a client
             # error, not a server crash.
-            self._send_json(400, {"error": str(exc)})
-            return
+            self._send_error_json(400, "bad_request", str(exc))
         except RuntimeError as exc:
-            self._send_json(503, {"error": str(exc)})
+            self._send_error_json(503, "unavailable", str(exc))
+        except Exception:
+            _LOG.exception("unhandled error serving POST %s", self.path)
+            self._send_error_json(500, "internal", "internal server error")
+
+    def _route_post(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/v1/jobs":
+            self._send_error_json(
+                404, "not_found", f"unknown endpoint {path!r}"
+            )
             return
+        allowed, retry_after = self.manager.check_rate(
+            self.client_address[0]
+        )
+        if not allowed:
+            self._send_error_json(
+                429,
+                "rate_limited",
+                "job submission rate exceeded; retry after"
+                f" {retry_after:.1f}s",
+                headers={"Retry-After": f"{max(1, round(retry_after))}"},
+            )
+            return
+        spec = self._read_json_body()
+        record = self.manager.submit(spec)
         # A cached submission is complete right now (200); fresh work is
         # accepted for asynchronous execution (202).
         self._send_json(200 if record.cached else 202, record.to_dict())
 
 
 class ReproServer(ThreadingHTTPServer):
-    """The macromodel service: HTTP server + job manager in one object."""
+    """The macromodel service: HTTP server + queue front-end in one object."""
 
     daemon_threads = True
 
@@ -172,6 +268,8 @@ class ReproServer(ThreadingHTTPServer):
         backend: str = "process",
         num_poles: int = 30,
         margin: float = 0.002,
+        queue_config: Optional[QueueConfig] = None,
+        queue_path: Optional[str] = None,
     ) -> "ReproServer":
         """Build a server on ``host:port`` (0 binds an ephemeral port)."""
         manager = JobManager(
@@ -181,6 +279,8 @@ class ReproServer(ThreadingHTTPServer):
             backend=backend,
             num_poles=num_poles,
             margin=margin,
+            queue_config=queue_config,
+            queue_path=queue_path,
         )
         return cls((host, port), manager)
 
@@ -206,7 +306,7 @@ class ReproServer(ThreadingHTTPServer):
         return self._thread
 
     def stop(self) -> None:
-        """Shut the HTTP loop and the worker pool down."""
+        """Shut the HTTP loop down and drain the embedded workers."""
         self.shutdown()
         self.server_close()
         self.manager.shutdown()
@@ -237,6 +337,9 @@ def describe_manager(manager: JobManager, host: str, port: int) -> dict:
         "num_poles": manager.num_poles,
         "margin": manager.margin,
         "config": manager.config.to_dict(),
+        "queue": dict(
+            manager.queue_config.to_dict(), path=str(manager.queue_path)
+        ),
         "store": None
         if manager.store is None
         else {

@@ -1,0 +1,198 @@
+"""Crash recovery: kill -9 a worker mid-job, every job still completes.
+
+The durability contract of the queue, asserted end to end with real
+``repro worker`` processes:
+
+* a SIGKILLed worker's leased job is reclaimed after its lease expires
+  and re-executed by a surviving worker (attempts == 2);
+* every other job completes exactly once (attempts == 1);
+* the content-addressed store holds exactly one entry per unique job —
+  no duplicated writes from the crash/retry cycle;
+* the surviving worker drains gracefully on SIGTERM and exits 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.queue import JobQueue, QueueConfig, QueueWorker, parse_spec
+from repro.store import ResultStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: ~1 s of serial Hamiltonian work — long enough to SIGKILL mid-job.
+SLOW_SPEC = {"kind": "synth", "order": 40, "ports": 4, "seed": 7, "task": "check"}
+#: ~0.1 s each — the background fleet traffic.
+FAST_SPEC = {"kind": "synth", "order": 6, "ports": 2, "task": "check"}
+
+
+def _spawn_worker(queue_path, worker_id, *extra):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--queue",
+            str(queue_path),
+            "--worker-id",
+            worker_id,
+            "--backend",
+            "serial",
+            "--lease",
+            "3",
+            "--heartbeat",
+            "0.5",
+            "--poll",
+            "0.05",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _wait_until(predicate, *, budget, what):
+    deadline = time.time() + budget
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _crash_free_baseline(tmp_path, specs):
+    """Store entry count after a clean in-process run of ``specs``."""
+    config = RunConfig(cache="readwrite", cache_dir=str(tmp_path / "baseline"))
+    with JobQueue(tmp_path / "baseline.sqlite3") as queue:
+        for index, spec in enumerate(specs):
+            parsed = parse_spec(spec, base_config=config, job_id=f"ref{index}")
+            queue.enqueue(
+                job_id=f"ref{index}",
+                task=parsed.task,
+                name=parsed.name,
+                kind=parsed.kind,
+                spec=parsed.resolved_spec(),
+                key=parsed.key,
+            )
+        worker = QueueWorker(
+            tmp_path / "baseline.sqlite3",
+            backend="serial",
+            max_jobs=len(specs),
+            queue_config=QueueConfig(poll_seconds=0.02),
+        )
+        assert worker.run() == len(specs)
+    return ResultStore.from_config(config).stats()["entries"]
+
+
+def test_killed_worker_never_loses_a_job(tmp_path):
+    queue_path = tmp_path / "queue.sqlite3"
+    config = RunConfig(cache="readwrite", cache_dir=str(tmp_path / "store"))
+    queue = JobQueue(queue_path)
+    victim = survivor = None
+    try:
+        # The slow job is enqueued first so the first worker (the
+        # victim) claims it; five fast jobs ride behind it.
+        specs = [SLOW_SPEC] + [dict(FAST_SPEC, seed=seed) for seed in range(5)]
+        rows = []
+        for index, spec in enumerate(specs):
+            parsed = parse_spec(spec, base_config=config, job_id=f"job{index}")
+            rows.append(
+                queue.enqueue(
+                    job_id=f"job{index}",
+                    task=parsed.task,
+                    name=parsed.name,
+                    kind=parsed.kind,
+                    spec=parsed.resolved_spec(),
+                    key=parsed.key,
+                )
+            )
+        assert len({row.key for row in rows}) == len(rows)
+
+        victim = _spawn_worker(queue_path, "victim")
+
+        def victim_is_mid_job():
+            row = queue.get("job0")
+            return (
+                row is not None
+                and row.state == "running"
+                and row.worker == "victim"
+            )
+
+        _wait_until(
+            victim_is_mid_job,
+            budget=60.0,
+            what="the victim to claim the slow job",
+        )
+        # kill -9: no drain, no ack, no lease release — presumed dead.
+        victim.kill()
+        victim.wait(timeout=30.0)
+
+        survivor = _spawn_worker(queue_path, "survivor")
+        _wait_until(
+            lambda: all(queue.get(row.id).terminal for row in rows),
+            budget=120.0,
+            what="every job to reach a terminal state",
+        )
+
+        for row in rows:
+            final = queue.get(row.id)
+            assert final.state == "done", (final.id, final.state, final.error)
+            assert final.result["status"] == "ok"
+        # The victim's job took exactly one extra attempt — reclaimed
+        # once, completed once, never duplicated.
+        assert queue.get("job0").attempts == 2
+        assert all(queue.get(f"job{i}").attempts == 1 for i in range(1, 6))
+
+        # No duplicated store writes: the crashed-and-recovered store
+        # holds exactly the entries a crash-free run of the same six
+        # jobs produces (pipeline stages included), and every job key
+        # resolves.
+        store = ResultStore.from_config(config)
+        for row in rows:
+            assert store.get(row.key) is not None
+        baseline = _crash_free_baseline(tmp_path, specs)
+        assert store.stats()["entries"] == baseline
+
+        # The survivor drains gracefully: SIGTERM, finish, exit 0.
+        survivor.send_signal(signal.SIGTERM)
+        assert survivor.wait(timeout=120.0) == 0
+        output = survivor.stdout.read().decode()
+        assert "drain requested" in output
+        survivor = None
+    finally:
+        for proc in (victim, survivor):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        queue.close()
+
+
+def test_exhausted_attempts_fail_with_the_reason_recorded(tmp_path):
+    """When every attempt dies, the job fails terminally — not silently."""
+    queue = JobQueue(tmp_path / "queue.sqlite3", max_attempts=2)
+    try:
+        queue.enqueue(
+            job_id="doomed",
+            task="check",
+            name="doomed",
+            kind="synth",
+            spec={"kind": "synth"},
+        )
+        for worker in ("w1", "w2"):
+            row = queue.claim(worker, lease_seconds=0.0)
+            assert row is not None and row.worker == worker
+        assert queue.claim("w3") is None  # reclaim fails it terminally
+        final = queue.get("doomed")
+        assert final.state == "failed"
+        assert "lease expired" in final.error and "w2" in final.error
+    finally:
+        queue.close()

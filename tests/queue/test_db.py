@@ -1,0 +1,285 @@
+"""JobQueue: atomic claims, leases, guarded acks, admin operations."""
+
+import threading
+
+import pytest
+
+from repro.queue import JOB_STATES, TERMINAL_STATES, JobQueue
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    q = JobQueue(tmp_path / "queue.sqlite3")
+    yield q
+    q.close()
+
+
+def _enqueue(queue, job_id, **overrides):
+    fields = dict(
+        job_id=job_id,
+        task="check",
+        name=f"check-{job_id}",
+        kind="synth",
+        spec={"kind": "synth", "order": 6, "seed": int(job_id[-1], 36)},
+        key=f"key-{job_id}",
+    )
+    fields.update(overrides)
+    return queue.enqueue(**fields)
+
+
+class TestEnqueueAndClaim:
+    def test_enqueue_returns_the_stored_row(self, queue):
+        row = _enqueue(queue, "a1")
+        assert row.id == "a1"
+        assert row.state == "queued"
+        assert row.attempts == 0
+        assert row.spec["order"] == 6
+        assert not row.terminal
+        assert row.status == row.state
+
+    def test_claim_is_fifo_and_stamps_the_lease(self, queue):
+        _enqueue(queue, "a1")
+        _enqueue(queue, "a2")
+        first = queue.claim("w1", lease_seconds=60.0)
+        assert first.id == "a1"
+        assert first.state == "running"
+        assert first.worker == "w1"
+        assert first.attempts == 1
+        assert first.lease_expires is not None
+        second = queue.claim("w1")
+        assert second.id == "a2"
+        assert queue.claim("w1") is None
+
+    def test_two_connections_never_claim_the_same_job(self, queue, tmp_path):
+        # Two JobQueue handles over the same file (as two worker
+        # processes would hold), racing claims from threads.
+        for i in range(20):
+            _enqueue(queue, f"j{i:02d}")
+        other = JobQueue(tmp_path / "queue.sqlite3")
+        claimed, start = [], threading.Barrier(2)
+
+        def drain(q, worker):
+            start.wait()
+            while True:
+                row = q.claim(worker, lease_seconds=60.0)
+                if row is None:
+                    return
+                claimed.append(row.id)
+
+        threads = [
+            threading.Thread(target=drain, args=(queue, "w1")),
+            threading.Thread(target=drain, args=(other, "w2")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        other.close()
+        assert sorted(claimed) == [f"j{i:02d}" for i in range(20)]
+        assert len(set(claimed)) == 20  # no double-claims
+
+    def test_begin_immediate_fallback_claims_identically(self, queue):
+        # Force the pre-3.35 path: same guarded flip, no RETURNING.
+        queue._returning = False
+        _enqueue(queue, "a1")
+        _enqueue(queue, "a2")
+        row = queue.claim("w1")
+        assert row.id == "a1" and row.state == "running"
+        assert row.worker == "w1" and row.attempts == 1
+        assert queue.claim("w1").id == "a2"
+        assert queue.claim("w1") is None
+
+    def test_cached_result_rows_are_born_done(self, queue):
+        row = _enqueue(queue, "a1", cached_result={"status": "ok"})
+        assert row.state == "done"
+        assert row.cached is True
+        assert row.result == {"status": "ok"}
+        assert queue.claim("w1") is None  # nothing runnable
+
+
+class TestLeases:
+    def test_heartbeat_extends_only_while_owned(self, queue):
+        _enqueue(queue, "a1")
+        row = queue.claim("w1", lease_seconds=30.0)
+        assert queue.heartbeat(row.id, "w1", lease_seconds=30.0) is True
+        assert queue.heartbeat(row.id, "imposter") is False
+        assert queue.owns(row.id, "w1") is True
+        assert queue.owns(row.id, "imposter") is False
+
+    def test_expired_lease_requeues_then_fails(self, queue):
+        _enqueue(queue, "a1", max_attempts=2)
+        first = queue.claim("w1", lease_seconds=0.0)
+        assert first.attempts == 1
+        # The lease is already expired; the next claim reclaims and
+        # immediately re-claims the job for the new worker.
+        second = queue.claim("w2", lease_seconds=0.0)
+        assert second.id == "a1"
+        assert second.worker == "w2"
+        assert second.attempts == 2
+        # Attempts are exhausted: the next reclaim fails it terminally,
+        # recording who was last seen holding it.
+        assert queue.claim("w3") is None
+        row = queue.get("a1")
+        assert row.state == "failed"
+        assert row.worker is None
+        assert "lease expired after 2 attempt(s)" in row.error
+        assert "w2" in row.error
+
+    def test_live_leases_are_not_reclaimed(self, queue):
+        _enqueue(queue, "a1")
+        queue.claim("w1", lease_seconds=3600.0)
+        assert queue.reclaim_expired() == 0
+        assert queue.get("a1").state == "running"
+
+
+class TestAck:
+    def test_ack_records_the_outcome(self, queue):
+        _enqueue(queue, "a1")
+        row = queue.claim("w1")
+        before = row.version
+        assert queue.ack(row.id, "w1", state="done", result={"x": 1}) is True
+        row = queue.get("a1")
+        assert row.state == "done"
+        assert row.result == {"x": 1}
+        assert row.worker is None
+        assert row.finished is not None
+        assert row.version > before
+
+    def test_zombie_worker_cannot_overwrite(self, queue):
+        """The exactly-once guarantee: a reclaimed worker's ack bounces."""
+        _enqueue(queue, "a1", max_attempts=5)
+        queue.claim("w1", lease_seconds=0.0)  # w1's lease dies instantly
+        queue.claim("w2", lease_seconds=3600.0)  # reclaim hands it to w2
+        assert queue.ack("a1", "w1", state="done", result={"from": "w1"}) is False
+        assert queue.ack("a1", "w2", state="done", result={"from": "w2"}) is True
+        assert queue.get("a1").result == {"from": "w2"}
+        # ... and a second ack from anyone is too late.
+        assert queue.ack("a1", "w2", state="error", error="again") is False
+
+    def test_ack_rejects_non_terminal_states(self, queue):
+        _enqueue(queue, "a1")
+        queue.claim("w1")
+        with pytest.raises(ValueError, match="ack state"):
+            queue.ack("a1", "w1", state="queued")
+
+    def test_release_requeues_without_an_outcome(self, queue):
+        _enqueue(queue, "a1")
+        row = queue.claim("w1")
+        assert queue.release(row.id, "w1") is True
+        fresh = queue.get("a1")
+        assert fresh.state == "queued"
+        assert fresh.attempts == 1  # the attempt stays counted
+        assert queue.release("a1", "w1") is False  # no longer owned
+
+
+class TestAdmin:
+    def test_retry_requeues_only_terminal_jobs(self, queue):
+        _enqueue(queue, "a1")
+        queue.claim("w1")
+        assert queue.retry("a1") is False  # running → untouchable
+        queue.ack("a1", "w1", state="error", error="boom")
+        assert queue.retry("a1") is True
+        row = queue.get("a1")
+        assert row.state == "queued"
+        assert row.attempts == 0 and row.error is None and row.result is None
+        assert queue.retry("missing") is False
+
+    def test_purge_deletes_one_terminal_state(self, queue):
+        for i, state in enumerate(("error", "error", "done")):
+            _enqueue(queue, f"a{i}")
+            queue.claim("w1")
+            queue.ack(f"a{i}", "w1", state=state)
+        _enqueue(queue, "live")
+        assert queue.purge("error") == 2
+        assert queue.get("a2").state == "done"
+        assert queue.get("live").state == "queued"
+        with pytest.raises(ValueError, match="terminal"):
+            queue.purge("queued")
+
+    def test_list_filters_and_orders_newest_first(self, queue):
+        _enqueue(queue, "a1")
+        _enqueue(queue, "a2", task="simulate")
+        _enqueue(queue, "a3")
+        assert [r.id for r in queue.list()] == ["a3", "a2", "a1"]
+        assert [r.id for r in queue.list(task="simulate")] == ["a2"]
+        assert [r.id for r in queue.list(state="queued", limit=1)] == ["a3"]
+        with pytest.raises(ValueError, match="unknown state"):
+            queue.list(state="pending")
+
+
+class TestEvents:
+    def test_wait_for_version_returns_on_transition(self, queue):
+        _enqueue(queue, "a1")
+        row = queue.get("a1")
+
+        def finish():
+            claimed = queue.claim("w1")
+            queue.ack(claimed.id, "w1", state="done", result={})
+
+        timer = threading.Timer(0.1, finish)
+        timer.start()
+        try:
+            fresh = queue.wait_for_version(
+                "a1", since=row.version, timeout=30.0, poll=0.01
+            )
+        finally:
+            timer.join()
+        assert fresh.version > row.version
+
+    def test_wait_for_version_times_out_with_current_row(self, queue):
+        _enqueue(queue, "a1")
+        row = queue.get("a1")
+        same = queue.wait_for_version(
+            "a1", since=row.version, timeout=0.05, poll=0.01
+        )
+        assert same.version == row.version
+
+    def test_terminal_rows_return_immediately(self, queue):
+        _enqueue(queue, "a1", cached_result={"status": "ok"})
+        row = queue.get("a1")
+        # since == current version would normally block, but a terminal
+        # row will never change again — no point waiting.
+        assert (
+            queue.wait_for_version("a1", since=row.version, timeout=30.0).id
+            == "a1"
+        )
+
+    def test_unknown_id_is_none(self, queue):
+        assert queue.wait_for_version("nope", timeout=0.0) is None
+
+
+class TestStats:
+    def test_depth_covers_every_state(self, queue):
+        assert queue.depth() == {state: 0 for state in JOB_STATES}
+        _enqueue(queue, "a1")
+        _enqueue(queue, "a2")
+        queue.claim("w1")
+        depth = queue.depth()
+        assert depth["queued"] == 1 and depth["running"] == 1
+
+    def test_stats_aggregates(self, queue):
+        _enqueue(queue, "a1", cached_result={"status": "ok"})
+        _enqueue(queue, "a2", task="simulate")
+        queue.claim("w1")
+        queue.ack("a2", "w1", state="done", result={})
+        stats = queue.stats()
+        assert stats["total"] == 2
+        assert stats["cached"] == 1
+        assert stats["completed"] == 2
+        assert stats["tasks_completed"] == {"check": 1, "simulate": 1}
+        assert stats["depth"]["done"] == 2
+
+    def test_worker_registry(self, queue):
+        queue.register_worker("w1", pid=4242)
+        queue.worker_update("w1", state="running", job_id="a1")
+        (worker,) = queue.workers()
+        assert worker["id"] == "w1" and worker["pid"] == 4242
+        assert worker["state"] == "running" and worker["job_id"] == "a1"
+        assert worker["heartbeat_age"] >= 0.0
+        queue.worker_update("w1", state="idle", bump_done=True)
+        queue.worker_update("w1", state="idle", bump_done=True)
+        (worker,) = queue.workers()
+        assert worker["jobs_done"] == 2
+
+    def test_terminal_states_are_a_subset_of_states(self):
+        assert set(TERMINAL_STATES) < set(JOB_STATES)

@@ -1,0 +1,95 @@
+"""QueueConfig: validation, environment layering, path resolution."""
+
+import pytest
+
+from repro.core.config import ConfigError
+from repro.queue import QUEUE_FILENAME, QueueConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = QueueConfig()
+        assert config.lease_seconds > config.heartbeat_seconds
+        assert config.max_attempts >= 1
+        assert config.rate == 0.0  # limiting off by default
+
+    def test_heartbeat_must_stay_below_lease(self):
+        with pytest.raises(ValueError, match="heartbeat"):
+            QueueConfig(lease_seconds=10.0, heartbeat_seconds=10.0)
+        with pytest.raises(ValueError, match="heartbeat"):
+            QueueConfig(lease_seconds=5.0, heartbeat_seconds=9.0)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("lease_seconds", 0.0),
+            ("heartbeat_seconds", -1.0),
+            ("poll_seconds", 0.0),
+            ("max_attempts", 0),
+            ("rate", -1.0),
+            ("burst", 0),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises((TypeError, ValueError)):
+            QueueConfig(**{field: value})
+
+    def test_merged_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown QueueConfig field"):
+            QueueConfig().merged(lease=5.0)
+
+    def test_merged_revalidates(self):
+        with pytest.raises(ValueError, match="heartbeat"):
+            QueueConfig().merged(lease_seconds=1.0)
+
+
+class TestFromEnv:
+    def test_reads_every_knob(self):
+        config = QueueConfig.from_env(
+            {
+                "REPRO_QUEUE_PATH": "/tmp/q.sqlite3",
+                "REPRO_QUEUE_LEASE": "120",
+                "REPRO_QUEUE_HEARTBEAT": "20",
+                "REPRO_QUEUE_POLL": "0.5",
+                "REPRO_QUEUE_MAX_ATTEMPTS": "5",
+                "REPRO_QUEUE_RATE": "2.5",
+                "REPRO_QUEUE_BURST": "40",
+            }
+        )
+        assert config.path == "/tmp/q.sqlite3"
+        assert config.lease_seconds == 120.0
+        assert config.heartbeat_seconds == 20.0
+        assert config.poll_seconds == 0.5
+        assert config.max_attempts == 5
+        assert config.rate == 2.5
+        assert config.burst == 40
+
+    def test_empty_environment_returns_base(self):
+        base = QueueConfig(lease_seconds=90.0)
+        assert QueueConfig.from_env({}, base=base) is base
+
+    def test_malformed_value_names_the_variable(self):
+        with pytest.raises(ConfigError, match="REPRO_QUEUE_LEASE"):
+            QueueConfig.from_env({"REPRO_QUEUE_LEASE": "soon"})
+
+    def test_semantic_rejection_is_config_error(self):
+        # Parseable floats that violate the heartbeat < lease invariant
+        # must still surface as the one environment error type.
+        with pytest.raises(ConfigError, match="heartbeat"):
+            QueueConfig.from_env(
+                {"REPRO_QUEUE_LEASE": "5", "REPRO_QUEUE_HEARTBEAT": "9"}
+            )
+
+    def test_round_trips_to_dict(self):
+        config = QueueConfig(lease_seconds=30.0, heartbeat_seconds=5.0)
+        assert QueueConfig(**config.to_dict()) == config
+
+
+class TestResolvePath:
+    def test_explicit_path_wins(self, tmp_path):
+        config = QueueConfig(path=str(tmp_path / "x.db"))
+        assert config.resolve_path(tmp_path / "store") == tmp_path / "x.db"
+
+    def test_defaults_next_to_the_store(self, tmp_path):
+        resolved = QueueConfig().resolve_path(tmp_path / "store")
+        assert resolved == tmp_path / "store" / QUEUE_FILENAME

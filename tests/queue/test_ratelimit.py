@@ -1,0 +1,89 @@
+"""Token-bucket rate limiter: burst, refill, isolation, pruning."""
+
+import pytest
+
+import repro.queue.ratelimit as ratelimit
+from repro.queue import TokenBucketLimiter
+
+
+class TestDisabled:
+    def test_rate_zero_allows_everything(self):
+        limiter = TokenBucketLimiter(rate=0.0, burst=1)
+        assert limiter.enabled is False
+        for _ in range(1000):
+            allowed, retry_after = limiter.allow("client")
+            assert allowed is True and retry_after == 0.0
+        assert limiter._buckets == {}  # no bookkeeping when disabled
+
+
+class TestBucket:
+    def test_burst_then_429(self):
+        limiter = TokenBucketLimiter(rate=1.0, burst=3)
+        assert limiter.enabled is True
+        for _ in range(3):
+            assert limiter.allow("c", now=100.0) == (True, 0.0)
+        allowed, retry_after = limiter.allow("c", now=100.0)
+        assert allowed is False
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        limiter = TokenBucketLimiter(rate=2.0, burst=2)
+        assert limiter.allow("c", now=0.0)[0]
+        assert limiter.allow("c", now=0.0)[0]
+        assert limiter.allow("c", now=0.0)[0] is False
+        # 0.5 s at 2 tokens/s refills exactly one token.
+        assert limiter.allow("c", now=0.5) == (True, 0.0)
+        assert limiter.allow("c", now=0.5)[0] is False
+
+    def test_refill_caps_at_burst(self):
+        limiter = TokenBucketLimiter(rate=10.0, burst=2)
+        limiter.allow("c", now=0.0)
+        # An hour idle refills to the cap, not to 36000 tokens.
+        for _ in range(2):
+            assert limiter.allow("c", now=3600.0)[0] is True
+        assert limiter.allow("c", now=3600.0)[0] is False
+
+    def test_clients_have_independent_buckets(self):
+        limiter = TokenBucketLimiter(rate=1.0, burst=1)
+        assert limiter.allow("a", now=0.0)[0] is True
+        assert limiter.allow("a", now=0.0)[0] is False
+        assert limiter.allow("b", now=0.0)[0] is True
+
+    def test_retry_after_shrinks_as_tokens_refill(self):
+        limiter = TokenBucketLimiter(rate=0.5, burst=1)
+        limiter.allow("c", now=0.0)
+        _, first = limiter.allow("c", now=0.0)
+        _, later = limiter.allow("c", now=1.0)
+        assert first == pytest.approx(2.0)
+        assert later < first
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises((TypeError, ValueError)):
+            TokenBucketLimiter(rate=-1.0)
+        with pytest.raises((TypeError, ValueError)):
+            TokenBucketLimiter(rate=1.0, burst=0)
+
+
+class TestPrune:
+    def test_idle_clients_are_forgotten(self, monkeypatch):
+        monkeypatch.setattr(ratelimit, "_MAX_CLIENTS", 4)
+        limiter = TokenBucketLimiter(rate=1.0, burst=1)
+        # Five clients drain their buckets at t=0 ...
+        for i in range(5):
+            limiter.allow(f"old-{i}", now=0.0)
+        assert len(limiter._buckets) == 5
+        # ... then one more miss far in the future triggers the prune:
+        # the old buckets have fully refilled and are dropped.
+        limiter.allow("new", now=100.0)
+        assert limiter.allow("new", now=100.0)[0] is False
+        assert set(limiter._buckets) == {"new"}
+
+    def test_active_clients_survive_the_prune(self, monkeypatch):
+        monkeypatch.setattr(ratelimit, "_MAX_CLIENTS", 2)
+        limiter = TokenBucketLimiter(rate=1.0, burst=10)
+        for i in range(3):
+            limiter.allow(f"idle-{i}", now=0.0)
+        for _ in range(10):
+            limiter.allow("busy", now=99.5)  # drained just before the prune
+        limiter.allow("busy", now=100.0)
+        assert "busy" in limiter._buckets

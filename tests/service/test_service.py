@@ -55,10 +55,26 @@ def _wait(server, job_id, timeout=60.0):
     while time.time() < deadline:
         status, record = _get(server, f"/v1/jobs/{job_id}")
         assert status == 200
-        if record["status"] in ("done", "error", "timeout"):
+        if record["status"] in ("done", "error", "timeout", "failed"):
             return record
         time.sleep(0.02)
     raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+def _finish(manager, record, timeout=120.0):
+    """Poll the manager until the submitted job reaches a terminal state.
+
+    Queue rows are immutable snapshots — progress is observed by
+    re-reading, not by watching the returned object mutate.
+    """
+    deadline = time.time() + timeout
+    row = record
+    while time.time() < deadline:
+        row = manager.get(record.id)
+        if row is not None and row.terminal:
+            return row
+        time.sleep(0.02)
+    raise AssertionError(f"job {record.id} did not finish within {timeout}s")
 
 
 class TestEndpoints:
@@ -141,24 +157,29 @@ class TestEndpoints:
         assert finished["result"]["session"]["fit"]["num_poles"] == 12
 
     def test_errors(self, server):
+        # Every error speaks the one envelope: {"error": {code, message}}.
         status, payload = _get(server, "/v1/jobs/doesnotexist")
-        assert status == 404 and "error" in payload
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        assert "doesnotexist" in payload["error"]["message"]
         status, payload = _get(server, "/v1/results/doesnotexist")
-        assert status == 404
+        assert status == 404 and payload["error"]["code"] == "not_found"
         status, payload = _get(server, "/nope")
-        assert status == 404
+        assert status == 404 and payload["error"]["code"] == "not_found"
         status, payload = _post(server, "/v1/jobs", {"kind": "bogus"})
-        assert status == 400 and "job kind" in payload["error"]
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "job kind" in payload["error"]["message"]
         status, payload = _post(server, "/v1/jobs", {"task": "explode"})
         assert status == 400
         status, payload = _post(
             server, "/v1/jobs", {"kind": "touchstone", "path": "/no/such.s2p"}
         )
-        assert status == 400 and "not found" in payload["error"]
+        assert status == 400 and "not found" in payload["error"]["message"]
         status, payload = _post(
             server, "/v1/jobs", {"config": {"num_threads": -2}}
         )
-        assert status == 400 and "config" in payload["error"]
+        assert status == 400 and "config" in payload["error"]["message"]
         # Malformed numeric fields must be a 400 JSON body, not a
         # dropped connection (TypeError path through int()/float()).
         for bad in (
@@ -169,6 +190,7 @@ class TestEndpoints:
         ):
             status, payload = _post(server, "/v1/jobs", bad)
             assert status == 400 and "error" in payload, (bad, status, payload)
+            assert payload["error"]["code"] == "bad_request"
 
     def test_cache_off_override_forces_recompute(self, server):
         finished = _wait(server, _post(server, "/v1/jobs", SPEC)[1]["id"])
@@ -212,49 +234,51 @@ class TestManagerUnit:
 
     def test_shutdown_refuses_new_work(self, tmp_path):
         manager = JobManager(
-            config=RunConfig(cache="off"), workers=1, backend="serial"
+            config=RunConfig(cache="off"),
+            workers=1,
+            backend="serial",
+            queue_path=str(tmp_path / "q.sqlite3"),
         )
         manager.shutdown()
         with pytest.raises(RuntimeError):
             manager.submit(SPEC)
 
-    def test_registry_bounded_but_results_stay_fetchable(self, tmp_path):
+    def test_jobs_survive_a_manager_restart(self, tmp_path):
+        """The queue is the state: a restart forgets nothing."""
         config = RunConfig(
             cache="readwrite", cache_dir=str(tmp_path / "store")
         )
-        manager = JobManager(
-            config=config, workers=1, backend="serial", max_records=3
-        )
+        manager = JobManager(config=config, workers=1, backend="serial")
         try:
-            records = []
-            for seed in range(5):
-                spec = dict(SPEC, seed=seed)
-                record = manager.submit(spec)
-                deadline = time.time() + 120
-                while record.status not in ("done", "error") and time.time() < deadline:
-                    time.sleep(0.02)
-                assert record.status == "done"
-                records.append(record)
-            # The registry forgot the oldest finished jobs...
-            assert len(manager._jobs) <= 3
-            assert manager.get(records[0].id) is None
-            assert manager.get(records[-1].id) is not None
-            # ...but their results survive in the durable tier.
-            assert manager.result_payload(records[0].key) is not None
-            # And a resubmission of a forgotten job is still a cache hit.
-            assert manager.submit(dict(SPEC, seed=0)).cached is True
+            records = [
+                _finish(manager, manager.submit(dict(SPEC, seed=seed)))
+                for seed in range(3)
+            ]
         finally:
             manager.shutdown()
+        # A brand-new manager over the same store sees every job, its
+        # result, and the warmed cache — the in-memory-registry failure
+        # mode (restart loses everything) is gone.
+        reborn = JobManager(config=config, workers=0)
+        try:
+            for record in records:
+                row = reborn.get(record.id)
+                assert row is not None and row.status == "done"
+                assert row.result["status"] == "ok"
+            assert reborn.result_payload(records[0].key) is not None
+            assert reborn.submit(dict(SPEC, seed=0)).cached is True
+        finally:
+            reborn.shutdown()
 
     def test_cache_off_never_short_circuits(self, tmp_path):
         manager = JobManager(
-            config=RunConfig(cache="off"), workers=1, backend="serial"
+            config=RunConfig(cache="off"),
+            workers=1,
+            backend="serial",
+            queue_path=str(tmp_path / "q.sqlite3"),
         )
         try:
-            first = manager.submit(SPEC)
-            deadline = time.time() + 60
-            while first.status not in ("done", "error") and time.time() < deadline:
-                time.sleep(0.02)
+            first = _finish(manager, manager.submit(SPEC))
             assert first.status == "done"
             second = manager.submit(SPEC)
             assert second.cached is False

@@ -1,0 +1,190 @@
+"""Queue-backed service behaviors: events long-poll, 429s, clean 500s."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.queue import QueueConfig
+from repro.service import ReproServer
+
+SPEC = {"kind": "synth", "order": 6, "ports": 2, "seed": 3, "task": "check"}
+
+
+def _server(tmp_path, **kwargs):
+    kwargs.setdefault(
+        "config",
+        RunConfig(cache="readwrite", cache_dir=str(tmp_path / "store")),
+    )
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("backend", "serial")
+    server = ReproServer.create(port=0, **kwargs)
+    server.start_background()
+    return server
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=90) as response:
+            body = json.loads(response.read())
+            return response.status, dict(response.headers), body
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+def _post(server, path, doc):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=90) as response:
+            body = json.loads(response.read())
+            return response.status, dict(response.headers), body
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+class TestEvents:
+    def test_long_poll_follows_the_job_to_done(self, tmp_path):
+        server = _server(tmp_path)
+        try:
+            status, _, record = _post(server, "/v1/jobs", SPEC)
+            assert status == 202
+            # Follow versions until terminal: each long-poll returns as
+            # soon as the row changes (queued -> running -> done).
+            since, deadline = record["version"], time.time() + 120.0
+            while record["status"] not in ("done", "error", "timeout", "failed"):
+                assert time.time() < deadline
+                status, _, record = _get(
+                    server,
+                    f"/v1/jobs/{record['id']}/events"
+                    f"?since={since}&timeout=30",
+                )
+                assert status == 200
+                since = record["version"]
+            assert record["status"] == "done"
+            assert record["result"]["status"] == "ok"
+        finally:
+            server.stop()
+
+    def test_terminal_jobs_return_immediately(self, tmp_path):
+        server = _server(tmp_path)
+        try:
+            _, _, record = _post(server, "/v1/jobs", SPEC)
+            deadline = time.time() + 120.0
+            while _get(server, f"/v1/jobs/{record['id']}")[2]["status"] != "done":
+                assert time.time() < deadline
+                time.sleep(0.05)
+            started = time.time()
+            status, _, fresh = _get(
+                server,
+                f"/v1/jobs/{record['id']}/events"
+                f"?since={record['version'] + 100}&timeout=30",
+            )
+            # A done row never changes again: no point holding the poll.
+            assert status == 200 and fresh["status"] == "done"
+            assert time.time() - started < 10.0
+        finally:
+            server.stop()
+
+    def test_unknown_job_is_404(self, tmp_path):
+        server = _server(tmp_path, workers=0)
+        try:
+            status, _, payload = _get(server, "/v1/jobs/ghost/events?timeout=0")
+            assert status == 404
+            assert payload["error"]["code"] == "not_found"
+            assert "ghost" in payload["error"]["message"]
+        finally:
+            server.stop()
+
+    def test_malformed_since_is_400(self, tmp_path):
+        server = _server(tmp_path, workers=0)
+        try:
+            _, _, record = _post(server, "/v1/jobs", SPEC)
+            status, _, payload = _get(
+                server, f"/v1/jobs/{record['id']}/events?since=soon"
+            )
+            assert status == 400
+            assert payload["error"]["code"] == "bad_request"
+            assert "since" in payload["error"]["message"]
+        finally:
+            server.stop()
+
+
+class TestRateLimiting:
+    def test_429_with_retry_after(self, tmp_path):
+        server = _server(
+            tmp_path,
+            workers=0,
+            queue_config=QueueConfig(rate=0.001, burst=2),
+        )
+        try:
+            for expected in (202, 202):
+                status, _, _ = _post(server, "/v1/jobs", SPEC)
+                assert status == expected
+            status, headers, payload = _post(server, "/v1/jobs", SPEC)
+            assert status == 429
+            assert payload["error"]["code"] == "rate_limited"
+            assert "retry" in payload["error"]["message"]
+            assert int(headers["Retry-After"]) >= 1
+            # GETs are not rate limited — polling stays free.
+            assert _get(server, "/v1/stats")[0] == 200
+        finally:
+            server.stop()
+
+    def test_rate_zero_never_limits(self, tmp_path):
+        server = _server(tmp_path, workers=0)
+        try:
+            for _ in range(30):
+                assert _post(server, "/v1/jobs", SPEC)[0] == 202
+        finally:
+            server.stop()
+
+
+class TestSanitized500:
+    def test_internal_errors_hide_the_traceback(self, tmp_path):
+        server = _server(tmp_path, workers=0)
+        try:
+            # Break the manager from the outside: any unhandled failure
+            # must surface as the sanitized envelope, never a traceback.
+            def explode():
+                raise KeyError("secret internal detail")
+
+            server.manager.stats = explode
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/v1/stats", timeout=30)
+            assert err.value.code == 500
+            body = err.value.read().decode()
+            payload = json.loads(body)
+            assert payload["error"]["code"] == "internal"
+            assert payload["error"]["message"] == "internal server error"
+            assert "secret" not in body and "Traceback" not in body
+        finally:
+            server.stop()
+
+
+class TestStats:
+    def test_stats_expose_queue_and_worker_liveness(self, tmp_path):
+        server = _server(tmp_path, workers=1)
+        try:
+            _, _, record = _post(server, "/v1/jobs", SPEC)
+            deadline = time.time() + 120.0
+            while _get(server, f"/v1/jobs/{record['id']}")[2]["status"] != "done":
+                assert time.time() < deadline
+                time.sleep(0.05)
+            status, _, stats = _get(server, "/v1/stats")
+            assert status == 200
+            assert stats["jobs"]["done"] == 1
+            assert stats["tasks_completed"] == {"check": 1}
+            assert stats["queue"]["depth"]["queued"] == 0
+            (worker,) = stats["queue_workers"]
+            assert worker["heartbeat_age"] >= 0.0
+            assert worker["jobs_done"] == 1
+        finally:
+            server.stop()

@@ -18,6 +18,7 @@ def manager(tmp_path):
         workers=1,
         backend="serial",
         timeout=300.0,
+        queue_path=str(tmp_path / "q.sqlite3"),
     )
     yield mgr
     mgr.shutdown()
@@ -91,7 +92,11 @@ def test_simulate_job_runs_and_reports_gain(manager):
 
 def test_http_unknown_task_is_a_clean_400(tmp_path):
     server = ReproServer.create(
-        port=0, config=RunConfig(cache="off"), workers=1, backend="serial"
+        port=0,
+        config=RunConfig(cache="off"),
+        workers=1,
+        backend="serial",
+        queue_path=str(tmp_path / "q.sqlite3"),
     )
     server.start_background()
     try:
@@ -105,7 +110,8 @@ def test_http_unknown_task_is_a_clean_400(tmp_path):
             urllib.request.urlopen(request, timeout=30)
         assert err.value.code == 400
         body = json.loads(err.value.read())
+        assert body["error"]["code"] == "bad_request"
         for task in VALID_TASKS:
-            assert task in body["error"]
+            assert task in body["error"]["message"]
     finally:
         server.stop()

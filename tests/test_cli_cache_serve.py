@@ -48,6 +48,42 @@ class TestParser:
         assert args.cache == "readwrite"
         assert args.print_config is False
 
+    def test_serve_accepts_queue_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--queue",
+                "/tmp/q.sqlite3",
+                "--lease",
+                "90",
+                "--rate",
+                "2",
+                "--burst",
+                "5",
+            ]
+        )
+        assert args.queue == "/tmp/q.sqlite3"
+        assert args.lease == 90.0
+        assert args.rate == 2.0
+        assert args.burst == 5
+        assert {"queue", "lease", "rate", "burst"} <= args._explicit
+
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.backend == "process"
+        assert args.queue is None  # resolved from env/store at runtime
+        assert args.max_jobs is None and args.idle_exit is None
+
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])
+
+    def test_jobs_purge_requires_state(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs", "purge"])
+        args = build_parser().parse_args(["jobs", "purge", "--state", "failed"])
+        assert args.state == "failed"
+
 
 class TestCacheCommand:
     def test_stats_json_is_pure_json(self, tmp_path, capsys):
@@ -110,9 +146,12 @@ class TestServePrintConfig:
         assert payload["store"]["root"] == str(tmp_path)
         assert payload["port"] == 0  # the requested port, no socket bound
 
-    def test_print_config_works_while_the_port_is_taken(self, capsys):
+    def test_print_config_works_while_the_port_is_taken(
+        self, tmp_path, capsys, monkeypatch
+    ):
         import socket
 
+        monkeypatch.setenv("REPRO_QUEUE_PATH", str(tmp_path / "q.sqlite3"))
         with socket.socket() as sock:
             sock.bind(("127.0.0.1", 0))
             sock.listen(1)
@@ -122,7 +161,55 @@ class TestServePrintConfig:
             payload = json.loads(capsys.readouterr().out)
             assert payload["port"] == taken
 
+    def test_print_config_includes_the_queue(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--print-config",
+                "--port",
+                "0",
+                "--workers",
+                "0",
+                "--cache-dir",
+                str(tmp_path),
+                "--queue",
+                str(tmp_path / "q.sqlite3"),
+                "--lease",
+                "90",
+                "--rate",
+                "1.5",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queue"]["path"] == str(tmp_path / "q.sqlite3")
+        assert payload["queue"]["lease_seconds"] == 90.0
+        assert payload["queue"]["rate"] == 1.5
+
+    def test_queue_env_layers_under_flags(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_PATH", str(tmp_path / "env.sqlite3"))
+        monkeypatch.setenv("REPRO_QUEUE_MAX_ATTEMPTS", "7")
+        argv = [
+            "serve",
+            "--print-config",
+            "--port",
+            "0",
+            "--workers",
+            "0",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queue"]["path"] == str(tmp_path / "env.sqlite3")
+        assert payload["queue"]["max_attempts"] == 7
+        # An explicit flag beats the environment.
+        assert main(argv + ["--queue", str(tmp_path / "flag.sqlite3")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queue"]["path"] == str(tmp_path / "flag.sqlite3")
+
     def test_env_and_flags_layer(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_PATH", str(tmp_path / "q.sqlite3"))
         monkeypatch.setenv("REPRO_CACHE", "read")
         assert main(["serve", "--print-config", "--port", "0"]) == 0
         assert json.loads(capsys.readouterr().out)["config"]["cache"] == "read"
