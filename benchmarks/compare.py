@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -93,6 +94,35 @@ def _timings(payload: dict) -> Dict[str, float]:
             continue
         timings[str(name)] = float(seconds)
     return timings
+
+
+def fleet_gate_skip_reason(
+    current: dict, cpu_count: Optional[int] = None
+) -> Optional[str]:
+    """Why the ``batch_fleet`` stage should not be gated on this host.
+
+    The fleet stage measures process-pool speedup, which is meaningless
+    on a single-core runner (or when the run recorded a one-worker
+    pool): the "parallel" timing degenerates to serial-plus-overhead and
+    the gate would flag infrastructure, not code.  Returns a
+    human-readable reason to skip, or ``None`` to gate normally.
+    """
+    cores = os.cpu_count() if cpu_count is None else cpu_count
+    if cores is not None and cores < 2:
+        return (
+            f"host has {cores} CPU core(s); the process-pool timing is"
+            " serial-plus-overhead here, not a regression signal"
+        )
+    for stage in current.get("stages", []):
+        if stage.get("name") != "batch_fleet":
+            continue
+        workers = (stage.get("extra") or {}).get("workers")
+        if workers == 1:
+            return (
+                "the current run recorded workers: 1; a one-worker pool"
+                " measures overhead, not parallel speed"
+            )
+    return None
 
 
 def compare_payloads(
@@ -176,12 +206,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"benchmark gate: threshold +{args.threshold:.0%},"
         f" noise floor {args.min_seconds:g}s"
     )
+    skipped: Dict[str, str] = {}
+    fleet_reason = fleet_gate_skip_reason(current)
+    if fleet_reason is not None:
+        skipped["batch_fleet"] = fleet_reason
     for diff in diffs:
-        print(diff.format_row())
+        if diff.name in skipped:
+            print(f"SKIP  {diff.name:<24} {skipped[diff.name]}")
+        else:
+            print(diff.format_row())
     for name in missing:
         print(f"GONE  {name:<24} present in baseline, absent from current run")
 
-    regressions = [diff for diff in diffs if diff.regressed]
+    regressions = [
+        diff for diff in diffs if diff.regressed and diff.name not in skipped
+    ]
     if missing:
         print(
             f"{len(missing)} baseline stage(s) missing from the current run",

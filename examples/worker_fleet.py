@@ -30,20 +30,47 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.error
 import urllib.request
+
+#: Retry budget for throttled (429) / temporarily unavailable (503)
+#: responses — both carry Retry-After, the server's own backoff advice.
+RETRYABLE_STATUSES = (429, 503)
+MAX_RETRIES = 8
+
+
+def _retry_delay(response_headers, attempt: int) -> float:
+    """Honor the server's Retry-After; fall back to linear backoff."""
+    try:
+        delay = float(response_headers.get("Retry-After"))
+    except (TypeError, ValueError):
+        delay = 0.5 * (attempt + 1)
+    return min(max(delay, 0.0), 30.0)
 
 
 def api(base_url: str, path: str, doc=None, timeout: float = 90.0):
-    """One JSON round trip (GET when ``doc`` is None, else POST)."""
+    """One JSON round trip (GET when ``doc`` is None, else POST).
+
+    Rate-limited (429) and degraded-service (503) responses are retried
+    after the delay the server asks for in ``Retry-After`` — transient
+    congestion is the service telling the client *when* to come back,
+    not a failure.
+    """
     data = None if doc is None else json.dumps(doc).encode("utf-8")
-    request = urllib.request.Request(
-        base_url + path,
-        data=data,
-        headers={"Content-Type": "application/json"},
-        method="GET" if doc is None else "POST",
-    )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read())
+    for attempt in range(MAX_RETRIES + 1):
+        request = urllib.request.Request(
+            base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="GET" if doc is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code not in RETRYABLE_STATUSES or attempt >= MAX_RETRIES:
+                raise
+            time.sleep(_retry_delay(exc.headers, attempt))
 
 
 def watch(base_url: str, record: dict, budget: float = 600.0) -> dict:

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.batch.jobs import BatchJob, JobSource, expand_jobs
 from repro.core.config import RunConfig
 from repro.core.process import preferred_mp_context
+from repro.utils.guards import NumericalError
 from repro.utils.logging import get_logger
 from repro.utils.serialization import to_jsonable
 from repro.utils.validation import ensure_choice, ensure_positive_int
@@ -115,6 +116,12 @@ class JobResult:
         Port-energy gain of the transient stage (``None`` unless the
         fleet ran with ``simulate=True``) — the fleet-level passivity
         witness: greater than 1 means the model manufactured energy.
+    diagnostic:
+        Structured failure diagnostics for ``"error"`` rows whose cause
+        was a detected numerical pathology
+        (:class:`~repro.utils.guards.NumericalError` — NaN/Inf data,
+        pathological conditioning): ``{"type", "stage", "kind",
+        "message", "detail"}``.  ``None`` for every other outcome.
     """
 
     name: str
@@ -128,6 +135,7 @@ class JobResult:
     cache_hits: int = 0
     cache_misses: int = 0
     energy_gain: Optional[float] = None
+    diagnostic: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -149,6 +157,7 @@ class JobResult:
                 "cache_hits": int(self.cache_hits),
                 "cache_misses": int(self.cache_misses),
                 "energy_gain": self.energy_gain,
+                "diagnostic": self.diagnostic,
             }
         )
 
@@ -291,6 +300,18 @@ def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
             cache_hits=int(cache_stats.get("hits", 0)),
             cache_misses=int(cache_stats.get("misses", 0)),
             energy_gain=energy_gain,
+        )
+    except NumericalError as exc:
+        # A detected numerical pathology (NaN/Inf input, pathological
+        # conditioning) carries a structured diagnostic so operators see
+        # *what* went non-finite and *where*, not just a traceback line.
+        return JobResult(
+            name=job.name,
+            status="error",
+            elapsed=time.perf_counter() - started,
+            error=f"NumericalError: {exc}",
+            source=job.describe(),
+            diagnostic=exc.to_dict(),
         )
     except Exception as exc:  # one bad model must not sink the fleet
         return JobResult(

@@ -595,6 +595,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="terminal state to purge",
     )
 
+    faults = sub.add_parser(
+        "faults", help="inspect the fault-injection framework"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="enumerate registered injection points"
+    )
+    faults_list.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable registry",
+    )
+
     sub.add_parser("strategies", help="list registered scheduling strategies")
     return parser
 
@@ -1132,6 +1145,44 @@ def _cmd_jobs(args) -> int:
         queue.close()
 
 
+def _cmd_faults(args) -> int:
+    """``repro faults list`` — the registry, and any active plan.
+
+    This is the anti-drift mirror of the docs: the output is generated
+    from :data:`~repro.faults.INJECTION_POINTS`, so documentation and
+    tests can be checked against the single source of truth.
+    """
+    from repro.faults import INJECTION_POINTS, FaultPlan
+
+    plan = FaultPlan.from_env()  # ConfigError on a malformed REPRO_FAULTS
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "points": [
+                        point.to_dict()
+                        for point in INJECTION_POINTS.values()
+                    ],
+                    "plan": plan.to_dict() if plan is not None else None,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"registered injection points ({len(INJECTION_POINTS)}):")
+    width = max(len(name) for name in INJECTION_POINTS)
+    for name, point in sorted(INJECTION_POINTS.items()):
+        kinds = ", ".join(point.kinds)
+        print(f"  {name:<{width}}  [{kinds}]")
+        print(f"  {'':<{width}}    {point.description}")
+    if plan is None:
+        print("active plan: none (REPRO_FAULTS is unset)")
+    else:
+        print(f"active plan (REPRO_FAULTS): {plan.describe()}")
+    return 0
+
+
 def _cmd_strategies(args) -> int:
     for name in available_strategies(include_auto=False):
         spec = get_strategy(name)
@@ -1163,6 +1214,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "worker": _cmd_worker,
     "jobs": _cmd_jobs,
+    "faults": _cmd_faults,
     "strategies": _cmd_strategies,
 }
 

@@ -22,6 +22,7 @@ from repro.core.drivers import ModelInput
 from repro.core.options import SolverOptions
 from repro.core.registry import resolve_strategy
 from repro.core.results import SolveResult
+from repro.utils.guards import ensure_finite
 
 __all__ = ["solve", "find_imaginary_eigenvalues"]
 
@@ -52,7 +53,7 @@ def solve(
     spec = resolve_strategy(
         config.strategy, config.num_threads, backend=config.backend
     )
-    return spec.driver(
+    result = spec.driver(
         model,
         num_threads=config.num_threads,
         representation=config.representation,
@@ -60,6 +61,15 @@ def solve(
         omega_max=config.omega_max,
         options=config.options,
     )
+    # A NaN/Inf crossing frequency means the eigensolve itself broke
+    # down (singular pencil, overflowed Hamiltonian) — surface it as a
+    # structured diagnostic, never as a silently wrong passivity verdict.
+    # Plugin drivers may return their own result type; only the standard
+    # SolveResult shape is guarded.
+    omegas = getattr(result, "omegas", None)
+    if omegas is not None:
+        ensure_finite(omegas, stage="solve", what="crossing frequencies")
+    return result
 
 
 def find_imaginary_eigenvalues(

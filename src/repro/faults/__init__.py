@@ -1,0 +1,45 @@
+"""Deterministic, seeded fault injection for the durable service stack.
+
+The framework has three pieces:
+
+* :mod:`repro.faults.registry` — the named injection points threaded
+  through store I/O, queue DB operations, worker execution, and HTTP
+  request handling, each declaring the fault kinds it supports;
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, parsed from the
+  ``REPRO_FAULTS`` environment variable
+  (``store.write:io_error@0.05;queue.claim:busy@0.1``), with malformed
+  values raising :class:`~repro.core.config.ConfigError`;
+* :mod:`repro.faults.injector` — the :func:`inject` hook the call
+  sites invoke, free when no plan is active.
+
+``repro faults list`` enumerates the registry; the chaos suite under
+``tests/integration/test_chaos.py`` proves the hardening by running a
+fleet with faults at every point.  See "Failure modes and recovery" in
+``docs/quickstart.md``.
+"""
+
+from repro.faults.injector import (
+    activate,
+    active_plan,
+    counters,
+    deactivate,
+    init_from_env,
+    inject,
+)
+from repro.faults.plan import DEFAULT_HANG_SECONDS, FaultPlan, FaultSpec
+from repro.faults.registry import FAULT_KINDS, INJECTION_POINTS, InjectionPoint
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionPoint",
+    "activate",
+    "active_plan",
+    "counters",
+    "deactivate",
+    "init_from_env",
+    "inject",
+]

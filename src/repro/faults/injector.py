@@ -1,0 +1,172 @@
+"""The injection hook: :func:`inject`, and the process-wide active plan.
+
+Call sites are instrumented with one line::
+
+    from repro.faults import inject
+    ...
+    fault = inject("store.write")   # None, or a data-fault kind
+
+When no plan is active the call is two global reads and a comparison —
+effectively free, so the hooks stay in production code permanently.
+
+When a plan is active, each call rolls the point's seeded RNG against
+the configured probability.  *Raise* kinds are expressed here —
+``io_error`` raises :class:`OSError`, ``busy`` raises
+:class:`sqlite3.OperationalError` (message containing ``locked`` so the
+retry predicates treat it exactly like a real busy), ``error`` raises
+:class:`RuntimeError`, and ``hang`` stalls the call — while the *data*
+kinds ``corrupt`` / ``truncate`` are returned for the call site to
+apply to its own payload.
+
+Activation is lazy and environment-driven: the first :func:`inject`
+(or any :func:`init_from_env`, which the store/queue/service
+constructors call at startup so malformed plans fail *there*) parses
+``REPRO_FAULTS``.  Subprocess workers therefore inherit the plan with
+no extra plumbing.  Tests drive plans directly with
+:func:`activate` / :func:`deactivate`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sqlite3
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "activate",
+    "active_plan",
+    "counters",
+    "deactivate",
+    "init_from_env",
+    "inject",
+]
+
+_LOCK = threading.Lock()
+_UNSEEN = object()  # init_from_env has never run in this process
+
+_ACTIVE: Optional["_Injector"] = None
+_ENV_SEEN = _UNSEEN  # the REPRO_FAULTS value the current state reflects
+
+
+class _Injector:
+    """Runtime state of one active plan: per-point RNG streams + counters."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        # One independent, deterministically seeded stream per point:
+        # string seeds hash stably (SHA-512 under the hood), so the
+        # same (seed, point, call sequence) reproduces the same faults.
+        self._rng: Dict[str, random.Random] = {
+            spec.point: random.Random(f"{plan.seed}:{spec.point}")
+            for spec in plan.specs
+        }
+        self.fired: Dict[str, int] = {spec.point: 0 for spec in plan.specs}
+        self.checked: Dict[str, int] = {spec.point: 0 for spec in plan.specs}
+
+    def fire(self, point: str) -> Optional[str]:
+        spec = self.plan.by_point.get(point)
+        if spec is None:
+            return None
+        with self._lock:
+            self.checked[point] += 1
+            hit = (
+                spec.probability > 0.0
+                and self._rng[point].random() < spec.probability
+            )
+            if hit:
+                self.fired[point] += 1
+        if not hit:
+            return None
+        if spec.kind == "io_error":
+            raise OSError(f"injected io_error at {point}")
+        if spec.kind == "busy":
+            raise sqlite3.OperationalError(
+                f"database is locked (injected busy at {point})"
+            )
+        if spec.kind == "error":
+            raise RuntimeError(f"injected error at {point}")
+        if spec.kind == "hang":
+            time.sleep(self.plan.hang_seconds)
+            return None
+        return spec.kind  # corrupt / truncate: the call site applies it
+
+
+def inject(point: str) -> Optional[str]:
+    """Roll the dice at one injection point.
+
+    Returns ``None`` (no fault, or a raise/stall kind already
+    expressed), or a data-fault kind (``"corrupt"`` / ``"truncate"``)
+    for the call site to apply.  Zero work when no plan is active.
+    """
+    active = _ACTIVE
+    if active is None:
+        if _ENV_SEEN is not _UNSEEN:
+            return None
+        active = init_from_env()
+        if active is None:
+            return None
+    return active.fire(point)
+
+
+def init_from_env() -> Optional["_Injector"]:
+    """Sync the active plan with ``REPRO_FAULTS`` (idempotent, cheap).
+
+    Re-parses only when the environment value changed since the last
+    call.  Raises :class:`~repro.core.config.ConfigError` on malformed
+    values — infrastructure constructors call this at startup precisely
+    so a typo'd plan fails the boot, not silently injects nothing.
+    """
+    global _ACTIVE, _ENV_SEEN
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    with _LOCK:
+        if raw == _ENV_SEEN:
+            return _ACTIVE
+        plan = FaultPlan.from_env()  # may raise ConfigError
+        _ACTIVE = _Injector(plan) if plan is not None else None
+        _ENV_SEEN = raw
+        return _ACTIVE
+
+
+def activate(plan: FaultPlan) -> None:
+    """Install ``plan`` directly (tests; overrides the environment)."""
+    global _ACTIVE, _ENV_SEEN
+    with _LOCK:
+        _ACTIVE = _Injector(plan)
+        # Pin the env snapshot so a later init_from_env() with an
+        # unchanged environment does not clobber the explicit plan.
+        _ENV_SEEN = os.environ.get("REPRO_FAULTS", "").strip()
+
+
+def deactivate() -> None:
+    """Remove any active plan (explicit or environment-derived)."""
+    global _ACTIVE, _ENV_SEEN
+    with _LOCK:
+        _ACTIVE = None
+        _ENV_SEEN = os.environ.get("REPRO_FAULTS", "").strip()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently active plan, if any."""
+    active = _ACTIVE
+    return active.plan if active is not None else None
+
+
+def counters() -> Dict[str, dict]:
+    """Per-point ``{checked, fired}`` counts of the active plan."""
+    active = _ACTIVE
+    if active is None:
+        return {}
+    with active._lock:
+        return {
+            point: {
+                "checked": active.checked[point],
+                "fired": active.fired[point],
+            }
+            for point in active.checked
+        }

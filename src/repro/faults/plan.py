@@ -1,0 +1,186 @@
+"""Fault plans: what to inject, where, and how often.
+
+A plan is parsed from the ``REPRO_FAULTS`` environment variable (or
+built programmatically) and holds one :class:`FaultSpec` per injection
+point.  The grammar is a semicolon-joined list of clauses::
+
+    REPRO_FAULTS="store.write:io_error@0.05;queue.claim:busy@0.1"
+
+Each clause is ``<point>:<kind>@<probability>``: the *point* must be a
+registered injection point (:data:`~repro.faults.registry.INJECTION_POINTS`),
+the *kind* one the point supports, and the *probability* a float in
+``[0, 1]``.  Anything malformed raises
+:class:`~repro.core.config.ConfigError` naming the offending clause —
+a fault plan with a typo must fail loudly at startup, never silently
+inject nothing.
+
+Plans are **deterministic**: each point draws from its own RNG stream
+seeded by ``(plan seed, point name)``, so the same plan, seed, and
+per-point call sequence reproduces the same fault pattern
+(``REPRO_FAULTS_SEED`` sets the seed; default 0).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import ConfigError
+from repro.faults.registry import FAULT_KINDS, INJECTION_POINTS
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+#: How long an injected ``hang`` stalls the call site.  Long enough to
+#: shuffle interleavings and trip aggressive timeouts in tests, short
+#: enough that chaos suites stay fast.
+DEFAULT_HANG_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One clause of a plan: inject ``kind`` at ``point`` with ``probability``."""
+
+    point: str
+    kind: str
+    probability: float
+
+    def __str__(self) -> str:
+        return f"{self.point}:{self.kind}@{self.probability:g}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated set of fault specs plus the determinism seed."""
+
+    specs: Tuple[FaultSpec, ...]
+    seed: int = 0
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+    by_point: Dict[str, FaultSpec] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "by_point", {spec.point: spec for spec in self.specs}
+        )
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        *,
+        seed: int = 0,
+        hang_seconds: float = DEFAULT_HANG_SECONDS,
+    ) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar; raises :class:`ConfigError`."""
+        specs = []
+        seen = set()
+        for raw_clause in str(text).split(";"):
+            clause = raw_clause.strip()
+            if not clause:
+                continue
+            specs.append(_parse_clause(clause))
+            if specs[-1].point in seen:
+                raise ConfigError(
+                    f"invalid REPRO_FAULTS clause {clause!r}: injection"
+                    f" point {specs[-1].point!r} appears more than once"
+                )
+            seen.add(specs[-1].point)
+        if not specs:
+            raise ConfigError(
+                "REPRO_FAULTS is set but contains no fault clauses"
+                " (expected '<point>:<kind>@<probability>[;...]')"
+            )
+        return cls(specs=tuple(specs), seed=int(seed), hang_seconds=hang_seconds)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """Build the plan ``REPRO_FAULTS`` describes (``None`` if unset).
+
+        ``REPRO_FAULTS_SEED`` (default 0) seeds the per-point RNG
+        streams.  Raises :class:`ConfigError` on malformed values.
+        """
+        env = os.environ if environ is None else environ
+        raw = env.get("REPRO_FAULTS", "").strip()
+        if not raw:
+            return None
+        raw_seed = env.get("REPRO_FAULTS_SEED", "").strip()
+        seed = 0
+        if raw_seed:
+            try:
+                seed = int(raw_seed)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"invalid REPRO_FAULTS_SEED={raw_seed!r}: {exc}"
+                ) from exc
+        return cls.parse(raw, seed=seed)
+
+    def describe(self) -> str:
+        """The canonical one-line spelling of this plan."""
+        return ";".join(str(spec) for spec in self.specs)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "hang_seconds": self.hang_seconds,
+            "faults": [
+                {
+                    "point": spec.point,
+                    "kind": spec.kind,
+                    "probability": spec.probability,
+                }
+                for spec in self.specs
+            ],
+        }
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    head, sep, raw_prob = clause.partition("@")
+    if not sep:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: expected"
+            " '<point>:<kind>@<probability>'"
+        )
+    point, sep, kind = head.partition(":")
+    point, kind = point.strip(), kind.strip()
+    if not sep or not point or not kind:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: expected"
+            " '<point>:<kind>@<probability>'"
+        )
+    registered = INJECTION_POINTS.get(point)
+    if registered is None:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: unknown injection"
+            f" point {point!r}; registered points:"
+            f" {', '.join(INJECTION_POINTS)}"
+        )
+    if kind not in FAULT_KINDS:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: unknown fault kind"
+            f" {kind!r}; valid kinds: {', '.join(FAULT_KINDS)}"
+        )
+    if kind not in registered.kinds:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: point {point!r}"
+            f" does not support kind {kind!r} (supported:"
+            f" {', '.join(registered.kinds)})"
+        )
+    try:
+        probability = float(raw_prob.strip())
+    except ValueError as exc:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: probability"
+            f" {raw_prob.strip()!r} is not a number"
+        ) from exc
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigError(
+            f"invalid REPRO_FAULTS clause {clause!r}: probability"
+            f" {probability:g} must be in [0, 1]"
+        )
+    return FaultSpec(point=point, kind=kind, probability=probability)

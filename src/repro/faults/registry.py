@@ -1,0 +1,120 @@
+"""The registry of named fault-injection points.
+
+Every place the codebase calls :func:`repro.faults.inject` is declared
+here, with the fault kinds that call site knows how to express.  The
+registry is the single source of truth consumed by
+
+* :meth:`repro.faults.FaultPlan.parse` — a plan naming an unregistered
+  point (or an unsupported kind for a point) is a configuration error;
+* ``repro faults list`` — the CLI enumeration that keeps the docs
+  honest;
+* the chaos suite — which asserts it exercises *every* registered
+  point, so a new injection point cannot ship untested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["FAULT_KINDS", "INJECTION_POINTS", "InjectionPoint"]
+
+#: Every fault kind a plan may request.  ``io_error``, ``busy``,
+#: ``error``, and ``hang`` are *raise/stall* kinds handled inside
+#: :func:`repro.faults.inject`; ``corrupt`` and ``truncate`` are *data*
+#: kinds returned to the call site, which applies them to its payload.
+FAULT_KINDS = ("io_error", "busy", "error", "hang", "corrupt", "truncate")
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """One named place faults can be injected."""
+
+    name: str
+    description: str
+    kinds: Tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "kinds": list(self.kinds),
+        }
+
+
+def _point(name: str, description: str, *kinds: str) -> InjectionPoint:
+    unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+    if unknown:
+        raise AssertionError(f"unknown fault kind(s) in registry: {unknown}")
+    return InjectionPoint(name=name, description=description, kinds=kinds)
+
+
+#: name -> :class:`InjectionPoint`, in documentation order.
+INJECTION_POINTS: Dict[str, InjectionPoint] = {
+    point.name: point
+    for point in (
+        _point(
+            "store.write",
+            "result-store put(): the atomic write of one entry"
+            " (io_error simulates disk failure; truncate a partial"
+            " write surviving on disk)",
+            "io_error",
+            "error",
+            "hang",
+            "truncate",
+        ),
+        _point(
+            "store.read",
+            "result-store get(): reading one entry back"
+            " (io_error a transient read failure; corrupt bit-rot of"
+            " the bytes read)",
+            "io_error",
+            "error",
+            "hang",
+            "corrupt",
+        ),
+        _point(
+            "queue.enqueue",
+            "queue INSERT of a submitted job (busy simulates a"
+            " SQLITE_BUSY writer collision)",
+            "busy",
+            "error",
+            "hang",
+        ),
+        _point(
+            "queue.claim",
+            "the atomic claim flipping queued -> running",
+            "busy",
+            "error",
+            "hang",
+        ),
+        _point(
+            "queue.ack",
+            "the ownership-guarded terminal-state ack",
+            "busy",
+            "error",
+            "hang",
+        ),
+        _point(
+            "queue.heartbeat",
+            "a worker's lease-extension heartbeat",
+            "busy",
+            "error",
+            "hang",
+        ),
+        _point(
+            "worker.run",
+            "job execution inside a queue worker (hang simulates a"
+            " stalled computation)",
+            "error",
+            "hang",
+        ),
+        _point(
+            "http.request",
+            "HTTP request handling in the service front-end (error"
+            " surfaces as a retriable 503)",
+            "error",
+            "hang",
+        ),
+    )
+}

@@ -42,7 +42,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.faults import init_from_env as _faults_init_from_env
+from repro.faults import inject as _inject
 from repro.utils.logging import get_logger
+from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = [
     "JOB_STATES",
@@ -52,6 +55,20 @@ __all__ = [
 ]
 
 _LOG = get_logger("queue")
+
+#: Backoff absorbing SQLITE_BUSY / SQLITE_LOCKED storms on the write
+#: operations.  Bounded: a genuinely wedged database surfaces as the
+#: original OperationalError after well under two seconds, and the
+#: service's degraded-mode path takes over from there.
+_DB_RETRY = RetryPolicy(max_attempts=6, base_seconds=0.01, cap_seconds=0.25)
+
+
+def _retriable_sqlite(exc: BaseException) -> bool:
+    """True for the transient lock-contention flavors of OperationalError."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
 
 #: Every state a job row can be in.
 JOB_STATES = ("queued", "running", "done", "error", "timeout", "failed")
@@ -226,6 +243,12 @@ class JobQueue:
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Surface a malformed REPRO_FAULTS plan at construction time.
+        _faults_init_from_env()
+        #: Reliability traffic of this connection: how many write
+        #: operations needed a backoff retry, and how many busy/locked
+        #: errors were seen at all (absorbed or not).
+        self.counters: Dict[str, int] = {"retries": 0, "busy_errors": 0}
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(
             str(self.path),
@@ -251,6 +274,47 @@ class JobQueue:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    # -- reliability plumbing -----------------------------------------------
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.counters["retries"] += 1
+        self.counters["busy_errors"] += 1
+
+    def _retrying(self, point: str, fn):
+        """Run one write operation under the shared backoff policy.
+
+        The fault-injection roll happens *inside* the retried callable,
+        before any SQL: an injected (or real) busy/locked error is
+        absorbed by the backoff exactly like production contention, and
+        a retried attempt never re-runs partially applied SQL.
+        """
+
+        def _op():
+            _inject(point)
+            return fn()
+
+        try:
+            return retry_call(
+                _op,
+                policy=_DB_RETRY,
+                retry_on=_retriable_sqlite,
+                on_retry=self._count_retry,
+            )
+        except sqlite3.OperationalError as exc:
+            if _retriable_sqlite(exc):
+                self.counters["busy_errors"] += 1
+            raise
+
+    def probe(self) -> None:
+        """One trivial read proving the connection works (health checks).
+
+        Raises the underlying :class:`sqlite3.Error` when it does not —
+        a closed connection, a deleted/corrupted database file, a dead
+        filesystem — which the service maps to ``degraded``.
+        """
+        with self._lock:
+            self._conn.execute("SELECT 1").fetchone()
+
     # -- submission ---------------------------------------------------------
 
     def enqueue(
@@ -273,30 +337,38 @@ class JobQueue:
         """
         now = time.time()
         cached = cached_result is not None
-        with self._lock:
-            self._conn.execute(
-                """
-                INSERT INTO jobs (id, task, name, kind, spec, key, state,
-                                  cached, max_attempts, submitted, started,
-                                  finished, result)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
-                (
-                    job_id,
-                    task,
-                    name,
-                    kind,
-                    json.dumps(spec, sort_keys=True),
-                    key,
-                    "done" if cached else "queued",
-                    1 if cached else 0,
-                    max_attempts if max_attempts is not None else self.max_attempts,
-                    now,
-                    now if cached else None,
-                    now if cached else None,
-                    json.dumps(cached_result, sort_keys=True) if cached else None,
-                ),
-            )
+
+        def _insert() -> None:
+            with self._lock:
+                self._conn.execute(
+                    """
+                    INSERT INTO jobs (id, task, name, kind, spec, key, state,
+                                      cached, max_attempts, submitted, started,
+                                      finished, result)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    (
+                        job_id,
+                        task,
+                        name,
+                        kind,
+                        json.dumps(spec, sort_keys=True),
+                        key,
+                        "done" if cached else "queued",
+                        1 if cached else 0,
+                        max_attempts
+                        if max_attempts is not None
+                        else self.max_attempts,
+                        now,
+                        now if cached else None,
+                        now if cached else None,
+                        json.dumps(cached_result, sort_keys=True)
+                        if cached
+                        else None,
+                    ),
+                )
+
+        self._retrying("queue.enqueue", _insert)
         row = self.get(job_id)
         assert row is not None
         return row
@@ -353,51 +425,57 @@ class JobQueue:
         """Atomically claim the oldest queued job for ``worker_id``.
 
         Expired leases are reclaimed first, so a fleet of claiming
-        workers is also the recovery mechanism.  Returns ``None`` when
-        the queue has no runnable work.
+        workers is also the recovery mechanism.  Busy/locked contention
+        (real or injected) is absorbed by bounded backoff — the claim
+        itself stays atomic either way.  Returns ``None`` when the
+        queue has no runnable work.
         """
-        now = time.time()
-        self.reclaim_expired(now=now)
-        params = {
-            "worker": worker_id,
-            "lease": now + float(lease_seconds),
-            "now": now,
-        }
-        with self._lock:
-            if self._returning:
-                cursor = self._conn.execute(_CLAIM_RETURNING, params)
-                row = cursor.fetchone()
-                return _decode(row) if row is not None else None
-            # Pre-3.35 SQLite: the same guarded flip inside one
-            # immediate (write-locked) transaction.
-            try:
-                self._conn.execute("BEGIN IMMEDIATE")
-                picked = self._conn.execute(
-                    "SELECT id FROM jobs WHERE state = 'queued'"
-                    " ORDER BY submitted, id LIMIT 1"
-                ).fetchone()
-                if picked is None:
-                    self._conn.execute("COMMIT")
-                    return None
-                self._conn.execute(
-                    """
-                    UPDATE jobs
-                    SET state = 'running', worker = :worker,
-                        lease_expires = :lease,
-                        started = COALESCE(started, :now),
-                        attempts = attempts + 1, version = version + 1
-                    WHERE id = :id AND state = 'queued'
-                    """,
-                    dict(params, id=picked["id"]),
-                )
-                self._conn.execute("COMMIT")
-            except sqlite3.Error:
+
+        def _claim() -> Optional[JobRow]:
+            now = time.time()
+            self.reclaim_expired(now=now)
+            params = {
+                "worker": worker_id,
+                "lease": now + float(lease_seconds),
+                "now": now,
+            }
+            with self._lock:
+                if self._returning:
+                    cursor = self._conn.execute(_CLAIM_RETURNING, params)
+                    row = cursor.fetchone()
+                    return _decode(row) if row is not None else None
+                # Pre-3.35 SQLite: the same guarded flip inside one
+                # immediate (write-locked) transaction.
                 try:
-                    self._conn.execute("ROLLBACK")
+                    self._conn.execute("BEGIN IMMEDIATE")
+                    picked = self._conn.execute(
+                        "SELECT id FROM jobs WHERE state = 'queued'"
+                        " ORDER BY submitted, id LIMIT 1"
+                    ).fetchone()
+                    if picked is None:
+                        self._conn.execute("COMMIT")
+                        return None
+                    self._conn.execute(
+                        """
+                        UPDATE jobs
+                        SET state = 'running', worker = :worker,
+                            lease_expires = :lease,
+                            started = COALESCE(started, :now),
+                            attempts = attempts + 1, version = version + 1
+                        WHERE id = :id AND state = 'queued'
+                        """,
+                        dict(params, id=picked["id"]),
+                    )
+                    self._conn.execute("COMMIT")
                 except sqlite3.Error:
-                    pass
-                raise
-        return self.get(picked["id"])
+                    try:
+                        self._conn.execute("ROLLBACK")
+                    except sqlite3.Error:
+                        pass
+                    raise
+            return self.get(picked["id"])
+
+        return self._retrying("queue.claim", _claim)
 
     def heartbeat(
         self, job_id: str, worker_id: str, *, lease_seconds: float = 60.0
@@ -406,21 +484,28 @@ class JobQueue:
 
         Returns ``False`` when ownership was lost (the lease expired and
         the job was reclaimed) — the caller's result will be discarded.
+        Raises only when contention outlasts the bounded backoff; the
+        worker's heartbeat loop treats that as a restorable failure.
         """
-        now = time.time()
-        with self._lock:
-            owned = self._conn.execute(
-                """
-                UPDATE jobs SET lease_expires = ?
-                WHERE id = ? AND worker = ? AND state = 'running'
-                """,
-                (now + float(lease_seconds), job_id, worker_id),
-            ).rowcount
-            self._conn.execute(
-                "UPDATE workers SET heartbeat = ?, job_id = ? WHERE id = ?",
-                (now, job_id if owned else None, worker_id),
-            )
-        return bool(owned)
+
+        def _beat() -> bool:
+            now = time.time()
+            with self._lock:
+                owned = self._conn.execute(
+                    """
+                    UPDATE jobs SET lease_expires = ?
+                    WHERE id = ? AND worker = ? AND state = 'running'
+                    """,
+                    (now + float(lease_seconds), job_id, worker_id),
+                ).rowcount
+                self._conn.execute(
+                    "UPDATE workers SET heartbeat = ?, job_id = ?"
+                    " WHERE id = ?",
+                    (now, job_id if owned else None, worker_id),
+                )
+            return bool(owned)
+
+        return self._retrying("queue.heartbeat", _beat)
 
     def owns(self, job_id: str, worker_id: str) -> bool:
         """True while ``worker_id`` still holds the running lease."""
@@ -455,29 +540,33 @@ class JobQueue:
             raise ValueError(
                 f"ack state must be one of {TERMINAL_STATES}, got {state!r}"
             )
-        now = time.time()
-        with self._lock:
-            owned = self._conn.execute(
-                """
-                UPDATE jobs
-                SET state = ?, result = ?, error = ?, finished = ?,
-                    cached = ?, worker = NULL, lease_expires = NULL,
-                    version = version + 1
-                WHERE id = ? AND worker = ? AND state = 'running'
-                """,
-                (
-                    state,
-                    json.dumps(result, sort_keys=True)
-                    if result is not None
-                    else None,
-                    error,
-                    now,
-                    1 if cached else 0,
-                    job_id,
-                    worker_id,
-                ),
-            ).rowcount
-        return bool(owned)
+
+        def _ack() -> bool:
+            now = time.time()
+            with self._lock:
+                owned = self._conn.execute(
+                    """
+                    UPDATE jobs
+                    SET state = ?, result = ?, error = ?, finished = ?,
+                        cached = ?, worker = NULL, lease_expires = NULL,
+                        version = version + 1
+                    WHERE id = ? AND worker = ? AND state = 'running'
+                    """,
+                    (
+                        state,
+                        json.dumps(result, sort_keys=True)
+                        if result is not None
+                        else None,
+                        error,
+                        now,
+                        1 if cached else 0,
+                        job_id,
+                        worker_id,
+                    ),
+                ).rowcount
+            return bool(owned)
+
+        return self._retrying("queue.ack", _ack)
 
     def release(self, job_id: str, worker_id: str) -> bool:
         """Put a claimed-but-unfinished job back without an outcome.
@@ -696,4 +785,5 @@ class JobQueue:
             "completed": sum(depth[state] for state in TERMINAL_STATES),
             "tasks_completed": per_task,
             "workers": self.workers(),
+            "counters": dict(self.counters),
         }

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import socket
+import sqlite3
 import threading
 import time
 import uuid
@@ -34,6 +35,8 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.batch.runner import BATCH_BACKENDS, BatchRunner
+from repro.faults import init_from_env as _faults_init_from_env
+from repro.faults import inject as _inject
 from repro.queue.config import QueueConfig
 from repro.queue.db import JobQueue, JobRow
 from repro.queue.spec import JobError, parse_spec
@@ -97,6 +100,9 @@ class QueueWorker:
         ensure_choice(backend, "worker backend", BATCH_BACKENDS)
         if timeout is not None and timeout <= 0.0:
             raise ValueError(f"timeout must be positive, got {timeout}")
+        # A malformed REPRO_FAULTS plan must fail the worker boot, not
+        # surface mid-job (no-op when the variable is unset).
+        _faults_init_from_env()
         self.queue_config = (
             queue_config if queue_config is not None else QueueConfig()
         )
@@ -148,10 +154,22 @@ class QueueWorker:
             while not self._stop.is_set():
                 if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                     break
-                row = self.queue.claim(
-                    self.worker_id,
-                    lease_seconds=self.queue_config.lease_seconds,
-                )
+                try:
+                    row = self.queue.claim(
+                        self.worker_id,
+                        lease_seconds=self.queue_config.lease_seconds,
+                    )
+                except sqlite3.OperationalError as exc:
+                    # Contention outlasted the DB layer's own bounded
+                    # retries.  The worker must outlive the storm: treat
+                    # it as an empty poll and try again next cycle.
+                    _LOG.warning(
+                        "worker %s: claim failed (%s); backing off",
+                        self.worker_id,
+                        exc,
+                    )
+                    self._stop.wait(self.queue_config.poll_seconds)
+                    continue
                 if row is None:
                     if (
                         self.idle_seconds is not None
@@ -197,6 +215,28 @@ class QueueWorker:
 
         store = self._store_for(parsed.config)
         key = row.key
+        warnings = []
+
+        # Graceful degradation: a store that has been failing gets one
+        # probe to prove it recovered; if it is still failing, the job
+        # runs with the cache off — slower, never wrong, and recorded
+        # as a warning on the result instead of failing the job.
+        if store is not None and store.health()["status"] == "failing":
+            probed = store.probe()
+            if probed["status"] == "failing":
+                warnings.append(
+                    "result store is failing"
+                    f" ({probed['last_error']}); job degraded to"
+                    " cache='off'"
+                )
+                _LOG.warning(
+                    "worker %s: store failing for job %s; degrading to"
+                    " cache='off' (%s)",
+                    self.worker_id,
+                    row.id,
+                    probed["last_error"],
+                )
+                store = None
 
         # Same short-circuit the front-end applies, re-checked here:
         # another worker may have stored this exact key since enqueue.
@@ -223,6 +263,7 @@ class QueueWorker:
         )
         heartbeat.start()
         try:
+            _inject("worker.run")
             runner = BatchRunner(
                 workers=1,
                 timeout=self.timeout,
@@ -260,7 +301,16 @@ class QueueWorker:
             # Persist BEFORE the ack flips the job visible as done: a
             # client resubmitting the instant it polls "done" must find
             # the store entry already in place.
-            store.put(key, payload, stage="service-job")
+            if not store.put(key, payload, stage="service-job"):
+                health = store.health()
+                warnings.append(
+                    "result could not be stored"
+                    f" ({health['last_error']}); future identical"
+                    " submissions will recompute"
+                )
+        if warnings and payload is not None:
+            payload = dict(payload)
+            payload["warnings"] = warnings
         self._finish(row, state=state, result=payload, error=error)
 
     def _finish(
@@ -302,11 +352,48 @@ class QueueWorker:
     def _heartbeat_loop(
         self, job_id: str, stop: threading.Event, lost: threading.Event
     ) -> None:
-        while not stop.wait(self.queue_config.heartbeat_seconds):
-            if not self.queue.heartbeat(
-                job_id,
-                self.worker_id,
-                lease_seconds=self.queue_config.lease_seconds,
-            ):
+        """Renew the lease until told to stop, surviving transient errors.
+
+        :meth:`JobQueue.heartbeat` raises only after its own bounded
+        retries are exhausted (sustained lock contention, injected
+        faults).  A silently dying heartbeat thread would let the lease
+        lapse mid-job and the job run twice — so failures here are
+        caught and retried with backoff, and only when the lease budget
+        itself is exhausted (we can no longer prove ownership) does the
+        loop escalate by setting ``lost``, which makes the worker
+        discard its result exactly as if the lease had been reclaimed.
+        """
+        beat = self.queue_config.heartbeat_seconds
+        lease = self.queue_config.lease_seconds
+        failures = 0
+        last_ok = time.time()
+        wait = beat
+        while not stop.wait(wait):
+            try:
+                owned = self.queue.heartbeat(
+                    job_id, self.worker_id, lease_seconds=lease
+                )
+            except Exception as exc:
+                failures += 1
+                if time.time() - last_ok >= lease:
+                    _LOG.error(
+                        "worker %s: heartbeat for job %s unrestorable"
+                        " after %d failure(s) (%s); aborting the job"
+                        " cleanly",
+                        self.worker_id,
+                        job_id,
+                        failures,
+                        exc,
+                    )
+                    lost.set()
+                    return
+                # Retry faster than the normal cadence at first, backing
+                # off exponentially — the lease clock is ticking.
+                wait = min(beat, 0.05 * (2 ** min(failures, 6)))
+                continue
+            if not owned:
                 lost.set()
                 return
+            failures = 0
+            last_ok = time.time()
+            wait = beat

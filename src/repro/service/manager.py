@@ -23,6 +23,7 @@ expires, finished jobs keep serving their results.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
 import uuid
 from pathlib import Path
@@ -30,6 +31,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.batch.runner import BATCH_BACKENDS
 from repro.core.config import RunConfig
+from repro.faults import init_from_env as _faults_init_from_env
 from repro.queue import (
     SIMULATE_SPEC_KEYS,
     VALID_KINDS,
@@ -52,10 +54,20 @@ __all__ = [
     "JobError",
     "JobRecord",
     "JobManager",
+    "ServiceUnavailable",
     "SIMULATE_SPEC_KEYS",
     "VALID_TASKS",
     "VALID_KINDS",
 ]
+
+
+class ServiceUnavailable(RuntimeError):
+    """The write path is down (queue unreachable); reads may still serve.
+
+    The HTTP layer maps this to ``503`` with a ``Retry-After`` header —
+    the client's cue to back off and retry rather than treat the outage
+    as a permanent failure.
+    """
 
 _LOG = get_logger("service")
 
@@ -112,6 +124,9 @@ class JobManager:
         queue_path: Optional[str] = None,
     ) -> None:
         ensure_choice(backend, "service backend", BATCH_BACKENDS)
+        # Fail the service boot on a malformed REPRO_FAULTS plan rather
+        # than discovering it deep inside a request handler.
+        _faults_init_from_env()
         self.config = config if config is not None else RunConfig()
         self.workers = int(workers)
         if self.workers < 0:
@@ -143,6 +158,7 @@ class JobManager:
             self.queue_config.rate, self.queue_config.burst
         )
         self._shutdown = False
+        self._unavailable = 0  # submissions refused because the queue was down
         self._embedded: List[Tuple[QueueWorker, threading.Thread]] = []
         for index in range(self.workers):
             worker = QueueWorker(
@@ -195,18 +211,29 @@ class JobManager:
         ):
             cached_payload = self.store.get(parsed.key)
 
-        return self.queue.enqueue(
-            job_id=job_id,
-            task=parsed.task,
-            name=parsed.name,
-            kind=parsed.kind,
-            # The resolved spec bakes in the effective config and
-            # parameters, so any worker reproduces this exact
-            # computation no matter how it was booted.
-            spec=parsed.resolved_spec(),
-            key=parsed.key,
-            cached_result=cached_payload,
-        )
+        try:
+            return self.queue.enqueue(
+                job_id=job_id,
+                task=parsed.task,
+                name=parsed.name,
+                kind=parsed.kind,
+                # The resolved spec bakes in the effective config and
+                # parameters, so any worker reproduces this exact
+                # computation no matter how it was booted.
+                spec=parsed.resolved_spec(),
+                key=parsed.key,
+                cached_result=cached_payload,
+            )
+        except sqlite3.Error as exc:
+            # Degraded mode: the durable queue is unreachable even after
+            # the DB layer's bounded retries.  Writes fail fast with a
+            # retryable signal; reads (job lookups, stored results)
+            # keep serving from whatever still works.
+            self._unavailable += 1
+            _LOG.error("submit refused, queue unavailable: %s", exc)
+            raise ServiceUnavailable(
+                f"job queue unavailable: {exc}"
+            ) from exc
 
     # -- inspection ---------------------------------------------------------
 
@@ -239,10 +266,43 @@ class JobManager:
         except ValueError:
             return None
 
+    def health(self) -> dict:
+        """Live per-subsystem health (``GET /healthz``).
+
+        ``"ok"`` when every subsystem answers its probe; ``"degraded"``
+        when any does not.  Degraded is still HTTP 200 — the process is
+        up and reads may serve — the *body* tells operators what broke.
+        """
+        subsystems: Dict[str, dict] = {}
+        try:
+            self.queue.probe()
+            subsystems["queue"] = {"status": "ok"}
+        except sqlite3.Error as exc:
+            subsystems["queue"] = {
+                "status": "failing",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        if self.store is not None:
+            store_health = self.store.probe()
+            subsystems["store"] = {
+                "status": store_health["status"],
+                "error": store_health["last_error"],
+            }
+        else:
+            subsystems["store"] = {"status": "off"}
+        degraded = any(
+            detail["status"] == "failing" for detail in subsystems.values()
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "subsystems": subsystems,
+        }
+
     def stats(self) -> dict:
         """Aggregate service statistics (``GET /v1/stats``)."""
         queue_stats = self.queue.stats()
         depth: Dict[str, int] = queue_stats["depth"]
+        store_stats = self.store.stats() if self.store is not None else None
         return {
             "workers": self.workers,
             "backend": self.backend,
@@ -260,7 +320,14 @@ class JobManager:
             },
             "tasks_completed": queue_stats["tasks_completed"],
             "queue_workers": queue_stats["workers"],
-            "store": self.store.stats() if self.store is not None else None,
+            "store": store_stats,
+            "reliability": {
+                "queue_retries": queue_stats["counters"],
+                "store_retries": (
+                    store_stats["counters"] if store_stats is not None else None
+                ),
+                "submissions_refused_unavailable": self._unavailable,
+            },
         }
 
     def shutdown(self, *, wait: bool = True) -> None:

@@ -46,6 +46,7 @@ from typing import Any, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.config import RunConfig
+from repro.faults import inject as _inject
 from repro.queue import QueueConfig
 from repro.service.manager import JobError, JobManager
 from repro.utils.logging import get_logger
@@ -142,9 +143,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
+            _inject("http.request")
             self._route_get()
         except JobError as exc:
             self._send_error_json(400, "bad_request", str(exc))
+        except RuntimeError as exc:
+            # ServiceUnavailable and injected request faults: the client
+            # should back off and retry, not give up.
+            self._send_error_json(
+                503, "unavailable", str(exc), headers={"Retry-After": "1"}
+            )
         except Exception:
             # Sanitized: the traceback goes to the server log only —
             # clients never see internals.
@@ -155,10 +163,14 @@ class _Handler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path.rstrip("/") or "/"
         if path == "/healthz":
             server: ReproServer = self.server  # type: ignore[assignment]
+            health = self.manager.health()
+            # Degraded is still HTTP 200: the process is alive and reads
+            # may serve — the body says what broke and how badly.
             self._send_json(
                 200,
                 {
-                    "status": "ok",
+                    "status": health["status"],
+                    "subsystems": health["subsystems"],
                     "version": _repro_version(),
                     "uptime_seconds": time.time() - server.started,
                 },
@@ -207,6 +219,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         try:
+            _inject("http.request")
             self._route_post()
         except (JobError, TypeError, ValueError) as exc:
             # TypeError covers malformed numeric fields (e.g. "seed":
@@ -214,7 +227,11 @@ class _Handler(BaseHTTPRequestHandler):
             # error, not a server crash.
             self._send_error_json(400, "bad_request", str(exc))
         except RuntimeError as exc:
-            self._send_error_json(503, "unavailable", str(exc))
+            # ServiceUnavailable (queue down) and injected request
+            # faults are retryable: say so with Retry-After.
+            self._send_error_json(
+                503, "unavailable", str(exc), headers={"Retry-After": "1"}
+            )
         except Exception:
             _LOG.exception("unhandled error serving POST %s", self.path)
             self._send_error_json(500, "internal", "internal server error")

@@ -32,7 +32,10 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.faults import init_from_env as _faults_init_from_env
+from repro.faults import inject as _inject
 from repro.store.keys import STORE_SCHEMA_VERSION
+from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = [
     "DEFAULT_MAX_BYTES",
@@ -40,6 +43,16 @@ __all__ = [
     "default_cache_dir",
     "default_max_bytes",
 ]
+
+#: Backoff absorbing transient I/O races (concurrent writers, injected
+#: io_errors); bounded so a genuinely dead disk fails in well under a
+#: second and the caller's graceful-degradation path takes over.
+_IO_RETRY = RetryPolicy(max_attempts=4, base_seconds=0.005, cap_seconds=0.05)
+
+
+def _transient_io(exc: BaseException) -> bool:
+    """Retriable store I/O failures: any OSError except a clean miss."""
+    return isinstance(exc, OSError) and not isinstance(exc, FileNotFoundError)
 
 #: Default size cap of a store: 512 MiB.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
@@ -131,7 +144,15 @@ class ResultStore:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = max_bytes
         self.schema = int(schema)
+        # Surface a malformed REPRO_FAULTS plan here, at construction,
+        # instead of deep inside a hot read path (no-op when unset).
+        _faults_init_from_env()
         self._lock = threading.Lock()
+        # Infrastructure-failure state feeding health(): consecutive
+        # non-miss I/O failures and the last one seen.  A miss is a
+        # *successful* I/O round trip; only real errno failures count.
+        self._failures = 0
+        self._last_error: Optional[str] = None
         # Running byte estimate so a put() under the cap never has to
         # stat the whole store; seeded lazily from one scan, re-trued on
         # every eviction pass.  Other processes' writes are invisible to
@@ -145,6 +166,9 @@ class ResultStore:
             "writes": 0,
             "evictions": 0,
             "corrupt": 0,
+            "read_errors": 0,
+            "write_errors": 0,
+            "retries": 0,
         }
 
     @classmethod
@@ -174,16 +198,46 @@ class ResultStore:
         """Return the payload stored under ``key``, or ``None`` on a miss.
 
         Corrupt or wrong-schema entries are misses: counted, discarded
-        best-effort, never raised.  A hit refreshes the entry's LRU
-        timestamp.
+        best-effort, never raised.  A *transient* read failure (EIO and
+        friends, retried with backoff first) is also a miss, but the
+        entry is left in place — a flaky disk is not evidence the bytes
+        are bad — and recorded against :meth:`health`.  A hit refreshes
+        the entry's LRU timestamp.
         """
         path = self._entry_path(key)
+
+        def _read() -> bytes:
+            fault = _inject("store.read")
+            data = path.read_bytes()
+            if fault == "corrupt":
+                # Injected bit-rot: flip one byte mid-payload so the
+                # validation below must catch it.
+                mid = len(data) // 2
+                data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+            return data
+
         try:
-            doc = json.loads(path.read_bytes())
+            doc = json.loads(
+                retry_call(
+                    _read,
+                    policy=_IO_RETRY,
+                    retry_on=_transient_io,
+                    on_retry=self._count_retry,
+                )
+            )
         except FileNotFoundError:
             self.counters["misses"] += 1
+            self._note_ok()
             return None
-        except (OSError, ValueError):
+        except OSError as exc:
+            # Transient infrastructure failure: miss, but keep the
+            # entry — discarding on EIO would let a flaky disk empty
+            # the whole store.
+            self.counters["misses"] += 1
+            self.counters["read_errors"] += 1
+            self._note_failure(exc)
+            return None
+        except ValueError:
             self._discard(path, corrupt=True)
             self.counters["misses"] += 1
             return None
@@ -204,6 +258,7 @@ class ResultStore:
         except OSError:
             pass
         self.counters["hits"] += 1
+        self._note_ok()
         return doc["payload"]
 
     def contains(self, key: str) -> bool:
@@ -247,25 +302,42 @@ class ResultStore:
             data = json.dumps(envelope, sort_keys=True).encode("utf-8")
         except (TypeError, ValueError):
             return False
+
+        def _write_once() -> None:
+            fault = _inject("store.write")
+            # An injected truncation survives on disk as a partial
+            # write: the replace goes through with a strict prefix of
+            # the envelope, which a later get() must reject as corrupt.
+            body = data if fault != "truncate" else data[: len(data) // 2]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(body)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
         with self._lock:
             try:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                fd, tmp_name = tempfile.mkstemp(
-                    dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+                retry_call(
+                    _write_once,
+                    policy=_IO_RETRY,
+                    retry_on=_transient_io,
+                    on_retry=self._count_retry,
                 )
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        handle.write(data)
-                    os.replace(tmp_name, path)
-                except BaseException:
-                    try:
-                        os.unlink(tmp_name)
-                    except OSError:
-                        pass
-                    raise
-            except OSError:
+            except OSError as exc:
+                self.counters["write_errors"] += 1
+                self._note_failure(exc)
                 return False
             self.counters["writes"] += 1
+            self._note_ok()
             self._update_index(
                 {
                     key: {
@@ -293,6 +365,53 @@ class ResultStore:
             pass
         if corrupt:
             self.counters["corrupt"] += 1
+
+    # -- health -------------------------------------------------------------
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.counters["retries"] += 1
+
+    def _note_ok(self) -> None:
+        self._failures = 0
+        self._last_error = None
+
+    def _note_failure(self, exc: BaseException) -> None:
+        self._failures += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+
+    def health(self) -> dict:
+        """Passive health snapshot: ``ok`` until I/O actually fails.
+
+        The state is self-healing — any subsequent successful operation
+        (including a clean miss) resets it — so a transient blip clears
+        on the next touch while a dead disk stays ``failing``.
+        """
+        failing = self._failures > 0
+        return {
+            "status": "failing" if failing else "ok",
+            "consecutive_failures": self._failures,
+            "last_error": self._last_error,
+        }
+
+    def probe(self) -> dict:
+        """Actively exercise the read path, then report :meth:`health`.
+
+        Reads a reserved key that never exists: a clean miss proves the
+        I/O path works (and resets the failure state); an errno failure
+        records itself.  No counters are touched — probes must not
+        pollute traffic statistics.
+        """
+        path = self._entry_path("00" * 20)
+        try:
+            _inject("store.read")
+            path.read_bytes()
+        except FileNotFoundError:
+            self._note_ok()
+        except OSError as exc:
+            self._note_failure(exc)
+        else:  # pragma: no cover - the reserved key should never exist
+            self._note_ok()
+        return self.health()
 
     # -- index --------------------------------------------------------------
 
@@ -458,6 +577,7 @@ class ResultStore:
             "max_bytes": self.max_bytes,
             "stages": stages,
             "counters": dict(self.counters),
+            "health": self.health(),
         }
 
     def __repr__(self) -> str:

@@ -48,6 +48,7 @@ import numpy as np
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.statespace import StateSpace
 from repro.timedomain.terminations import Termination
+from repro.utils.guards import check_conditioning
 from repro.utils.validation import ensure_choice, ensure_positive_float
 
 __all__ = [
@@ -229,6 +230,12 @@ def discretize_statespace(
     n = ss.order
     if method == "tustin":
         m = np.eye(n) - 0.5 * dt * ss.a
+        # A near-singular trapezoidal matrix (dt at a system pole's
+        # timescale) would make the solve amplify noise into the whole
+        # trajectory — diagnose it instead of simulating garbage.
+        check_conditioning(
+            m, stage="simulate", what="trapezoidal system matrix I - A*dt/2"
+        )
         rhs = np.concatenate(
             [np.eye(n) + 0.5 * dt * ss.a, 0.5 * dt * ss.b], axis=1
         )

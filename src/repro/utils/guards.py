@@ -1,0 +1,124 @@
+"""Numerical guards: NaN/Inf and conditioning checks for the hot paths.
+
+A passivity *certificate* built on poisoned numerics is worse than a
+crash: it is a wrong answer delivered confidently.  These guards sit at
+the entry/exit of the fit, solve, and simulate stages and convert
+silent numerical poison into a structured :class:`NumericalError` —
+which the batch runner records as a per-job diagnostic
+(:attr:`~repro.batch.runner.JobResult.diagnostic`) instead of a raw
+traceback, so fleet reports can aggregate *why* jobs failed.
+
+:class:`NumericalError` subclasses :class:`ArithmeticError` first (its
+semantic home) and :class:`ValueError` second, preserving the public
+contract that feeding non-finite samples to e.g. :func:`vector_fit`
+raises ``ValueError``.  The batch runner catches ``NumericalError``
+*before* any generic handler, and the service/store layers only catch
+``ValueError`` around key computation and payload decoding — never
+around stage execution — so the diagnostic cannot be swallowed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "CONDITION_LIMIT",
+    "NumericalError",
+    "ensure_finite",
+    "check_conditioning",
+]
+
+#: Condition numbers beyond this are treated as numerically meaningless
+#: (double precision keeps ~16 digits; 1e12 leaves ~4 trustworthy ones).
+CONDITION_LIMIT = 1e12
+
+
+class NumericalError(ArithmeticError, ValueError):
+    """A stage produced (or was handed) numerically meaningless data.
+
+    Attributes
+    ----------
+    stage:
+        Pipeline stage that tripped the guard (``"fit"``, ``"solve"``,
+        ``"simulate"``, ...).
+    kind:
+        ``"nan"``, ``"inf"``, or ``"conditioning"``.
+    detail:
+        Structured context (array name, condition estimate, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str,
+        kind: str,
+        detail: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = str(stage)
+        self.kind = str(kind)
+        self.detail = dict(detail or {})
+
+    def to_dict(self) -> dict:
+        """JSON-serializable diagnostic (attached to ``JobResult``)."""
+        return {
+            "type": "NumericalError",
+            "stage": self.stage,
+            "kind": self.kind,
+            "message": str(self),
+            "detail": self.detail,
+        }
+
+
+def ensure_finite(array, *, stage: str, what: str) -> np.ndarray:
+    """Raise :class:`NumericalError` when ``array`` holds NaN or Inf.
+
+    Returns the input (as an ndarray) so the guard can be used inline.
+    """
+    arr = np.asarray(array)
+    if arr.size == 0 or np.all(np.isfinite(arr)):
+        return arr
+    # NaN first: an array holding both is reported as NaN-poisoned,
+    # which is almost always the root cause.
+    has_nan = bool(np.any(np.isnan(arr)))
+    kind = "nan" if has_nan else "inf"
+    bad = int(arr.size - np.count_nonzero(np.isfinite(arr)))
+    raise NumericalError(
+        f"{what} contains {bad} non-finite value(s)"
+        f" ({'NaN' if has_nan else 'Inf'}) in the {stage} stage",
+        stage=stage,
+        kind=kind,
+        detail={"what": what, "bad_values": bad, "shape": list(arr.shape)},
+    )
+
+
+def check_conditioning(
+    matrix,
+    *,
+    stage: str,
+    what: str,
+    limit: float = CONDITION_LIMIT,
+) -> float:
+    """Raise :class:`NumericalError` on a pathologically conditioned matrix.
+
+    Returns the 2-norm condition estimate.  Meant for matrices that are
+    formed once and then drive a whole stage (e.g. the trapezoidal-rule
+    system ``I - A dt/2``), where a near-singular system silently turns
+    the entire transient into noise.
+    """
+    mat = ensure_finite(matrix, stage=stage, what=what)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1] or mat.shape[0] == 0:
+        return 1.0
+    cond = float(np.linalg.cond(mat))
+    if not np.isfinite(cond) or cond > limit:
+        raise NumericalError(
+            f"{what} is pathologically conditioned in the {stage} stage"
+            f" (cond ~ {cond:.3e}, limit {limit:.1e})",
+            stage=stage,
+            kind="conditioning",
+            detail={"what": what, "condition": cond, "limit": limit},
+        )
+    return cond

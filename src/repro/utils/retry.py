@@ -1,0 +1,152 @@
+"""Bounded retry with exponential backoff and full jitter.
+
+:func:`retry_call` is the one retry policy shared by every subsystem
+that talks to infrastructure which can transiently fail — the SQLite
+queue under ``SQLITE_BUSY`` storms, the on-disk result store under
+concurrent-writer races — so backoff behaviour is uniform and tested in
+one place instead of re-invented per call site.
+
+The policy is deliberately conservative:
+
+* **bounded** — at most ``max_attempts`` calls, never an infinite loop;
+* **exponential backoff with full jitter** — attempt ``k`` sleeps a
+  uniform random draw from ``[0, min(cap, base * 2**k)]``, the classic
+  decorrelation that keeps a fleet of retriers from thundering in
+  lockstep;
+* **deadline-aware** — an optional wall-clock budget caps the total
+  time spent retrying: when the next sleep would cross the deadline the
+  last error is raised immediately instead of sleeping past it.
+
+Which exceptions are retriable is the *caller's* decision (``retry_on``
+— a predicate or an exception-type tuple); everything else propagates
+on the first raise.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, Union
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+RetryOn = Union[
+    Callable[[BaseException], bool],
+    Tuple[Type[BaseException], ...],
+    Type[BaseException],
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff parameters for :func:`retry_call`.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total calls allowed (first try included); must be >= 1.
+    base_seconds:
+        Backoff scale: attempt ``k`` (0-based) draws its sleep from
+        ``[0, min(cap_seconds, base_seconds * 2**k)]``.
+    cap_seconds:
+        Upper bound of any single sleep.
+    deadline_seconds:
+        Total wall-clock budget across all attempts; ``None`` means
+        attempts alone bound the retry loop.
+    """
+
+    max_attempts: int = 5
+    base_seconds: float = 0.02
+    cap_seconds: float = 1.0
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_seconds < 0.0:
+            raise ValueError(
+                f"base_seconds must be >= 0, got {self.base_seconds}"
+            )
+        if self.cap_seconds < 0.0:
+            raise ValueError(
+                f"cap_seconds must be >= 0, got {self.cap_seconds}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0.0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got"
+                f" {self.deadline_seconds}"
+            )
+
+    def sleep_for(self, attempt: int, rng: random.Random) -> float:
+        """The jittered sleep before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.cap_seconds, self.base_seconds * (2.0**attempt))
+        return rng.uniform(0.0, ceiling)
+
+
+def _matches(retry_on: RetryOn, exc: BaseException) -> bool:
+    if isinstance(retry_on, type):
+        return isinstance(exc, retry_on)
+    if isinstance(retry_on, tuple):
+        return isinstance(exc, retry_on)
+    return bool(retry_on(exc))
+
+
+def retry_call(
+    func: Callable,
+    *args,
+    policy: Optional[RetryPolicy] = None,
+    retry_on: RetryOn = (Exception,),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+):
+    """Call ``func(*args, **kwargs)``, retrying transient failures.
+
+    Parameters
+    ----------
+    func:
+        The operation; it must be safe to re-run (the caller guarantees
+        idempotence of a retried attempt).
+    policy:
+        :class:`RetryPolicy`; defaults apply when omitted.
+    retry_on:
+        Exception type(s) or a predicate deciding which failures are
+        transient.  Non-matching exceptions propagate immediately.
+    on_retry:
+        Observer called as ``on_retry(attempt, exc)`` before each
+        retry sleep (counters, logging).
+    rng:
+        Jitter source (deterministic tests inject a seeded one).
+    sleep:
+        Sleep function (tests inject a recorder).
+
+    Raises
+    ------
+    The last exception, once attempts or the deadline are exhausted.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    rng = rng if rng is not None else random.Random()
+    deadline = (
+        time.monotonic() + policy.deadline_seconds
+        if policy.deadline_seconds is not None
+        else None
+    )
+    for attempt in range(policy.max_attempts):
+        try:
+            return func(*args, **kwargs)
+        except BaseException as exc:
+            last_attempt = attempt == policy.max_attempts - 1
+            if last_attempt or not _matches(retry_on, exc):
+                raise
+            pause = policy.sleep_for(attempt, rng)
+            if deadline is not None and time.monotonic() + pause >= deadline:
+                # Sleeping would blow the budget: fail now, honestly.
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(pause)
+    raise AssertionError("unreachable: the loop returns or raises")

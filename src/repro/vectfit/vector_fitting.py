@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.macromodel.poles import make_stable, partition_poles
 from repro.macromodel.rational import PoleResidueModel
+from repro.utils.guards import ensure_finite
 from repro.utils.validation import ensure_positive_int, ensure_sorted_frequencies
 from repro.vectfit.options import VectorFittingOptions
 
@@ -266,6 +267,10 @@ def vector_fit(
     options = options if options is not None else VectorFittingOptions()
     freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
     responses = np.asarray(responses, dtype=complex)
+    # NaN/Inf samples would propagate silently through the least-squares
+    # stages and surface as inexplicable garbage poles — fail here with
+    # a structured diagnostic instead.
+    ensure_finite(responses, stage="fit", what="frequency samples")
     if responses.ndim == 1:
         responses = responses[:, None, None]
     if responses.ndim != 3 or responses.shape[1] != responses.shape[2]:
@@ -320,6 +325,10 @@ def vector_fit(
 
     model = _identify_residues(freqs_rad, flat, weights, poles, p, options)
     fitted = model.frequency_response(freqs_rad).reshape(k_samples, p * p)
+    # A fit that went numerically off the rails (overflowed residues,
+    # divergent pole relocation) must be reported as such, not returned
+    # as a "model" whose responses are NaN.
+    ensure_finite(fitted, stage="fit", what="fitted model response")
     err = np.abs(fitted - flat)
     return FitResult(
         model=model,

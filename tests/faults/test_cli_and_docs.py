@@ -1,0 +1,53 @@
+"""`repro faults list` and the docs stay in sync with the registry."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.faults import INJECTION_POINTS
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "quickstart.md"
+
+
+class TestFaultsListCLI:
+    def test_lists_every_registered_point(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in INJECTION_POINTS:
+            assert name in out
+        assert "REPRO_FAULTS is unset" in out
+
+    def test_json_payload_mirrors_registry(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert main(["faults", "list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["plan"] is None
+        assert {p["name"] for p in doc["points"]} == set(INJECTION_POINTS)
+        by_name = {p["name"]: p for p in doc["points"]}
+        for name, point in INJECTION_POINTS.items():
+            assert by_name[name]["kinds"] == list(point.kinds)
+
+    def test_active_plan_is_shown(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "queue.claim:busy@0.1")
+        assert main(["faults", "list"]) == 0
+        assert "queue.claim:busy@0.1" in capsys.readouterr().out
+
+    def test_malformed_plan_exits_nonzero(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "queue.claim:busy@oops")
+        assert main(["faults", "list"]) == 1
+        assert "invalid REPRO_FAULTS" in capsys.readouterr().err
+
+
+class TestDocsSync:
+    @pytest.mark.skipif(not DOCS.exists(), reason="docs not in this checkout")
+    def test_quickstart_documents_every_injection_point(self):
+        text = DOCS.read_text()
+        assert "## Failure modes and recovery" in text
+        for name in INJECTION_POINTS:
+            assert name in text, (
+                f"injection point {name!r} is registered but undocumented"
+                " in docs/quickstart.md (run `repro faults list`)"
+            )

@@ -1,0 +1,149 @@
+"""The injector: determinism, kind semantics, and the disabled fast path."""
+
+import sqlite3
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.config import ConfigError
+from repro.faults import FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Every test starts and ends with no active plan."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _fire_pattern(plan, point, rolls):
+    faults.activate(plan)
+    pattern = []
+    for _ in range(rolls):
+        try:
+            pattern.append(faults.inject(point) or "none")
+        except Exception as exc:
+            pattern.append(type(exc).__name__)
+    faults.deactivate()
+    return pattern
+
+
+class TestDeterminism:
+    def test_same_seed_same_pattern(self):
+        plan = FaultPlan.parse("store.write:io_error@0.3", seed=7)
+        first = _fire_pattern(plan, "store.write", 200)
+        second = _fire_pattern(plan, "store.write", 200)
+        assert first == second
+        assert "OSError" in first  # p=0.3 over 200 rolls must fire
+
+    def test_different_seeds_differ(self):
+        a = _fire_pattern(
+            FaultPlan.parse("store.write:io_error@0.3", seed=1),
+            "store.write",
+            200,
+        )
+        b = _fire_pattern(
+            FaultPlan.parse("store.write:io_error@0.3", seed=2),
+            "store.write",
+            200,
+        )
+        assert a != b
+
+    def test_points_draw_independent_streams(self):
+        # Interleaving calls at another point must not perturb the
+        # pattern a point produces on its own.
+        plan = FaultPlan.parse(
+            "store.write:io_error@0.3;store.read:io_error@0.3", seed=3
+        )
+        alone = _fire_pattern(plan, "store.write", 100)
+        faults.activate(plan)
+        interleaved = []
+        for _ in range(100):
+            try:
+                faults.inject("store.read")
+            except OSError:
+                pass
+            try:
+                interleaved.append(faults.inject("store.write") or "none")
+            except OSError:
+                interleaved.append("OSError")
+        faults.deactivate()
+        assert interleaved == alone
+
+
+class TestKinds:
+    def test_io_error_raises_oserror(self):
+        faults.activate(FaultPlan.parse("store.write:io_error@1"))
+        with pytest.raises(OSError, match="injected io_error"):
+            faults.inject("store.write")
+
+    def test_busy_raises_locked_operational_error(self):
+        faults.activate(FaultPlan.parse("queue.claim:busy@1"))
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            faults.inject("queue.claim")
+
+    def test_error_raises_runtime_error(self):
+        faults.activate(FaultPlan.parse("worker.run:error@1"))
+        with pytest.raises(RuntimeError, match="injected error"):
+            faults.inject("worker.run")
+
+    def test_hang_stalls_then_returns_none(self):
+        faults.activate(FaultPlan.parse("worker.run:hang@1"))
+        t0 = time.perf_counter()
+        assert faults.inject("worker.run") is None
+        assert time.perf_counter() - t0 >= 0.04
+
+    def test_data_kinds_returned_to_caller(self):
+        faults.activate(FaultPlan.parse("store.read:corrupt@1"))
+        assert faults.inject("store.read") == "corrupt"
+        faults.activate(FaultPlan.parse("store.write:truncate@1"))
+        assert faults.inject("store.write") == "truncate"
+
+    def test_zero_probability_never_fires(self):
+        faults.activate(FaultPlan.parse("store.write:io_error@0"))
+        for _ in range(100):
+            assert faults.inject("store.write") is None
+
+    def test_unlisted_point_never_fires(self):
+        faults.activate(FaultPlan.parse("store.write:io_error@1"))
+        assert faults.inject("queue.claim") is None
+
+
+class TestLifecycle:
+    def test_disabled_inject_is_none(self):
+        assert faults.inject("store.write") is None
+        assert faults.active_plan() is None
+        assert faults.counters() == {}
+
+    def test_counters_track_checked_and_fired(self):
+        faults.activate(FaultPlan.parse("store.write:io_error@1"))
+        for _ in range(3):
+            with pytest.raises(OSError):
+                faults.inject("store.write")
+        counts = faults.counters()
+        assert counts["store.write"] == {"checked": 3, "fired": 3}
+
+    def test_init_from_env_parses_and_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "queue.ack:busy@0.5")
+        faults.init_from_env()
+        assert faults.active_plan().by_point["queue.ack"].kind == "busy"
+        monkeypatch.setenv("REPRO_FAULTS", "queue.ack:busy@nope")
+        with pytest.raises(ConfigError):
+            faults.init_from_env()
+
+    def test_activate_survives_init_from_env(self, monkeypatch):
+        # An explicit test plan must not be clobbered by a later
+        # constructor calling init_from_env with an unchanged env.
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        plan = FaultPlan.parse("store.write:truncate@1")
+        faults.activate(plan)
+        faults.init_from_env()
+        assert faults.active_plan() is not None
+        assert faults.active_plan().by_point["store.write"].kind == "truncate"
+
+    def test_deactivate_clears(self):
+        faults.activate(FaultPlan.parse("store.write:io_error@1"))
+        faults.deactivate()
+        assert faults.inject("store.write") is None

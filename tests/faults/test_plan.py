@@ -1,0 +1,111 @@
+"""FaultPlan grammar: valid plans parse, malformed plans fail loudly."""
+
+import pytest
+
+from repro.core.config import ConfigError
+from repro.faults import FAULT_KINDS, INJECTION_POINTS, FaultPlan
+
+
+class TestParse:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("store.write:io_error@0.05")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.point == "store.write"
+        assert spec.kind == "io_error"
+        assert spec.probability == pytest.approx(0.05)
+
+    def test_multi_clause_issue_example(self):
+        plan = FaultPlan.parse(
+            "store.write:io_error@0.05;queue.claim:busy@0.1;worker.run:hang@0.02"
+        )
+        assert set(plan.by_point) == {
+            "store.write",
+            "queue.claim",
+            "worker.run",
+        }
+        assert plan.by_point["queue.claim"].kind == "busy"
+        assert plan.by_point["worker.run"].probability == pytest.approx(0.02)
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        plan = FaultPlan.parse("  store.read:corrupt@1 ; ;queue.ack:busy@0 ")
+        assert set(plan.by_point) == {"store.read", "queue.ack"}
+
+    def test_describe_round_trips(self):
+        text = "store.write:io_error@0.05;queue.claim:busy@0.1"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.describe()).by_point == plan.by_point
+
+    def test_boundary_probabilities(self):
+        assert FaultPlan.parse("worker.run:hang@0").specs[0].probability == 0.0
+        assert FaultPlan.parse("worker.run:hang@1").specs[0].probability == 1.0
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "store.write",  # no kind, no probability
+            "store.write:io_error",  # no probability
+            "store.write@0.5",  # no kind
+            "nonsense.point:io_error@0.5",  # unknown point
+            "store.write:frobnicate@0.5",  # unknown kind
+            "store.write:busy@0.5",  # kind unsupported by the point
+            "store.write:io_error@lots",  # non-numeric probability
+            "store.write:io_error@1.5",  # probability out of range
+            "store.write:io_error@-0.1",  # probability out of range
+            "store.write:io_error@0.1;store.write:truncate@0.1",  # duplicate
+            "  ;  ",  # set but empty
+        ],
+    )
+    def test_raises_config_error(self, text):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(text)
+
+    def test_config_error_is_a_value_error(self):
+        # main() maps ValueError to exit 1 — ConfigError must qualify.
+        assert issubclass(ConfigError, ValueError)
+
+
+class TestFromEnv:
+    def test_unset_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_env_plan_and_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "queue.claim:busy@0.25")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "42")
+        plan = FaultPlan.from_env()
+        assert plan.seed == 42
+        assert plan.by_point["queue.claim"].probability == pytest.approx(0.25)
+
+    def test_malformed_seed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "queue.claim:busy@0.25")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "soon")
+        with pytest.raises(ConfigError):
+            FaultPlan.from_env()
+
+
+class TestRegistry:
+    def test_every_point_kind_is_known(self):
+        for point in INJECTION_POINTS.values():
+            assert point.kinds, point.name
+            for kind in point.kinds:
+                assert kind in FAULT_KINDS
+
+    def test_registry_names_are_the_keys(self):
+        for name, point in INJECTION_POINTS.items():
+            assert point.name == name
+
+    def test_expected_points_registered(self):
+        # The contract the docs, CLI, and chaos suite all rely on.
+        assert set(INJECTION_POINTS) == {
+            "store.write",
+            "store.read",
+            "queue.enqueue",
+            "queue.claim",
+            "queue.ack",
+            "queue.heartbeat",
+            "worker.run",
+            "http.request",
+        }

@@ -1,0 +1,312 @@
+"""Chaos acceptance suite: the service under fire at every injection point.
+
+The contract proven here (the PR's acceptance criterion): a 200-job
+fleet submitted over HTTP while **every** registered injection point
+fires with >= 5% probability still completes every job exactly once,
+with results bit-identical to a fault-free run and no duplicated store
+writes — and an induced store outage flips ``/healthz`` to ``degraded``
+while it lasts and back to ``ok`` when it lifts.
+
+The fleet size and seed are environment-tunable so CI's ``chaos-smoke``
+job can pin them (``REPRO_CHAOS_JOBS``, ``REPRO_CHAOS_SEED``).
+"""
+
+import json
+import os
+import sqlite3
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.core.config import RunConfig
+from repro.faults import INJECTION_POINTS, FaultPlan
+from repro.queue import QueueConfig
+from repro.service import ReproServer
+
+#: Every registered injection point, firing at >= 5%, with a fault kind
+#: the hardened stack must fully absorb (retries, degradation, client
+#: backoff) — never surface as a failed job.
+CHAOS_PLAN = (
+    "store.write:io_error@0.05;"
+    "store.read:io_error@0.05;"
+    "queue.enqueue:busy@0.05;"
+    "queue.claim:busy@0.1;"
+    "queue.ack:busy@0.05;"
+    "queue.heartbeat:busy@0.05;"
+    "worker.run:hang@0.05;"
+    "http.request:error@0.05"
+)
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+FLEET_SIZE = int(os.environ.get("REPRO_CHAOS_JOBS", "200"))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _api(base_url, path, doc=None, retries=25):
+    """JSON round trip retrying 429/503 with a (test-capped) backoff."""
+    data = None if doc is None else json.dumps(doc).encode("utf-8")
+    last = None
+    for attempt in range(retries + 1):
+        request = urllib.request.Request(
+            base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="GET" if doc is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code not in (429, 503) or attempt >= retries:
+                raise
+            last = exc
+            try:
+                delay = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                delay = 0.1
+            time.sleep(min(delay, 0.2))  # honor the header, capped for CI
+    raise AssertionError(f"retries exhausted: {last}")
+
+
+def _spec(seed):
+    return {
+        "kind": "synth",
+        "order": 6,
+        "ports": 2,
+        "seed": seed,
+        "task": "check",
+    }
+
+
+def _fingerprint(result):
+    """The bit-comparable core of one job result.
+
+    Job names embed the submission's job id and timings vary run to
+    run; the *computation* — the passivity verdict and every crossing
+    frequency, bit for bit — must not.
+    """
+    return (
+        result["is_passive"],
+        tuple(result["crossings"]),
+    )
+
+
+def _run_fleet(tmp_path, subdir, plan_text=None):
+    """Submit FLEET_SIZE jobs, drain them, return {seed: row}."""
+    root = tmp_path / subdir
+    server = ReproServer.create(
+        port=0,
+        config=RunConfig(cache="readwrite", cache_dir=str(root / "store")),
+        workers=2,
+        backend="serial",
+        queue_path=str(root / "queue.sqlite3"),
+        # Heartbeat fast enough to actually fire during millisecond
+        # jobs, so the queue.heartbeat injection point sees traffic.
+        queue_config=QueueConfig(
+            heartbeat_seconds=0.02, lease_seconds=60.0
+        ),
+    )
+    server.start_background()
+    try:
+        if plan_text is not None:
+            faults.activate(FaultPlan.parse(plan_text, seed=CHAOS_SEED))
+        submitted = {}
+        for seed in range(FLEET_SIZE):
+            record = _api(server.url, "/v1/jobs", _spec(seed))
+            submitted[seed] = record["id"]
+
+        rows = {}
+        deadline = time.time() + 300.0
+        pending = dict(submitted)
+        while pending:
+            assert time.time() < deadline, (
+                f"{len(pending)} job(s) still pending at the deadline"
+            )
+            for seed, job_id in list(pending.items()):
+                row = _api(server.url, f"/v1/jobs/{job_id}")
+                if row["status"] in ("done", "error", "timeout", "failed"):
+                    rows[seed] = row
+                    del pending[seed]
+            time.sleep(0.05)
+
+        faults.deactivate()
+        store_entries = server.manager.store.stats()["entries"]
+        worker_writes = sum(
+            store.counters["writes"]
+            for worker, _thread in server.manager._embedded
+            for store in worker._stores.values()
+        )
+        return rows, store_entries, worker_writes
+    finally:
+        faults.deactivate()
+        server.stop()
+
+
+class TestChaosFleet:
+    def test_fleet_survives_faults_at_every_point(self, tmp_path):
+        # The plan must cover the whole registry — if a new injection
+        # point is added, this test fails until the chaos plan does too.
+        plan = FaultPlan.parse(CHAOS_PLAN, seed=CHAOS_SEED)
+        assert set(plan.by_point) == set(INJECTION_POINTS)
+        assert all(
+            spec.probability >= 0.05 for spec in plan.specs
+        )
+
+        chaos_rows, entries, writes = _run_fleet(
+            tmp_path, "chaos", CHAOS_PLAN
+        )
+        baseline_rows, _, _ = _run_fleet(tmp_path, "baseline")
+
+        # Every job completed, exactly once, under fire.
+        assert len(chaos_rows) == FLEET_SIZE
+        bad = {
+            seed: (row["status"], row["error"])
+            for seed, row in chaos_rows.items()
+            if row["status"] != "done"
+        }
+        assert not bad, f"jobs failed under chaos: {bad}"
+        assert all(
+            row["attempts"] == 1 for row in chaos_rows.values()
+        ), "a job ran more than once under chaos"
+        assert all(not row["cached"] for row in chaos_rows.values())
+
+        # No duplicated store writes.  The workers' job-level put
+        # counters must account for exactly one write per job — minus
+        # the (rare) jobs that recorded a store warning instead of a
+        # write (put retries exhausted, or degraded to cache-off).  A
+        # double-executed job would push the sum past the fleet size.
+        keys = {row["key"] for row in chaos_rows.values()}
+        assert len(keys) == FLEET_SIZE
+        warned = sum(
+            1
+            for row in chaos_rows.values()
+            if (row["result"] or {}).get("warnings")
+        )
+        assert writes + warned == FLEET_SIZE
+        assert warned <= FLEET_SIZE // 10, (
+            "store degradation should be the exception, not the rule"
+        )
+        # Stage-level cache entries ride along; the scan can only hold
+        # entries someone actually wrote.
+        assert entries >= writes
+
+        # Bit-correct under fire: the passivity verdict and every
+        # crossing frequency match the fault-free run exactly.
+        for seed in range(FLEET_SIZE):
+            chaos_result = chaos_rows[seed]["result"]
+            base_result = baseline_rows[seed]["result"]
+            assert _fingerprint(chaos_result) == _fingerprint(base_result)
+
+
+class TestStoreOutage:
+    def test_degraded_during_outage_ok_after(self, tmp_path):
+        root = tmp_path / "outage"
+        server = ReproServer.create(
+            port=0,
+            config=RunConfig(
+                cache="readwrite", cache_dir=str(root / "store")
+            ),
+            workers=2,
+            backend="serial",
+            queue_path=str(root / "queue.sqlite3"),
+        )
+        server.start_background()
+        try:
+            assert _api(server.url, "/healthz")["status"] == "ok"
+
+            # Kill the store: every read and write now fails.
+            faults.activate(
+                FaultPlan.parse(
+                    "store.write:io_error@1;store.read:io_error@1"
+                )
+            )
+            health = _api(server.url, "/healthz")
+            assert health["status"] == "degraded"
+            assert health["subsystems"]["store"]["status"] == "failing"
+            assert health["subsystems"]["queue"]["status"] == "ok"
+
+            # Jobs degrade (cache off, warning recorded) — never fail.
+            finished = []
+            for seed in (9001, 9002):
+                record = _api(server.url, "/v1/jobs", _spec(seed))
+                deadline = time.time() + 120.0
+                while True:
+                    row = _api(server.url, f"/v1/jobs/{record['id']}")
+                    if row["status"] in ("done", "error", "timeout", "failed"):
+                        finished.append(row)
+                        break
+                    assert time.time() < deadline
+                    time.sleep(0.05)
+            for row in finished:
+                assert row["status"] == "done", row["error"]
+                assert row["result"]["warnings"], (
+                    "a store outage must be recorded on the result"
+                )
+
+            # Outage lifts: the next health probe heals the verdict.
+            faults.deactivate()
+            health = _api(server.url, "/healthz")
+            assert health["status"] == "ok"
+            assert health["subsystems"]["store"]["status"] == "ok"
+        finally:
+            faults.deactivate()
+            server.stop()
+
+
+class TestQueueOutage:
+    def test_writes_503_reads_keep_serving(self, tmp_path):
+        root = tmp_path / "qdead"
+        server = ReproServer.create(
+            port=0,
+            config=RunConfig(
+                cache="readwrite", cache_dir=str(root / "store")
+            ),
+            workers=0,  # pure front-end; no embedded workers to confuse
+            queue_path=str(root / "queue.sqlite3"),
+        )
+        server.start_background()
+        try:
+            key = "ee" * 20
+            assert server.manager.store.put(
+                key, {"name": "kept"}, stage="test"
+            )
+            assert _api(server.url, "/healthz")["status"] == "ok"
+
+            server.manager.queue.close()  # the queue database dies
+
+            health = _api(server.url, "/healthz")
+            assert health["status"] == "degraded"
+            assert health["subsystems"]["queue"]["status"] == "failing"
+
+            # Writes: 503 with Retry-After, the retryable signal.
+            request = urllib.request.Request(
+                server.url + "/v1/jobs",
+                data=json.dumps(_spec(1)).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers.get("Retry-After") is not None
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["code"] == "unavailable"
+
+            # Reads: stored results keep serving from the live store.
+            stored = _api(server.url, f"/v1/results/{key}")
+            assert stored["payload"] == {"name": "kept"}
+
+            # Refused submissions are counted (but stats needs the
+            # queue, so assert on the manager directly).
+            assert server.manager._unavailable >= 1
+        finally:
+            server.stop()

@@ -1,0 +1,127 @@
+"""Property: a faulty store never returns a wrong payload (hypothesis).
+
+Under injected partial-write (``truncate``), bit-rot (``corrupt``), and
+transient I/O faults, every :meth:`ResultStore.get` must either round-trip
+the exact payload that was put, or miss cleanly (``None`` — the caller
+recomputes).  Serving a *different* payload would silently poison every
+downstream passivity verdict, so that is the one outcome the store must
+make impossible.
+"""
+
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.store import ResultStore
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# JSON-shaped payloads: nested dicts/lists of finite scalars, as the
+# service stores them (job results are to_jsonable()'d dicts).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(
+        _scalars,
+        st.lists(_scalars, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), _scalars, max_size=3),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _exercise(plan_text, payloads, seed):
+    """Put/get every payload under ``plan_text``; assert never-wrong."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        keys = [f"{i:02d}" + "ab" * 19 for i in range(len(payloads))]
+        faults.activate(FaultPlan.parse(plan_text, seed=seed))
+        try:
+            stored = {}
+            for key, payload in zip(keys, payloads):
+                if store.put(key, payload, stage="prop"):
+                    stored[key] = payload
+            for key, payload in zip(keys, payloads):
+                for _ in range(3):  # repeated reads must stay safe too
+                    got = store.get(key)
+                    assert got is None or got == payload, (
+                        f"store returned a WRONG payload for {key}:"
+                        f" {got!r} != {payload!r}"
+                    )
+        finally:
+            faults.deactivate()
+        # With faults gone, an entry that still exists must round-trip.
+        for key, payload in stored.items():
+            got = store.get(key)
+            assert got is None or got == payload
+
+
+@SLOW
+@given(
+    payloads=st.lists(_payloads, min_size=1, max_size=6),
+    seed=st.integers(0, 10_000),
+)
+def test_truncated_writes_never_serve_garbage(payloads, seed):
+    _exercise("store.write:truncate@0.5", payloads, seed)
+
+
+@SLOW
+@given(
+    payloads=st.lists(_payloads, min_size=1, max_size=6),
+    seed=st.integers(0, 10_000),
+)
+def test_corrupted_reads_never_serve_garbage(payloads, seed):
+    _exercise("store.read:corrupt@0.5", payloads, seed)
+
+
+@SLOW
+@given(
+    payloads=st.lists(_payloads, min_size=1, max_size=6),
+    seed=st.integers(0, 10_000),
+)
+def test_combined_fault_storm_never_serves_garbage(payloads, seed):
+    _exercise(
+        "store.write:truncate@0.3;store.read:corrupt@0.3", payloads, seed
+    )
+
+
+@SLOW
+@given(
+    payloads=st.lists(_payloads, min_size=1, max_size=4),
+    seed=st.integers(0, 10_000),
+)
+def test_io_errors_miss_but_keep_entries(payloads, seed):
+    """Transient I/O errors cause misses, never deletions: once the
+    fault plan is lifted, every successfully written entry reads back."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        keys = [f"{i:02d}" + "cd" * 19 for i in range(len(payloads))]
+        stored = {}
+        for key, payload in zip(keys, payloads):
+            if store.put(key, payload, stage="prop"):
+                stored[key] = payload
+        faults.activate(FaultPlan.parse("store.read:io_error@0.7", seed=seed))
+        try:
+            for key, payload in stored.items():
+                got = store.get(key)
+                assert got is None or got == payload
+        finally:
+            faults.deactivate()
+        for key, payload in stored.items():
+            assert store.get(key) == payload, (
+                "a transient read fault must not evict a valid entry"
+            )

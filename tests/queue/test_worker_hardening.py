@@ -1,0 +1,169 @@
+"""Worker hardening: heartbeat survival/escalation and store degradation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.queue import JobQueue, QueueConfig, QueueWorker, parse_spec
+from repro.store import ResultStore
+
+SPEC = {"kind": "synth", "order": 6, "ports": 2, "seed": 5, "task": "check"}
+
+
+@pytest.fixture()
+def queue_path(tmp_path):
+    return tmp_path / "queue.sqlite3"
+
+
+@pytest.fixture()
+def config(tmp_path):
+    return RunConfig(cache="readwrite", cache_dir=str(tmp_path / "store"))
+
+
+def _enqueue(queue, spec, config, job_id="job1"):
+    parsed = parse_spec(spec, base_config=config, job_id=job_id)
+    return queue.enqueue(
+        job_id=job_id,
+        task=parsed.task,
+        name=parsed.name,
+        kind=parsed.kind,
+        spec=parsed.resolved_spec(),
+        key=parsed.key,
+    )
+
+
+def _make_worker(queue_path, *, heartbeat=0.02, lease=0.5, **kwargs):
+    kwargs.setdefault("backend", "serial")
+    return QueueWorker(
+        queue_path,
+        queue_config=QueueConfig(
+            poll_seconds=0.02, heartbeat_seconds=heartbeat, lease_seconds=lease
+        ),
+        **kwargs,
+    )
+
+
+def _run_heartbeat(worker, job_id, *, duration):
+    """Drive _heartbeat_loop on a thread for ``duration`` seconds."""
+    stop = threading.Event()
+    lost = threading.Event()
+    thread = threading.Thread(
+        target=worker._heartbeat_loop, args=(job_id, stop, lost), daemon=True
+    )
+    thread.start()
+    time.sleep(duration)
+    stop.set()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    return lost
+
+
+class TestHeartbeatHardening:
+    def test_transient_failures_are_retried_not_fatal(
+        self, queue_path, config
+    ):
+        """A heartbeat that throws a few times must recover, keep the
+        lease alive, and never flag the job as lost."""
+        with JobQueue(queue_path) as queue:
+            row = _enqueue(queue, SPEC, config)
+            worker = _make_worker(queue_path, lease=1.0)
+            claimed = worker.queue.claim(worker.worker_id, lease_seconds=1.0)
+            assert claimed is not None
+
+            real = worker.queue.heartbeat
+            failures = {"left": 3}
+
+            def flaky_heartbeat(*args, **kwargs):
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise RuntimeError("injected heartbeat failure")
+                return real(*args, **kwargs)
+
+            worker.queue.heartbeat = flaky_heartbeat
+            lost = _run_heartbeat(worker, row.id, duration=0.6)
+            assert failures["left"] == 0  # the failures were consumed
+            assert not lost.is_set()
+            # The lease survived the whole storm: still owned.
+            assert worker.queue.owns(row.id, worker.worker_id)
+            worker.queue.close()
+
+    def test_unrestorable_heartbeat_escalates_to_lost(
+        self, queue_path, config
+    ):
+        """When heartbeats cannot be restored within the lease budget,
+        the loop aborts the job cleanly by flagging it lost."""
+        with JobQueue(queue_path) as queue:
+            row = _enqueue(queue, SPEC, config)
+            worker = _make_worker(queue_path, heartbeat=0.02, lease=0.15)
+            claimed = worker.queue.claim(worker.worker_id, lease_seconds=0.15)
+            assert claimed is not None
+
+            def dead_heartbeat(*args, **kwargs):
+                raise RuntimeError("the queue is gone")
+
+            worker.queue.heartbeat = dead_heartbeat
+            lost = _run_heartbeat(worker, row.id, duration=0.6)
+            assert lost.is_set()
+            worker.queue.close()
+
+    def test_lost_lease_still_detected(self, queue_path, config):
+        """The pre-existing contract: heartbeat returning False (lease
+        reclaimed by another worker) flags lost immediately."""
+        with JobQueue(queue_path) as queue:
+            row = _enqueue(queue, SPEC, config)
+            worker = _make_worker(queue_path, heartbeat=0.02, lease=0.1)
+            assert (
+                worker.queue.claim(worker.worker_id, lease_seconds=0.05)
+                is not None
+            )
+            time.sleep(0.1)  # let the lease lapse
+            thief = JobQueue(queue_path)
+            assert thief.claim("thief", lease_seconds=30.0) is not None
+            lost = _run_heartbeat(worker, row.id, duration=0.3)
+            assert lost.is_set()
+            thief.close()
+            worker.queue.close()
+
+
+class TestStoreDegradation:
+    def test_failing_store_degrades_job_instead_of_failing_it(
+        self, queue_path, config, monkeypatch
+    ):
+        """With the store down, the job completes with a warning and
+        the result is served from the queue row (cache-off semantics)."""
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        with JobQueue(queue_path) as queue:
+            row = _enqueue(queue, SPEC, config)
+            worker = _make_worker(queue_path, max_jobs=1, lease=30.0)
+            faults.activate(
+                FaultPlan.parse(
+                    "store.read:io_error@1;store.write:io_error@1"
+                )
+            )
+            try:
+                assert worker.run() == 1
+            finally:
+                faults.deactivate()
+            done = queue.get(row.id)
+            assert done.state == "done"
+            assert done.attempts == 1
+            assert done.result["status"] == "ok"
+            assert done.result["warnings"], "the outage must be recorded"
+            # Nothing made it into the store...
+            store = ResultStore.from_config(config)
+            assert store.get(row.key) is None
+
+    def test_healthy_store_keeps_normal_semantics(self, queue_path, config):
+        with JobQueue(queue_path) as queue:
+            row = _enqueue(queue, SPEC, config)
+            worker = _make_worker(queue_path, max_jobs=1, lease=30.0)
+            assert worker.run() == 1
+            done = queue.get(row.id)
+            assert done.state == "done"
+            assert "warnings" not in done.result
+            store = ResultStore.from_config(config)
+            assert store.get(row.key) is not None

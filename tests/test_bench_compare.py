@@ -123,3 +123,64 @@ class TestMain:
             ["--baseline", str(tracked), "--current", str(tracked)]
         )
         assert code == 0
+
+
+class TestFleetGateSkip:
+    def _fleet_payload(self, fleet_seconds, workers, **others):
+        doc = payload(batch_fleet=fleet_seconds, **others)
+        for stage in doc["stages"]:
+            if stage["name"] == "batch_fleet":
+                stage["extra"] = {"workers": workers}
+        return doc
+
+    def test_single_core_host_skips(self):
+        current = self._fleet_payload(1.0, workers=4)
+        reason = compare.fleet_gate_skip_reason(current, cpu_count=1)
+        assert reason is not None and "core" in reason
+
+    def test_one_worker_run_skips(self):
+        current = self._fleet_payload(1.0, workers=1)
+        reason = compare.fleet_gate_skip_reason(current, cpu_count=8)
+        assert reason is not None and "workers: 1" in reason
+
+    def test_parallel_run_on_multicore_gates_normally(self):
+        current = self._fleet_payload(1.0, workers=4)
+        assert compare.fleet_gate_skip_reason(current, cpu_count=8) is None
+
+    def test_stage_without_extra_gates_normally(self):
+        current = payload(batch_fleet=1.0)
+        assert compare.fleet_gate_skip_reason(current, cpu_count=8) is None
+
+    def test_main_skips_fleet_regression_from_one_worker_run(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(
+            json.dumps(self._fleet_payload(1.0, workers=4, characterization=0.4))
+        )
+        # 3x slower fleet stage, but the run had a one-worker pool: the
+        # stage is reported as SKIP (with the reason) and does not fail
+        # the gate; other stages still gate normally.
+        cur.write_text(
+            json.dumps(self._fleet_payload(3.0, workers=1, characterization=0.4))
+        )
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "batch_fleet" in out
+        assert code == 0
+
+    def test_main_still_fails_on_other_regressions_when_fleet_skipped(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(
+            json.dumps(self._fleet_payload(1.0, workers=4, characterization=0.4))
+        )
+        cur.write_text(
+            json.dumps(self._fleet_payload(3.0, workers=1, characterization=0.8))
+        )
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        assert code == 1
+        assert "characterization" in capsys.readouterr().err

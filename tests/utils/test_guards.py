@@ -1,0 +1,133 @@
+"""Numerical guards: NaN/Inf detection and conditioning diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.utils.guards import (
+    CONDITION_LIMIT,
+    NumericalError,
+    check_conditioning,
+    ensure_finite,
+)
+
+
+class TestEnsureFinite:
+    def test_clean_array_passes_through(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        out = ensure_finite(arr, stage="fit", what="samples")
+        assert out is arr
+
+    def test_empty_array_passes(self):
+        ensure_finite(np.empty((0, 3)), stage="fit", what="samples")
+
+    def test_nan_raises_with_diagnostic(self):
+        arr = np.ones((2, 2))
+        arr[0, 1] = np.nan
+        with pytest.raises(NumericalError) as excinfo:
+            ensure_finite(arr, stage="fit", what="samples")
+        err = excinfo.value
+        assert err.stage == "fit"
+        assert err.kind == "nan"
+        assert err.detail["bad_values"] == 1
+        assert err.detail["shape"] == [2, 2]
+
+    def test_inf_raises_inf_kind(self):
+        with pytest.raises(NumericalError) as excinfo:
+            ensure_finite([1.0, np.inf], stage="solve", what="omegas")
+        assert excinfo.value.kind == "inf"
+
+    def test_nan_wins_over_inf(self):
+        with pytest.raises(NumericalError) as excinfo:
+            ensure_finite([np.nan, np.inf], stage="solve", what="omegas")
+        assert excinfo.value.kind == "nan"
+
+    def test_complex_nan_detected(self):
+        with pytest.raises(NumericalError):
+            ensure_finite(
+                np.array([1 + 1j, complex(np.nan, 0)]),
+                stage="fit",
+                what="responses",
+            )
+
+
+class TestCheckConditioning:
+    def test_well_conditioned_returns_estimate(self):
+        cond = check_conditioning(np.eye(4), stage="simulate", what="m")
+        assert cond == pytest.approx(1.0)
+
+    def test_singular_matrix_raises(self):
+        singular = np.ones((3, 3))
+        with pytest.raises(NumericalError) as excinfo:
+            check_conditioning(singular, stage="simulate", what="m")
+        err = excinfo.value
+        assert err.kind == "conditioning"
+        assert err.detail["limit"] == CONDITION_LIMIT
+
+    def test_custom_limit(self):
+        mat = np.diag([1.0, 1e-3])  # cond 1e3
+        check_conditioning(mat, stage="simulate", what="m", limit=1e4)
+        with pytest.raises(NumericalError):
+            check_conditioning(mat, stage="simulate", what="m", limit=1e2)
+
+    def test_non_square_is_skipped(self):
+        assert (
+            check_conditioning(
+                np.ones((2, 5)), stage="simulate", what="m"
+            )
+            == 1.0
+        )
+
+
+class TestNumericalError:
+    def test_exception_hierarchy(self):
+        # ArithmeticError is the semantic home; ValueError preserves the
+        # long-standing public contract that non-finite samples fed to
+        # vector_fit raise ValueError.  The batch runner must therefore
+        # catch NumericalError *before* any generic handler.
+        assert issubclass(NumericalError, ArithmeticError)
+        assert issubclass(NumericalError, ValueError)
+
+    def test_to_dict_is_json_shaped(self):
+        err = NumericalError(
+            "bad", stage="fit", kind="nan", detail={"what": "x"}
+        )
+        doc = err.to_dict()
+        assert doc == {
+            "type": "NumericalError",
+            "stage": "fit",
+            "kind": "nan",
+            "message": "bad",
+            "detail": {"what": "x"},
+        }
+
+
+class TestPipelineWiring:
+    def test_vector_fit_rejects_nan_samples(self):
+        from repro.vectfit import vector_fit
+
+        freqs = np.linspace(1.0, 10.0, 40)
+        responses = np.ones((40, 1, 1), dtype=complex)
+        responses[3, 0, 0] = np.nan
+        with pytest.raises(NumericalError) as excinfo:
+            vector_fit(freqs, responses, num_poles=4)
+        assert excinfo.value.stage == "fit"
+
+    def test_batch_runner_records_diagnostic(self):
+        from repro.api import Macromodel
+        from repro.batch.jobs import ModelJob
+        from repro.batch.runner import BatchRunner
+
+        freqs = np.linspace(1.0, 10.0, 40)
+        samples = np.ones((40, 1, 1), dtype=complex)
+        samples[0, 0, 0] = np.inf
+        session = Macromodel.from_samples(freqs, samples)
+        job = ModelJob(name="poisoned", session=session)
+        report = BatchRunner(
+            workers=1, backend="serial", num_poles=4
+        ).run([job])
+        result = report.results[0]
+        assert result.status == "error"
+        assert result.diagnostic is not None
+        assert result.diagnostic["type"] == "NumericalError"
+        assert result.diagnostic["kind"] == "inf"
+        assert result.to_dict()["diagnostic"] == result.diagnostic

@@ -1,0 +1,140 @@
+"""retry_call / RetryPolicy: bounded attempts, jittered backoff, deadlines."""
+
+import random
+
+import pytest
+
+from repro.utils.retry import RetryPolicy, retry_call
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, exc=OSError("boom"), value="done"):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+def _no_sleep(_seconds):
+    pass
+
+
+class TestRetryCall:
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        assert (
+            retry_call(lambda: 42, sleep=sleeps.append) == 42
+        )
+        assert sleeps == []
+
+    def test_retries_until_success(self):
+        flaky = Flaky(failures=3)
+        policy = RetryPolicy(max_attempts=5, base_seconds=0.001)
+        assert retry_call(flaky, policy=policy, sleep=_no_sleep) == "done"
+        assert flaky.calls == 4
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        flaky = Flaky(failures=100)
+        policy = RetryPolicy(max_attempts=3, base_seconds=0.001)
+        with pytest.raises(OSError, match="boom"):
+            retry_call(flaky, policy=policy, sleep=_no_sleep)
+        assert flaky.calls == 3
+
+    def test_non_matching_exception_not_retried(self):
+        flaky = Flaky(failures=100, exc=KeyError("nope"))
+        with pytest.raises(KeyError):
+            retry_call(
+                flaky,
+                policy=RetryPolicy(max_attempts=5, base_seconds=0.001),
+                retry_on=OSError,
+                sleep=_no_sleep,
+            )
+        assert flaky.calls == 1
+
+    def test_predicate_retry_on(self):
+        flaky = Flaky(failures=2, exc=OSError("transient"))
+        result = retry_call(
+            flaky,
+            policy=RetryPolicy(max_attempts=5, base_seconds=0.001),
+            retry_on=lambda exc: "transient" in str(exc),
+            sleep=_no_sleep,
+        )
+        assert result == "done"
+
+    def test_on_retry_callback_sees_each_attempt(self):
+        seen = []
+        flaky = Flaky(failures=2)
+        retry_call(
+            flaky,
+            policy=RetryPolicy(max_attempts=5, base_seconds=0.001),
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+            sleep=_no_sleep,
+        )
+        assert [attempt for attempt, _ in seen] == [0, 1]
+
+    def test_deadline_gives_up_instead_of_oversleeping(self):
+        # With a tiny deadline and a full-jitter draw that always takes
+        # the ceiling, the first backoff sleep would blow the budget —
+        # so the error surfaces immediately instead.
+        class MaxJitter:
+            @staticmethod
+            def uniform(low, high):
+                return high
+
+        flaky = Flaky(failures=100)
+        policy = RetryPolicy(
+            max_attempts=50, base_seconds=10.0, deadline_seconds=1e-6
+        )
+        slept = []
+        with pytest.raises(OSError):
+            retry_call(
+                flaky, policy=policy, rng=MaxJitter(), sleep=slept.append
+            )
+        assert flaky.calls == 1
+        assert slept == []
+
+    def test_args_and_kwargs_forwarded(self):
+        assert (
+            retry_call(lambda a, b=0: a + b, 2, b=3, sleep=_no_sleep) == 5
+        )
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_and_jittered(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_seconds=0.01, cap_seconds=0.05
+        )
+        rng = random.Random(0)
+        for attempt in range(10):
+            delay = policy.sleep_for(attempt, rng)
+            assert 0.0 <= delay <= 0.05
+
+    def test_backoff_grows_with_attempts_on_average(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_seconds=0.01, cap_seconds=10.0
+        )
+        rng = random.Random(1)
+        early = sum(policy.sleep_for(0, rng) for _ in range(200)) / 200
+        late = sum(policy.sleep_for(5, rng) for _ in range(200)) / 200
+        assert late > early
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_seconds": -1.0},
+            {"cap_seconds": -1.0},
+            {"deadline_seconds": -0.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
