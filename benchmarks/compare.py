@@ -7,17 +7,38 @@ any stage slowed down by more than the threshold (default 25%).  Stages
 faster than the noise floor (default 50 ms) in *both* runs are reported
 but never fail the gate — interpreter jitter dominates below that.
 
+The gate is **tier-aware** (schema ``repro-bench-pipeline/2``; payloads
+without a ``tier`` field — including every schema/1 baseline — are
+treated as the ``serial`` tier):
+
+* Timing diffs only run between payloads of the *same* tier.  A
+  multicore run is never timed against the serial baseline (or vice
+  versa) — cross-tier wall clocks measure different stages on different
+  hardware assumptions.
+* Stages whose ``extra`` carries a ``min_speedup`` floor (the multicore
+  tier's parallel-scaling stages) are self-gating: the *current*
+  payload's measured ``speedup`` must exceed the floor, no baseline
+  needed.  Floors are skipped — with the reason printed — when the run
+  or the host has fewer than 2 cores, where parallel speedups are
+  physically unreachable.
+* When neither a timing diff nor a floor applies (e.g. comparing a
+  multicore run with no gated stages against a serial baseline), the
+  gate fails **loudly** with exit 2 instead of green-lighting a run it
+  never actually inspected.
+
 Usage::
 
     python benchmarks/run.py --output fresh.json
     python benchmarks/compare.py --baseline BENCH_pipeline.json --current fresh.json
 
-CI wires this into the ``bench-smoke`` job; commits whose message
-contains ``[bench-skip]`` bypass the gate (escape hatch for runs on
-known-noisy runners or intentional trade-offs — say why in the commit).
+CI wires this into the ``bench-smoke`` (serial tier) and
+``bench-multicore`` jobs; commits whose message contains
+``[bench-skip]`` bypass the gate (escape hatch for runs on known-noisy
+runners or intentional trade-offs — say why in the commit).
 
-Exit codes: 0 — no regression; 1 — at least one stage regressed;
-2 — the payloads could not be compared (missing file/stage).
+Exit codes: 0 — no regression; 1 — at least one stage regressed or
+missed its speedup floor; 2 — the payloads could not be compared
+(missing file/stage, or zero comparable stages for the current tier).
 """
 
 from __future__ import annotations
@@ -73,6 +94,90 @@ class StageDiff:
             f"{flag}  {self.name:<24} {self.baseline_seconds:10.4f}s"
             f" -> {self.current_seconds:10.4f}s   x{self.ratio:.3f}"
         )
+
+
+def payload_tier(payload: dict) -> str:
+    """Bench tier of a payload; schema/1 payloads predate the multicore
+    tier, so a missing ``tier`` field always means ``serial``."""
+    tier = payload.get("tier")
+    return str(tier) if tier else "serial"
+
+
+def payload_cpu_count(payload: dict) -> Optional[int]:
+    """Core count stamped by ``run.py`` (schema/2), or None."""
+    value = payload.get("cpu_count")
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class FloorCheck:
+    """A self-gating stage: its measured speedup vs its declared floor."""
+
+    name: str
+    speedup: float
+    min_speedup: float
+
+    @property
+    def failed(self) -> bool:
+        """True when the stage missed its floor (strict: the floor
+        itself is not enough — ``min_speedup`` 1.0 demands a real
+        parallel win, not a tie with serial)."""
+        return not self.speedup > self.min_speedup
+
+    def format_row(self) -> str:
+        flag = "FAIL" if self.failed else "  ok"
+        return (
+            f"{flag}  {self.name:<24} speedup x{self.speedup:.3f}"
+            f"   (floor x{self.min_speedup:.3f})"
+        )
+
+
+def speedup_floors(payload: dict) -> List[FloorCheck]:
+    """Extract the ``min_speedup``-floored stages of a payload."""
+    checks: List[FloorCheck] = []
+    for stage in payload.get("stages", []):
+        extra = stage.get("extra") or {}
+        floor = extra.get("min_speedup")
+        speedup = extra.get("speedup")
+        if floor is None or speedup is None:
+            continue
+        checks.append(
+            FloorCheck(
+                name=str(stage.get("name")),
+                speedup=float(speedup),
+                min_speedup=float(floor),
+            )
+        )
+    return checks
+
+
+def floor_skip_reason(
+    current: dict, cpu_count: Optional[int] = None
+) -> Optional[str]:
+    """Why the speedup floors should not be enforced on this run.
+
+    Floors assert parallel wins, which need >= 2 cores.  An explicit
+    ``cpu_count`` wins (tests); otherwise the count the run itself
+    stamped (the run may have executed on a different host than the
+    comparison); otherwise this host's.
+    """
+    if cpu_count is not None:
+        cores: Optional[int] = cpu_count
+    else:
+        cores = payload_cpu_count(current)
+        if cores is None:
+            cores = os.cpu_count()
+    if cores is not None and cores < 2:
+        return (
+            f"run executed on {cores} CPU core(s); parallel speedup"
+            " floors are unreachable there"
+        )
+    return None
 
 
 def _timings(payload: dict) -> Dict[str, float]:
@@ -191,21 +296,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot load benchmark payloads: {exc}", file=sys.stderr)
         return 2
-    try:
-        diffs, missing = compare_payloads(
-            baseline,
-            current,
-            threshold=args.threshold,
-            min_seconds=args.min_seconds,
-        )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+
+    base_tier = payload_tier(baseline)
+    cur_tier = payload_tier(current)
+    same_tier = base_tier == cur_tier
+    diffs: List[StageDiff] = []
+    missing: List[str] = []
+    if same_tier:
+        try:
+            diffs, missing = compare_payloads(
+                baseline,
+                current,
+                threshold=args.threshold,
+                min_seconds=args.min_seconds,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     print(
         f"benchmark gate: threshold +{args.threshold:.0%},"
-        f" noise floor {args.min_seconds:g}s"
+        f" noise floor {args.min_seconds:g}s, tier {cur_tier}"
     )
+    if not same_tier:
+        print(
+            f"NOTE  baseline is tier '{base_tier}', current is tier"
+            f" '{cur_tier}': timings are not comparable across tiers,"
+            " only speedup floors gate this run"
+        )
     skipped: Dict[str, str] = {}
     fleet_reason = fleet_gate_skip_reason(current)
     if fleet_reason is not None:
@@ -218,22 +336,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in missing:
         print(f"GONE  {name:<24} present in baseline, absent from current run")
 
+    floors = speedup_floors(current)
+    floors_reason = floor_skip_reason(current) if floors else None
+    gated_floors: List[FloorCheck] = []
+    for check in floors:
+        if floors_reason is not None:
+            print(f"SKIP  {check.name:<24} {floors_reason}")
+        else:
+            print(check.format_row())
+            gated_floors.append(check)
+
     regressions = [
         diff for diff in diffs if diff.regressed and diff.name not in skipped
     ]
+    floor_failures = [check for check in gated_floors if check.failed]
+    gated_anything = (
+        any(diff.name not in skipped for diff in diffs) or gated_floors
+    )
     if missing:
         print(
             f"{len(missing)} baseline stage(s) missing from the current run",
             file=sys.stderr,
         )
         return 2
-    if regressions:
+    if not gated_anything:
+        # A gate that inspected nothing must not report success — a CI
+        # job green on zero comparable stages is a silent skip.
         print(
-            f"{len(regressions)} stage(s) regressed beyond"
-            f" {args.threshold:.0%}: "
-            + ", ".join(diff.name for diff in regressions),
+            f"error: zero comparable stages for tier '{cur_tier}'"
+            f" (baseline tier '{base_tier}', no applicable speedup"
+            " floors); refusing to pass a gate that checked nothing",
             file=sys.stderr,
         )
+        return 2
+    if regressions or floor_failures:
+        if regressions:
+            print(
+                f"{len(regressions)} stage(s) regressed beyond"
+                f" {args.threshold:.0%}: "
+                + ", ".join(diff.name for diff in regressions),
+                file=sys.stderr,
+            )
+        if floor_failures:
+            print(
+                f"{len(floor_failures)} stage(s) missed their speedup"
+                " floor: "
+                + ", ".join(check.name for check in floor_failures),
+                file=sys.stderr,
+            )
         return 1
     print("no benchmark regressions")
     return 0

@@ -28,9 +28,27 @@ Produces ``BENCH_pipeline.json`` (repo root by default) holding
 * optionally the pytest-benchmark suites of this directory, executed at
   the same ``BENCH_SCALE`` with their JSON report folded in.
 
+The runner is **tiered** (``--tier``, default ``serial``) because half
+of the interesting numbers only mean anything on a multi-core host:
+
+* ``serial`` — the single-core-safe stages above (sweep, pipeline,
+  cache, timedomain).  This is the tier of the tracked baseline and the
+  every-commit ``bench-smoke`` CI job.
+* ``multicore`` — the parallel-scaling stages: the batch fleet run
+  serial-vs-process-pool, the eigensweep run serial-vs-process backend,
+  and the durable queue drained by one vs two workers.  Each stage
+  records its measured ``speedup`` and (where gated) a ``min_speedup``
+  floor that ``compare.py`` enforces on >= 2-core hosts — so the tier
+  is self-gating and never needs a multicore timing baseline.
+
+Both tiers stamp the detected ``cpu_count``, the ``tier`` itself, and
+the installed pytest version into the payload (schema
+``repro-bench-pipeline/2``).
+
 Examples::
 
-    python benchmarks/run.py                      # sweep + pipeline
+    python benchmarks/run.py                      # serial tier
+    python benchmarks/run.py --tier multicore --output fresh.json
     python benchmarks/run.py --scale 0.02 --sweep-points 100 --sweep-poles 16
     python benchmarks/run.py --suites bench_pipeline.py bench_shift_invert.py
     python benchmarks/run.py --suites all         # every bench_*.py file
@@ -255,6 +273,75 @@ def run_batch_benchmark(
     }
 
 
+def run_eigensweep_backend_benchmark(*, scale: float, workers: int = 2) -> Dict:
+    """Eigensweep stage, serial vs process backend, on one seeded model.
+
+    Both runs characterize the same model; the check that their crossing
+    sets agree exactly doubles as a cross-backend determinism probe.
+    The recorded speedup is informational (``min_speedup`` is left
+    unset): at bench scale the process pool's spawn cost can dominate
+    the per-segment solves, so a floor here would gate infrastructure
+    noise, not code.
+    """
+    num_poles = max(8, int(40 * scale * 10))
+    model = random_macromodel(num_poles, 4, seed=777, sigma_target=1.05)
+
+    t0 = time.perf_counter()
+    serial_report = characterize_passivity(
+        model, config=RunConfig(num_threads=1, backend="serial")
+    )
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    process_report = characterize_passivity(
+        model, config=RunConfig(num_threads=workers, backend="process")
+    )
+    process_s = time.perf_counter() - t0
+
+    serial_x = np.asarray(serial_report.crossings, dtype=float)
+    process_x = np.asarray(process_report.crossings, dtype=float)
+    if serial_x.shape != process_x.shape:
+        max_diff = float("inf")
+    elif serial_x.size:
+        max_diff = float(np.max(np.abs(serial_x - process_x)))
+    else:
+        max_diff = 0.0
+    return {
+        "order": int(num_poles * 4),
+        "workers": int(workers),
+        "serial_seconds": serial_s,
+        "process_seconds": process_s,
+        "speedup": serial_s / process_s if process_s > 0 else float("inf"),
+        "serial_passive": bool(serial_report.passive),
+        "process_passive": bool(process_report.passive),
+        "max_crossing_diff": max_diff,
+    }
+
+
+def run_queue_drain_benchmark(*, scale: float, workers: int = 2) -> Dict:
+    """Queue stage: one worker vs an N-worker fleet draining one fleet.
+
+    Reuses :func:`bench_queue.drain` (the pytest-benchmark suite's
+    helper) so both entry points measure exactly the same enqueue +
+    claim + execute + ack path.  On a multi-core host the N-worker
+    drain should beat the single worker (workers rendezvous only at the
+    cheap SQLite claim); on one core it cannot, which is why
+    ``compare.py`` only enforces the floor on >= 2-core hosts.
+    """
+    from bench_queue import drain
+
+    jobs = max(4, int(16 * scale * 20))
+    one_s = drain(1, jobs=jobs)
+    multi_s = drain(workers, jobs=jobs)
+    return {
+        "jobs": int(jobs),
+        "workers": int(workers),
+        "one_worker_seconds": one_s,
+        "multi_worker_seconds": multi_s,
+        "speedup": one_s / multi_s if multi_s > 0 else float("inf"),
+    }
+
+
 def run_cache_benchmark(*, scale: float, threads: int = 2, repeats: int = 3) -> Dict:
     """Cache-hit stage: warm vs cold ``check`` latency on the reference model.
 
@@ -344,6 +431,20 @@ def run_timedomain_benchmark(
     }
 
 
+def _pytest_version() -> Optional[str]:
+    """Installed pytest version, or None when pytest is absent.
+
+    Stamped into the payload unconditionally — the pre-v2 schema only
+    carried pytest metadata when the ``--suites`` were actually run,
+    which left a misleading ``"pytest": null`` in the tracked baseline.
+    """
+    try:
+        import pytest
+    except ImportError:
+        return None
+    return str(pytest.__version__)
+
+
 def _resolve_suites(tokens: Sequence[str]) -> List[str]:
     if not tokens or list(tokens) == ["none"]:
         return []
@@ -402,6 +503,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="model-order scale factor (default: REPRO_BENCH_SCALE or 0.05)",
     )
     parser.add_argument(
+        "--tier",
+        choices=("serial", "multicore"),
+        default=os.environ.get("REPRO_BENCH_TIER", "serial"),
+        help="stage tier: 'serial' (sweep/pipeline/cache/timedomain;"
+        " the tracked-baseline tier) or 'multicore' (batch fleet,"
+        " process eigensweep, queue drain — self-gated by min_speedup"
+        " floors on >= 2-core hosts)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=ROOT / "BENCH_pipeline.json",
@@ -414,8 +524,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--batch-models",
         type=int,
-        default=8,
-        help="fleet size of the batch stage (0 disables the stage)",
+        default=None,
+        help="fleet size of the batch stage (default: 8 on the multicore"
+        " tier, disabled on the serial tier; 0 disables it)",
     )
     parser.add_argument(
         "--batch-workers",
@@ -438,116 +549,199 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    cpu_count = os.cpu_count() or 1
     print(
-        f"sweep benchmark: {args.sweep_points} points, p={args.sweep_ports},"
-        f" n={args.sweep_poles * args.sweep_ports}...",
+        f"tier: {args.tier} ({cpu_count} CPU core(s) detected)",
         file=sys.stderr,
     )
-    sweep = run_sweep_benchmark(
-        points=args.sweep_points,
-        num_poles=args.sweep_poles,
-        ports=args.sweep_ports,
-    )
-    print(
-        f"  looped {sweep['looped_seconds']:.4f}s  batched"
-        f" {sweep['batched_seconds']:.4f}s  speedup {sweep['speedup']:.1f}x"
-        f"  (max |diff| {sweep['max_abs_diff']:.2e})",
-        file=sys.stderr,
-    )
+    batch_models = args.batch_models
+    if batch_models is None:
+        # The fleet stage measures process-pool scaling, so it lives on
+        # the multicore tier; `--batch-models N` still opts it into a
+        # serial-tier run explicitly.
+        batch_models = 8 if args.tier == "multicore" else 0
 
-    print(f"pipeline stages (scale={args.scale})...", file=sys.stderr)
-    stages = run_pipeline_stages(scale=args.scale, threads=args.threads)
-    for stage in stages:
-        print(f"  {stage['name']:<20} {stage['seconds']:.4f}s", file=sys.stderr)
+    stages: List[Dict] = []
+    sweep = batch = timedomain = cache = multicore = None
 
-    batch = None
-    if args.batch_models > 0:
-        print(f"batch fleet ({args.batch_models} models)...", file=sys.stderr)
-        batch = run_batch_benchmark(
-            models=args.batch_models, workers=args.batch_workers
+    def _run_batch_stage(*, gated: bool) -> Dict:
+        print(f"batch fleet ({batch_models} models)...", file=sys.stderr)
+        result = run_batch_benchmark(
+            models=batch_models, workers=args.batch_workers
         )
         print(
-            f"  serial {batch['serial_seconds']:.4f}s  process"
-            f" {batch['process_seconds']:.4f}s  speedup"
-            f" {batch['speedup']:.2f}x  ({batch['workers']} workers,"
-            f" max |crossing diff| {batch['max_crossing_diff']:.2e})",
+            f"  serial {result['serial_seconds']:.4f}s  process"
+            f" {result['process_seconds']:.4f}s  speedup"
+            f" {result['speedup']:.2f}x  ({result['workers']} workers,"
+            f" max |crossing diff| {result['max_crossing_diff']:.2e})",
             file=sys.stderr,
         )
-        # Gate the fleet wall-clock like any other pipeline stage.
+        # Gate the fleet wall-clock like any other pipeline stage; on
+        # the multicore tier the stage additionally carries the
+        # min_speedup floor compare.py enforces on >= 2-core hosts.
+        extra = {
+            "models": result["models"],
+            "workers": result["workers"],
+            "speedup": result["speedup"],
+        }
+        if gated:
+            extra["min_speedup"] = 1.0
         stages.append(
             {
                 "name": "batch_fleet",
-                "seconds": batch["process_seconds"],
+                "seconds": result["process_seconds"],
                 "work": None,
-                "extra": {
-                    "models": batch["models"],
-                    "workers": batch["workers"],
-                    "speedup": batch["speedup"],
-                },
+                "extra": extra,
             }
         )
+        return result
 
-    timedomain = None
-    if args.timedomain_steps > 0:
+    if args.tier == "serial":
         print(
-            f"timedomain stage ({args.timedomain_steps} steps)...",
+            f"sweep benchmark: {args.sweep_points} points,"
+            f" p={args.sweep_ports},"
+            f" n={args.sweep_poles * args.sweep_ports}...",
             file=sys.stderr,
         )
-        timedomain = run_timedomain_benchmark(steps=args.timedomain_steps)
+        sweep = run_sweep_benchmark(
+            points=args.sweep_points,
+            num_poles=args.sweep_poles,
+            ports=args.sweep_ports,
+        )
         print(
-            f"  chunked {timedomain['chunked_seconds']:.4f}s  naive"
-            f" {timedomain['naive_seconds']:.4f}s  speedup"
-            f" {timedomain['speedup']:.1f}x  (max |diff|"
-            f" {timedomain['max_abs_diff']:.2e})",
+            f"  looped {sweep['looped_seconds']:.4f}s  batched"
+            f" {sweep['batched_seconds']:.4f}s  speedup"
+            f" {sweep['speedup']:.1f}x"
+            f"  (max |diff| {sweep['max_abs_diff']:.2e})",
+            file=sys.stderr,
+        )
+
+        print(f"pipeline stages (scale={args.scale})...", file=sys.stderr)
+        stages.extend(run_pipeline_stages(scale=args.scale, threads=args.threads))
+        for stage in stages:
+            print(
+                f"  {stage['name']:<20} {stage['seconds']:.4f}s", file=sys.stderr
+            )
+
+        if batch_models > 0:
+            batch = _run_batch_stage(gated=False)
+
+        if args.timedomain_steps > 0:
+            print(
+                f"timedomain stage ({args.timedomain_steps} steps)...",
+                file=sys.stderr,
+            )
+            timedomain = run_timedomain_benchmark(steps=args.timedomain_steps)
+            print(
+                f"  chunked {timedomain['chunked_seconds']:.4f}s  naive"
+                f" {timedomain['naive_seconds']:.4f}s  speedup"
+                f" {timedomain['speedup']:.1f}x  (max |diff|"
+                f" {timedomain['max_abs_diff']:.2e})",
+                file=sys.stderr,
+            )
+            stages.append(
+                {
+                    "name": "timedomain",
+                    "seconds": timedomain["chunked_seconds"],
+                    "work": {"timesteps": timedomain["steps"]},
+                    "extra": {
+                        "poles": timedomain["poles"],
+                        "ports": timedomain["ports"],
+                        "speedup": timedomain["speedup"],
+                    },
+                }
+            )
+
+        print("cache-hit stage...", file=sys.stderr)
+        cache = run_cache_benchmark(scale=args.scale, threads=args.threads)
+        print(
+            f"  cold {cache['cold_seconds']:.4f}s  warm"
+            f" {cache['warm_seconds']:.6f}s  speedup {cache['speedup']:.0f}x",
             file=sys.stderr,
         )
         stages.append(
             {
-                "name": "timedomain",
-                "seconds": timedomain["chunked_seconds"],
-                "work": {"timesteps": timedomain["steps"]},
+                "name": "cache_hit",
+                "seconds": cache["warm_seconds"],
+                "work": None,
                 "extra": {
-                    "poles": timedomain["poles"],
-                    "ports": timedomain["ports"],
-                    "speedup": timedomain["speedup"],
+                    "cold_seconds": cache["cold_seconds"],
+                    "speedup": cache["speedup"],
+                    "order": cache["order"],
+                },
+            }
+        )
+    else:
+        if batch_models > 0:
+            batch = _run_batch_stage(gated=True)
+
+        print(f"process-eigensweep stage (scale={args.scale})...", file=sys.stderr)
+        eigensweep = run_eigensweep_backend_benchmark(scale=args.scale)
+        print(
+            f"  serial {eigensweep['serial_seconds']:.4f}s  process"
+            f" {eigensweep['process_seconds']:.4f}s  speedup"
+            f" {eigensweep['speedup']:.2f}x  (max |crossing diff|"
+            f" {eigensweep['max_crossing_diff']:.2e})",
+            file=sys.stderr,
+        )
+        stages.append(
+            {
+                "name": "eigensweep_process",
+                "seconds": eigensweep["process_seconds"],
+                "work": None,
+                "extra": {
+                    "workers": eigensweep["workers"],
+                    "speedup": eigensweep["speedup"],
+                    # Informational: spawn cost can dominate at bench
+                    # scale, so no floor is enforced on this stage.
+                    "min_speedup": None,
                 },
             }
         )
 
-    print("cache-hit stage...", file=sys.stderr)
-    cache = run_cache_benchmark(scale=args.scale, threads=args.threads)
-    print(
-        f"  cold {cache['cold_seconds']:.4f}s  warm"
-        f" {cache['warm_seconds']:.6f}s  speedup {cache['speedup']:.0f}x",
-        file=sys.stderr,
-    )
-    stages.append(
-        {
-            "name": "cache_hit",
-            "seconds": cache["warm_seconds"],
-            "work": None,
-            "extra": {
-                "cold_seconds": cache["cold_seconds"],
-                "speedup": cache["speedup"],
-                "order": cache["order"],
-            },
-        }
-    )
+        print("queue-drain stage (1 vs 2 workers)...", file=sys.stderr)
+        queue = run_queue_drain_benchmark(scale=args.scale)
+        print(
+            f"  one worker {queue['one_worker_seconds']:.4f}s "
+            f" {queue['workers']} workers"
+            f" {queue['multi_worker_seconds']:.4f}s  speedup"
+            f" {queue['speedup']:.2f}x  ({queue['jobs']} jobs)",
+            file=sys.stderr,
+        )
+        stages.append(
+            {
+                "name": "queue_drain",
+                "seconds": queue["multi_worker_seconds"],
+                "work": {"jobs": queue["jobs"]},
+                "extra": {
+                    "workers": queue["workers"],
+                    "speedup": queue["speedup"],
+                    "min_speedup": 1.0,
+                },
+            }
+        )
+        multicore = {"eigensweep": eigensweep, "queue": queue}
 
     pytest_payload = run_pytest_suites(_resolve_suites(args.suites), scale=args.scale)
 
     payload = {
-        "schema": "repro-bench-pipeline/1",
+        "schema": "repro-bench-pipeline/2",
         "created_unix": time.time(),
+        "tier": args.tier,
+        "cpu_count": cpu_count,
         "bench_scale": args.scale,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "pytest": {
+            "version": _pytest_version(),
+            "suites": pytest_payload,
+        },
         "sweep": sweep,
         "stages": stages,
         "batch": batch,
+        "multicore": multicore,
         "timedomain": timedomain,
         "cache": cache,
-        "pytest": pytest_payload,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)

@@ -26,6 +26,7 @@ consumers.  All cross-cutting knobs come from a single frozen
 
 from __future__ import annotations
 
+import time
 import warnings
 from pathlib import Path
 from typing import Any, Optional, Union
@@ -39,6 +40,8 @@ from repro.core.results import SolveResult
 from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.simo import SimoRealization
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import get_registry as _obs_process_registry
 from repro.passivity.characterization import PassivityReport, characterize_passivity
 from repro.passivity.enforcement import EnforcementResult, enforce_passivity
 from repro.passivity.hinf import HinfResult, hinf_norm
@@ -125,6 +128,7 @@ class Macromodel:
         self._result_store: Optional[ResultStore] = None
         self._result_store_dir: Optional[str] = None
         self._cache_counters = {"hits": 0, "misses": 0, "writes": 0}
+        self._metrics = MetricsRegistry()
 
     # -- constructors -------------------------------------------------------
 
@@ -283,6 +287,32 @@ class Macromodel:
         """
         return dict(self._cache_counters)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This session's private metrics registry.
+
+        Every pipeline stage records its wall time into a
+        ``stage.<name>`` histogram here (and mirrors it into the
+        process registry, :func:`repro.obs.get_registry`), and the
+        cache counters are mirrored as ``cache.hits`` /
+        ``cache.misses`` / ``cache.writes``.  Read it with
+        ``session.metrics.snapshot()``; the same snapshot rides along
+        on :class:`~repro.batch.runner.JobResult.metrics` for fleet
+        jobs.
+        """
+        return self._metrics
+
+    def _timed_stage(self, stage: str, compute):
+        """Run one stage's compute, recording its latency both locally
+        (this session's registry) and process-wide."""
+        started = time.perf_counter()
+        try:
+            return compute()
+        finally:
+            elapsed = time.perf_counter() - started
+            self._metrics.observe(f"stage.{stage}", elapsed)
+            _obs_process_registry().observe(f"stage.{stage}", elapsed)
+
     def _store_for(self, config: RunConfig) -> Optional[ResultStore]:
         if config.cache == "off":
             return None
@@ -334,18 +364,18 @@ class Macromodel:
         decides the store location and mode.
         """
         if config.cache == "off":
-            return compute()
+            return self._timed_stage(stage, compute)
         digest = digest_fn()
         store = self._store_for(config) if digest is not None else None
         if store is None:
-            return compute()
+            return self._timed_stage(stage, compute)
         try:
             key = result_key(
                 stage=stage, input_digest=digest, config=key_config, params=params
             )
         except (TypeError, ValueError):
             # Non-canonical stage parameters: compute without the cache.
-            return compute()
+            return self._timed_stage(stage, compute)
         payload = store.get(key)
         if payload is not None:
             try:
@@ -355,13 +385,16 @@ class Macromodel:
                 result = None
             if result is not None:
                 self._cache_counters["hits"] += 1
+                self._metrics.count("cache.hits")
                 return result
         self._cache_counters["misses"] += 1
-        result = compute()
+        self._metrics.count("cache.misses")
+        result = self._timed_stage(stage, compute)
         if config.cache == "readwrite" and store.put(
             key, encode_result(stage, result), stage=stage
         ):
             self._cache_counters["writes"] += 1
+            self._metrics.count("cache.writes")
         return result
 
     # -- pipeline stages ----------------------------------------------------

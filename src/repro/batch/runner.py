@@ -122,6 +122,12 @@ class JobResult:
         (:class:`~repro.utils.guards.NumericalError` — NaN/Inf data,
         pathological conditioning): ``{"type", "stage", "kind",
         "message", "detail"}``.  ``None`` for every other outcome.
+    metrics:
+        The job session's metrics snapshot
+        (:meth:`repro.obs.MetricsRegistry.snapshot` — counters plus
+        per-stage latency summaries) for ``"ok"`` rows; ``None``
+        otherwise.  Volatile by nature (timings differ run to run), so
+        never part of any cross-backend equality comparison.
     """
 
     name: str
@@ -136,6 +142,7 @@ class JobResult:
     cache_misses: int = 0
     energy_gain: Optional[float] = None
     diagnostic: Optional[dict] = None
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -158,6 +165,7 @@ class JobResult:
                 "cache_misses": int(self.cache_misses),
                 "energy_gain": self.energy_gain,
                 "diagnostic": self.diagnostic,
+                "metrics": self.metrics,
             }
         )
 
@@ -217,6 +225,27 @@ class FleetReport:
         """Per-model crossing sets of the completed jobs."""
         return {r.name: list(r.crossings) for r in self.results if r.ok}
 
+    def metrics(self) -> dict:
+        """Fleet-aggregate metrics: summed counters plus per-stage
+        timing count/total across every job that reported a snapshot.
+
+        Histogram bucket detail does not survive the worker-process
+        boundary (snapshots are JSON), so the aggregate carries each
+        stage's observation count and total seconds — enough for
+        throughput and mean-latency accounting at fleet level.
+        """
+        counters: Dict[str, int] = {}
+        timings: Dict[str, Dict[str, float]] = {}
+        for result in self.results:
+            snapshot = result.metrics or {}
+            for name, value in (snapshot.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+            for name, summary in (snapshot.get("timings") or {}).items():
+                slot = timings.setdefault(name, {"count": 0, "sum": 0.0})
+                slot["count"] += int(summary.get("count") or 0)
+                slot["sum"] += float(summary.get("sum") or 0.0)
+        return {"counters": counters, "timings": timings}
+
     def to_dict(self) -> dict:
         """JSON-serializable dictionary of the whole fleet outcome."""
         return to_jsonable(
@@ -230,6 +259,7 @@ class FleetReport:
                 "num_passive": self.num_passive,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                "metrics": self.metrics(),
                 "results": [r.to_dict() for r in self.results],
             }
         )
@@ -300,6 +330,7 @@ def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
             cache_hits=int(cache_stats.get("hits", 0)),
             cache_misses=int(cache_stats.get("misses", 0)),
             energy_gain=energy_gain,
+            metrics=session.metrics.snapshot(),
         )
     except NumericalError as exc:
         # A detected numerical pathology (NaN/Inf input, pathological

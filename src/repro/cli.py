@@ -55,6 +55,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -609,6 +610,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("strategies", help="list registered scheduling strategies")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time (and optionally profile) the named pipeline bench stages",
+    )
+    bench.add_argument(
+        "stages",
+        nargs="*",
+        metavar="STAGE",
+        help="stages to run (default: eigensweep vector_fit enforcement;"
+        " see repro.obs.benchstage)",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="model-order scale factor of the seeded reference model",
+    )
+    bench.add_argument(
+        "--threads", type=int, default=2, help="solver threads per stage"
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each stage under cProfile and attach its top-N hot"
+        " functions to the JSON output",
+    )
+    bench.add_argument(
+        "--profile-sort",
+        default="cumtime",
+        choices=("cumtime", "tottime", "ncalls"),
+        help="hot-function ranking order (default: cumtime)",
+    )
+    bench.add_argument(
+        "--profile-top",
+        type=int,
+        default=20,
+        help="number of hot functions reported per stage (default: 20)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON document to this path",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run any repro subcommand under cProfile (ad-hoc profiling)",
+    )
+    profile.add_argument(
+        "--sort",
+        default="cumtime",
+        choices=("cumtime", "tottime", "ncalls"),
+        help="hot-function ranking order (default: cumtime)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="number of hot functions reported (default: 20)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="print the profile report as JSON on stdout (after the"
+        " wrapped command's own output)",
+    )
+    profile.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON profile report to this path",
+    )
+    profile.add_argument(
+        "argv",
+        nargs=argparse.REMAINDER,
+        metavar="SUBCOMMAND...",
+        help="the repro subcommand to profile, e.g."
+        " `repro profile check dev.s2p`",
+    )
     return parser
 
 
@@ -1203,6 +1283,88 @@ def _cmd_strategies(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.obs.benchstage import DEFAULT_STAGES, run_bench_stages
+
+    stages = args.stages or list(DEFAULT_STAGES)
+    records = run_bench_stages(
+        stages,
+        scale=args.scale,
+        threads=args.threads,
+        profile=args.profile,
+        profile_sort=args.profile_sort,
+        profile_top=args.profile_top,
+    )
+    for record in records:
+        line = f"{record['name']:<14} {record['seconds']:.4f}s"
+        if args.profile and record.get("profile"):
+            hottest = record["profile"]["top"][0]
+            line += (
+                f"  hottest: {hottest['function']}"
+                f" ({hottest[args.profile_sort]:.4f}s {args.profile_sort})"
+            )
+        print(line, file=sys.stderr)
+    document = {
+        "scale": args.scale,
+        "threads": args.threads,
+        "profiled": bool(args.profile),
+        "profile_sort": args.profile_sort if args.profile else None,
+        "stages": records,
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+
+    from repro.obs.profiler import profile_to_dict
+
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        print(
+            "error: profile needs a subcommand to run,"
+            " e.g. `repro profile check dev.s2p`",
+            file=sys.stderr,
+        )
+        return 1
+    if argv[0] == "profile":
+        print("error: refusing to profile `repro profile`", file=sys.stderr)
+        return 1
+    profiler = cProfile.Profile()
+    code = profiler.runcall(main, argv)
+    report = profile_to_dict(profiler, top_n=args.top, sort=args.sort)
+    report["command"] = argv
+    report["exit_code"] = int(code)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"profile of `repro {' '.join(argv)}` — top {args.top}"
+            f" by {args.sort}:",
+            file=sys.stderr,
+        )
+        for row in report["top"]:
+            location = f"{row['file']}:{row['line']}"
+            print(
+                f"  {row['cumtime']:9.4f}s cum  {row['tottime']:9.4f}s tot"
+                f"  {row['ncalls']:>8}x  {row['function']}  ({location})",
+                file=sys.stderr,
+            )
+    return code
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "check": _cmd_check,
@@ -1216,6 +1378,8 @@ _COMMANDS = {
     "jobs": _cmd_jobs,
     "faults": _cmd_faults,
     "strategies": _cmd_strategies,
+    "bench": _cmd_bench,
+    "profile": _cmd_profile,
 }
 
 

@@ -54,6 +54,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry as _metrics
 from repro.utils.logging import get_logger
 from repro.utils.validation import (
     ensure_nonnegative_float,
@@ -263,6 +264,7 @@ class BandScheduler:
             if segment is None or segment.status != "tentative":
                 continue  # eliminated while queued
             segment.status = "processing"
+            _metrics().count("eigensweep.segments_claimed")
             _LOG.debug(
                 "claim segment %d [%g, %g] shift %g",
                 index,
@@ -297,6 +299,7 @@ class BandScheduler:
         if radius <= 0.0:
             raise ValueError(f"radius must be positive, got {radius}")
         segment.status = "done"
+        _metrics().count("eigensweep.segments_completed")
         self._done.append(
             DoneDisk(center=center, radius=radius, segment_index=segment.index)
         )
@@ -387,9 +390,11 @@ class BandScheduler:
                 kept_any = True
             if kept_any:
                 self.trimmed += 1
+                _metrics().count("eigensweep.segments_trimmed")
                 _LOG.debug("trim segment %d", index)
             else:
                 self.eliminated += 1
+                _metrics().count("eigensweep.shifts_eliminated")
                 _LOG.debug("eliminate segment %d (covered)", index)
         # Compact the queue: drop ids that no longer exist.
         self._queue = deque(

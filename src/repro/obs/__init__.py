@@ -1,0 +1,42 @@
+"""Observability: stage metrics, latency histograms, and profiling.
+
+The paper's headline claim is *speed* — parallel Hamiltonian-based
+passivity verification — so this package is the layer that turns
+"should be faster" into a measurement.  Three pieces:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  of counters, gauges, timers, and fixed-bucket latency histograms
+  with p50/p90/p99 summaries.  Stdlib-only, thread-safe, and zero
+  overhead when unread: instrumented code records a float under a
+  lock; nothing is aggregated until someone asks.
+* :mod:`repro.obs.profiler` — a thin :mod:`cProfile` harness emitting
+  top-N hot-function reports as plain JSON-serializable dicts
+  (``repro bench --profile``, ``repro profile <subcommand...>``).
+* :mod:`repro.obs.benchstage` — the named bench stages the CLI's
+  ``repro bench`` command runs (eigensweep, vector fit, enforcement),
+  shared with the profiling harness.
+
+Every subsystem that does interesting work records into the process
+registry (:func:`get_registry`): the eigensweep scheduler, vector
+fitting, enforcement iterations, store reads/writes, queue claim/ack,
+worker job execution, and the HTTP service's request handling.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.profiler import profile_call, profile_to_dict
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "profile_call",
+    "profile_to_dict",
+    "reset_registry",
+]

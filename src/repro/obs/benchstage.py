@@ -1,0 +1,147 @@
+"""Named bench stages for ``repro bench [--profile]``.
+
+Each stage is a zero-argument closure over a seeded synthetic model:
+deterministic inputs, so two runs of ``repro bench`` measure the same
+computation.  ``repro bench`` times every requested stage (optionally
+under :func:`repro.obs.profiler.profile_call`) and emits one JSON
+document — timings, the stage's solver work counters where they exist,
+and the top-N hot functions when profiling.
+
+These stages intentionally mirror the tracked ``benchmarks/run.py``
+pipeline stages (eigensweep == characterization) but live inside the
+package so the installed CLI can profile them from any directory
+without a repo checkout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BENCH_STAGES", "DEFAULT_STAGES", "run_bench_stages"]
+
+
+def _build_model(scale: float):
+    from repro.synth.generator import random_macromodel
+
+    num_poles = max(8, int(40 * scale * 10))
+    return random_macromodel(num_poles, 4, seed=777, sigma_target=1.05)
+
+
+def _stage_eigensweep(scale: float, threads: int) -> Tuple[dict, Optional[dict]]:
+    """Hamiltonian characterization — the paper's parallel eigensweep."""
+    from repro.core.options import SolverOptions
+    from repro.passivity.characterization import characterize_passivity
+
+    model = _build_model(scale)
+    report = characterize_passivity(
+        model, num_threads=threads, options=SolverOptions()
+    )
+    work = dict(report.solve.work) if report.solve is not None else None
+    return {"passive": bool(report.passive), "bands": len(report.bands)}, work
+
+
+def _stage_vector_fit(scale: float, threads: int) -> Tuple[dict, Optional[dict]]:
+    """Vector fitting of the reference model's frequency response."""
+    import numpy as np
+
+    from repro.vectfit.vector_fitting import vector_fit
+
+    model = _build_model(scale)
+    freqs = np.linspace(0.01, 16.0, 300)
+    samples = model.frequency_response(freqs)
+    fit = vector_fit(freqs, samples, num_poles=model.num_poles)
+    return {
+        "rms_error": float(fit.rms_error),
+        "iterations": int(fit.iterations),
+    }, None
+
+
+def _stage_enforcement(scale: float, threads: int) -> Tuple[dict, Optional[dict]]:
+    """Iterative passivity enforcement on the reference model."""
+    from repro.core.options import SolverOptions
+    from repro.passivity.enforcement import enforce_passivity
+
+    model = _build_model(scale)
+    result = enforce_passivity(
+        model, num_threads=threads, options=SolverOptions()
+    )
+    work: Dict[str, int] = {}
+    for rep in result.reports:
+        if rep.solve is not None:
+            for key, value in rep.solve.work.items():
+                work[key] = work.get(key, 0) + int(value)
+    return {
+        "passive": bool(result.passive),
+        "iterations": int(result.iterations),
+    }, work or None
+
+
+#: Registry of stage name -> callable(scale, threads) -> (extra, work).
+BENCH_STAGES: Dict[str, Callable[[float, int], Tuple[dict, Optional[dict]]]] = {
+    "eigensweep": _stage_eigensweep,
+    "vector_fit": _stage_vector_fit,
+    "enforcement": _stage_enforcement,
+}
+
+#: Stages ``repro bench`` runs when none are named.
+DEFAULT_STAGES: Tuple[str, ...] = ("eigensweep", "vector_fit", "enforcement")
+
+
+def run_bench_stages(
+    stages: Sequence[str],
+    *,
+    scale: float = 0.05,
+    threads: int = 2,
+    profile: bool = False,
+    profile_sort: str = "cumtime",
+    profile_top: int = 20,
+) -> List[dict]:
+    """Run the named stages, returning one record per stage.
+
+    Each record carries ``name``, ``seconds``, ``extra`` (stage-shaped
+    results), ``work`` (solver work counters or ``None``), the process
+    registry's deltas for the stage under ``metrics``, and — when
+    ``profile`` is set — a ``profile`` top-N hot-function report.
+    """
+    from repro.obs.metrics import get_registry
+    from repro.obs.profiler import profile_call
+
+    records: List[dict] = []
+    for name in stages:
+        try:
+            fn = BENCH_STAGES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown bench stage {name!r};"
+                f" expected one of {sorted(BENCH_STAGES)}"
+            ) from None
+        # Snapshot-by-difference: the process registry keeps running,
+        # the stage record only reports what this stage added.
+        before = get_registry().snapshot()["counters"]
+        started = time.perf_counter()
+        if profile:
+            (extra, work), report = profile_call(
+                fn, scale, threads, top_n=profile_top, sort=profile_sort
+            )
+        else:
+            extra, work = fn(scale, threads)
+            report = None
+        seconds = time.perf_counter() - started
+        after = get_registry().snapshot()["counters"]
+        deltas = {
+            key: after[key] - before.get(key, 0)
+            for key in after
+            if after[key] != before.get(key, 0)
+        }
+        record = {
+            "name": name,
+            "seconds": seconds,
+            "extra": extra,
+            "work": work,
+            "metrics": {"counters": deltas},
+        }
+        if report is not None:
+            record["profile"] = report
+        records.append(record)
+    return records

@@ -1,0 +1,75 @@
+"""A thin cProfile harness with JSON-friendly top-N reports.
+
+``repro bench --profile`` wraps each bench stage in one of these;
+``repro profile <subcommand...>`` wraps a whole CLI invocation.  The
+output is a plain dict (sortable, serializable, diffable in CI
+artifacts) instead of pstats' human-only table.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, Tuple
+
+__all__ = ["PROFILE_SORTS", "profile_call", "profile_to_dict"]
+
+#: Sort orders ``--profile-sort`` accepts, mapped to pstats keys.
+PROFILE_SORTS: Tuple[str, ...] = ("cumtime", "tottime", "ncalls")
+
+
+def profile_to_dict(
+    profile: cProfile.Profile, *, top_n: int = 20, sort: str = "cumtime"
+) -> dict:
+    """Convert a finished profile into a top-N hot-function report.
+
+    Each entry carries the function's location, primitive/total call
+    counts, and tottime/cumtime in seconds — everything the pstats
+    table shows, as data.
+    """
+    if sort not in PROFILE_SORTS:
+        raise ValueError(
+            f"sort must be one of {PROFILE_SORTS}, got {sort!r}"
+        )
+    stats = pstats.Stats(profile)
+    rows = []
+    for (path, line, name), (cc, nc, tottime, cumtime, _callers) in (
+        stats.stats.items()
+    ):
+        rows.append(
+            {
+                "function": name,
+                "file": path,
+                "line": line,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": tottime,
+                "cumtime": cumtime,
+            }
+        )
+    key = {"cumtime": "cumtime", "tottime": "tottime", "ncalls": "ncalls"}[sort]
+    rows.sort(key=lambda row: row[key], reverse=True)
+    return {
+        "sort": sort,
+        "total_functions": len(rows),
+        "total_tottime": sum(row["tottime"] for row in rows),
+        "top": rows[:top_n],
+    }
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args,
+    top_n: int = 20,
+    sort: str = "cumtime",
+    **kwargs,
+) -> Tuple[Any, dict]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is
+    :func:`profile_to_dict` output.  The profiler is scoped to this
+    call only — nothing leaks into the caller's interpreter state.
+    """
+    profile = cProfile.Profile()
+    result = profile.runcall(fn, *args, **kwargs)
+    return result, profile_to_dict(profile, top_n=top_n, sort=sort)

@@ -22,6 +22,7 @@ from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.realization import pole_residue_to_simo
 from repro.macromodel.simo import SimoRealization
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.passivity.metrics import refine_peak, sigma_max_many
 from repro.utils.serialization import float_array_from_jsonable, to_jsonable
 
@@ -326,7 +327,9 @@ def characterize_passivity(
             hint="use characterize_immittance_passivity for immittance models",
         )
     simo = _as_simo(model)
-    result = solve(simo, config)
+    _obs_metrics().count("eigensweep.runs")
+    with _obs_metrics().timer("eigensweep.solve"):
+        result = solve(simo, config)
     margin = 1.0 - float(np.linalg.norm(simo.d, 2)) if simo.d.size else 1.0
     bands = violation_bands_from_crossings(
         simo,

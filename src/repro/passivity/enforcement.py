@@ -26,6 +26,7 @@ by singular-value clipping, establishing the strict asymptotic condition
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -35,6 +36,7 @@ from repro.core.config import RunConfig, require_full_axis, require_scattering
 from repro.core.options import SolverOptions
 from repro.macromodel.poles import partition_poles
 from repro.macromodel.rational import PoleResidueModel
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.passivity.characterization import (
     PassivityReport,
     characterize_passivity,
@@ -312,8 +314,10 @@ def enforce_passivity(
     history: List[float] = []
     reports: List[PassivityReport] = []
 
+    enforce_started = time.perf_counter()
     iterations = 0
     for iterations in range(max_iterations + 1):
+        _obs_metrics().count("enforcement.iterations")
         if iterations == 0 and initial_report is not None:
             report = initial_report
         else:
@@ -321,6 +325,9 @@ def enforce_passivity(
         reports.append(report)
         history.append(report.worst_violation)
         if report.passive:
+            _obs_metrics().observe(
+                "enforcement.run", time.perf_counter() - enforce_started
+            )
             return EnforcementResult(
                 model=current,
                 passive=True,
@@ -346,6 +353,9 @@ def enforce_passivity(
             step_norm,
         )
 
+    _obs_metrics().observe(
+        "enforcement.run", time.perf_counter() - enforce_started
+    )
     return EnforcementResult(
         model=current,
         passive=False,

@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.faults import init_from_env as _faults_init_from_env
 from repro.faults import inject as _inject
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.utils.logging import get_logger
 from repro.utils.retry import RetryPolicy, retry_call
 
@@ -293,8 +294,9 @@ class JobQueue:
             _inject(point)
             return fn()
 
+        started = time.perf_counter()
         try:
-            return retry_call(
+            result = retry_call(
                 _op,
                 policy=_DB_RETRY,
                 retry_on=_retriable_sqlite,
@@ -303,7 +305,12 @@ class JobQueue:
         except sqlite3.OperationalError as exc:
             if _retriable_sqlite(exc):
                 self.counters["busy_errors"] += 1
+            _obs_metrics().count(f"{point}.errors")
             raise
+        # Latency per operation (queue.claim, queue.ack, ...), recorded
+        # only on success so error storms do not skew the quantiles.
+        _obs_metrics().observe(point, time.perf_counter() - started)
+        return result
 
     def probe(self) -> None:
         """One trivial read proving the connection works (health checks).
@@ -475,7 +482,10 @@ class JobQueue:
                     raise
             return self.get(picked["id"])
 
-        return self._retrying("queue.claim", _claim)
+        row = self._retrying("queue.claim", _claim)
+        if row is not None:
+            _obs_metrics().count("queue.jobs_claimed")
+        return row
 
     def heartbeat(
         self, job_id: str, worker_id: str, *, lease_seconds: float = 60.0
@@ -566,7 +576,10 @@ class JobQueue:
                 ).rowcount
             return bool(owned)
 
-        return self._retrying("queue.ack", _ack)
+        acked = self._retrying("queue.ack", _ack)
+        if acked:
+            _obs_metrics().count("queue.jobs_acked")
+        return acked
 
     def release(self, job_id: str, worker_id: str) -> bool:
         """Put a claimed-but-unfinished job back without an outcome.
@@ -762,6 +775,46 @@ class JobQueue:
         for row in rows:
             counts[row["state"]] = int(row["n"])
         return counts
+
+    def latency_samples(self, *, limit: int = 1000) -> List[Dict[str, Any]]:
+        """Per-job latency raw material of the most recent finished jobs.
+
+        Each row carries ``task``, ``queue_wait`` (claim minus submit)
+        and ``execution`` (finish minus claim) in seconds, plus the
+        ``cached`` flag — cached submissions are inserted already done,
+        so their zero-ish waits are reported separately, not mixed into
+        the execution quantiles.  Computed from the durable timestamps,
+        so jobs executed by *external* worker processes are covered.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT task, submitted, started, finished, cached"
+                " FROM jobs WHERE finished IS NOT NULL"
+                " ORDER BY finished DESC, id DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        samples: List[Dict[str, Any]] = []
+        for row in rows:
+            started = row["started"]
+            finished = row["finished"]
+            submitted = row["submitted"]
+            samples.append(
+                {
+                    "task": row["task"],
+                    "cached": bool(row["cached"]),
+                    "queue_wait": (
+                        max(0.0, float(started) - float(submitted))
+                        if started is not None
+                        else None
+                    ),
+                    "execution": (
+                        max(0.0, float(finished) - float(started))
+                        if started is not None
+                        else None
+                    ),
+                }
+            )
+        return samples
 
     def stats(self) -> dict:
         """Aggregate queue statistics (feeds ``GET /v1/stats``)."""

@@ -37,6 +37,7 @@ from typing import Dict, Optional, Union
 from repro.batch.runner import BATCH_BACKENDS, BatchRunner
 from repro.faults import init_from_env as _faults_init_from_env
 from repro.faults import inject as _inject
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.queue.config import QueueConfig
 from repro.queue.db import JobQueue, JobRow
 from repro.queue.spec import JobError, parse_spec
@@ -179,7 +180,8 @@ class QueueWorker:
                     self.queue.worker_update(self.worker_id, state="idle")
                     self._stop.wait(self.queue_config.poll_seconds)
                     continue
-                self._execute(row)
+                with _obs_metrics().timer("worker.job"):
+                    self._execute(row)
                 idle_since = time.time()
         finally:
             self.queue.worker_update(self.worker_id, state="stopped")
@@ -338,6 +340,9 @@ class QueueWorker:
             )
             return
         self.jobs_done += 1
+        _obs_metrics().count(f"worker.jobs.{state}")
+        if cached:
+            _obs_metrics().count("worker.jobs.cached")
         self.queue.worker_update(
             self.worker_id, state="idle", bump_done=True
         )

@@ -32,6 +32,8 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.batch.runner import BATCH_BACKENDS
 from repro.core.config import RunConfig
 from repro.faults import init_from_env as _faults_init_from_env
+from repro.obs.metrics import Histogram
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.queue import (
     SIMULATE_SPEC_KEYS,
     VALID_KINDS,
@@ -298,6 +300,50 @@ class JobManager:
             "subsystems": subsystems,
         }
 
+    def latency_stats(self) -> dict:
+        """Latency histograms for ``GET /v1/stats``.
+
+        ``endpoints`` — request-handling latency per HTTP endpoint,
+        recorded live by the handler into the process registry.
+        ``tasks`` — per-task ``queue_wait`` (submit → claim) and
+        ``execution`` (claim → finish) histograms rebuilt from the
+        durable queue timestamps, so externally executed jobs are
+        included; cached submissions (inserted already done) are
+        excluded from both and reported as a count instead.
+        """
+        endpoints: Dict[str, dict] = {}
+        registry_state = _obs_metrics().to_dict()
+        for name, payload in registry_state["timings"].items():
+            if name.startswith("http."):
+                endpoints[name[len("http."):]] = payload
+
+        tasks: Dict[str, dict] = {}
+        cached_excluded = 0
+        try:
+            samples = self.queue.latency_samples()
+        except sqlite3.Error:
+            samples = []  # latency is best-effort while the queue is down
+        histograms: Dict[Tuple[str, str], Histogram] = {}
+        for sample in samples:
+            if sample["cached"]:
+                cached_excluded += 1
+                continue
+            for phase in ("queue_wait", "execution"):
+                value = sample[phase]
+                if value is None:
+                    continue
+                slot = histograms.setdefault(
+                    (sample["task"], phase), Histogram()
+                )
+                slot.observe(value)
+        for (task, phase), hist in histograms.items():
+            tasks.setdefault(task, {})[phase] = hist.to_dict()
+        return {
+            "endpoints": endpoints,
+            "tasks": tasks,
+            "cached_submissions_excluded": cached_excluded,
+        }
+
     def stats(self) -> dict:
         """Aggregate service statistics (``GET /v1/stats``)."""
         queue_stats = self.queue.stats()
@@ -320,6 +366,7 @@ class JobManager:
             },
             "tasks_completed": queue_stats["tasks_completed"],
             "queue_workers": queue_stats["workers"],
+            "latency": self.latency_stats(),
             "store": store_stats,
             "reliability": {
                 "queue_retries": queue_stats["counters"],

@@ -1,9 +1,11 @@
 """The HTTP front-end: a stdlib-only JSON API over the durable queue.
 
-Endpoints (all JSON)::
+Endpoints (all JSON unless noted)::
 
     GET  /healthz                 liveness: {"status": "ok", ...}
-    GET  /v1/stats                queue depth, workers, store stats
+    GET  /v1/stats                queue depth, workers, store stats, and
+                                  per-endpoint/per-task latency histograms
+    GET  /v1/metrics              process metrics, Prometheus text format
     POST /v1/jobs                 submit a job spec; 202 queued / 200 cached
     GET  /v1/jobs/<id>            one job record (status, result when done)
     GET  /v1/jobs/<id>/events     long-poll a state transition
@@ -47,6 +49,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.config import RunConfig
 from repro.faults import inject as _inject
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.queue import QueueConfig
 from repro.service.manager import JobError, JobManager
 from repro.utils.logging import get_logger
@@ -130,6 +133,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _query(self) -> dict:
         return parse_qs(urlsplit(self.path).query)
 
+    def _endpoint_label(self, method: str) -> str:
+        """Low-cardinality endpoint label for the latency histograms.
+
+        Path parameters (job ids, store keys) are collapsed so the
+        metric set stays bounded no matter how many jobs pass through.
+        """
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        if path == "/healthz":
+            return "healthz"
+        if path == "/v1/stats":
+            return "stats"
+        if path == "/v1/metrics":
+            return "metrics"
+        if path == "/v1/jobs":
+            return "jobs.submit" if method == "POST" else "jobs"
+        if path.startswith("/v1/jobs/") and path.endswith("/events"):
+            return "jobs.events"
+        if path.startswith("/v1/jobs/"):
+            return "jobs.get"
+        if path.startswith("/v1/results/"):
+            return "results.get"
+        return "other"
+
     def _query_number(self, query: dict, name: str, default: float) -> float:
         values = query.get(name)
         if not values:
@@ -142,6 +168,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        endpoint = self._endpoint_label("GET")
+        started = time.perf_counter()
         try:
             _inject("http.request")
             self._route_get()
@@ -158,6 +186,12 @@ class _Handler(BaseHTTPRequestHandler):
             # clients never see internals.
             _LOG.exception("unhandled error serving GET %s", self.path)
             self._send_error_json(500, "internal", "internal server error")
+        finally:
+            registry = _obs_metrics()
+            registry.count(f"http.requests.{endpoint}")
+            registry.observe(
+                f"http.{endpoint}", time.perf_counter() - started
+            )
 
     def _route_get(self) -> None:
         path = urlsplit(self.path).path.rstrip("/") or "/"
@@ -178,6 +212,20 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/v1/stats":
             self._send_json(200, self.manager.stats())
+            return
+        if path == "/v1/metrics":
+            # Prometheus-style text exposition of the process registry:
+            # every counter and latency histogram recorded in this
+            # process (HTTP handling, queue ops, store traffic, solver
+            # stages of the embedded workers).
+            body = _obs_metrics().render_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if path.startswith("/v1/jobs/") and path.endswith("/events"):
             job_id = path[len("/v1/jobs/"):-len("/events")]
@@ -218,6 +266,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_error_json(404, "not_found", f"unknown endpoint {path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        endpoint = self._endpoint_label("POST")
+        started = time.perf_counter()
         try:
             _inject("http.request")
             self._route_post()
@@ -235,6 +285,12 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception:
             _LOG.exception("unhandled error serving POST %s", self.path)
             self._send_error_json(500, "internal", "internal server error")
+        finally:
+            registry = _obs_metrics()
+            registry.count(f"http.requests.{endpoint}")
+            registry.observe(
+                f"http.{endpoint}", time.perf_counter() - started
+            )
 
     def _route_post(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.faults import init_from_env as _faults_init_from_env
 from repro.faults import inject as _inject
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.store.keys import STORE_SCHEMA_VERSION
 from repro.utils.retry import RetryPolicy, retry_call
 
@@ -204,6 +205,16 @@ class ResultStore:
         are bad — and recorded against :meth:`health`.  A hit refreshes
         the entry's LRU timestamp.
         """
+        started = time.perf_counter()
+        payload = self._get_inner(key)
+        registry = _obs_metrics()
+        registry.observe("store.get", time.perf_counter() - started)
+        registry.count(
+            "store.get.hits" if payload is not None else "store.get.misses"
+        )
+        return payload
+
+    def _get_inner(self, key: str) -> Optional[dict]:
         path = self._entry_path(key)
 
         def _read() -> bytes:
@@ -286,6 +297,14 @@ class ResultStore:
         accelerator, and a computation must not die because its result
         could not be memoized.
         """
+        started = time.perf_counter()
+        ok = self._put_inner(key, payload, stage=stage)
+        registry = _obs_metrics()
+        registry.observe("store.put", time.perf_counter() - started)
+        registry.count("store.put.writes" if ok else "store.put.errors")
+        return ok
+
+    def _put_inner(self, key: str, payload: dict, *, stage: str) -> bool:
         if not isinstance(payload, dict):
             raise TypeError(
                 f"payload must be a dict, got {type(payload).__name__}"

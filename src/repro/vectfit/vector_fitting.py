@@ -25,12 +25,14 @@ resulting model is exactly real (conjugate-symmetric residues).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.macromodel.poles import make_stable, partition_poles
+from repro.obs.metrics import get_registry as _obs_metrics
 from repro.macromodel.rational import PoleResidueModel
 from repro.utils.guards import ensure_finite
 from repro.utils.validation import ensure_positive_int, ensure_sorted_frequencies
@@ -264,6 +266,7 @@ def vector_fit(
     ValueError
         On inconsistent shapes or too few samples for the requested order.
     """
+    fit_started = time.perf_counter()
     options = options if options is not None else VectorFittingOptions()
     freqs_rad = ensure_sorted_frequencies(freqs_rad, "freqs_rad")
     responses = np.asarray(responses, dtype=complex)
@@ -330,6 +333,11 @@ def vector_fit(
     # as a "model" whose responses are NaN.
     ensure_finite(fitted, stage="fit", what="fitted model response")
     err = np.abs(fitted - flat)
+    _obs_metrics().count("vectfit.fits")
+    _obs_metrics().count("vectfit.iterations", iterations_run)
+    _obs_metrics().observe(
+        "vectfit.fit", time.perf_counter() - fit_started
+    )
     return FitResult(
         model=model,
         rms_error=float(np.sqrt(np.mean(err**2))),

@@ -51,3 +51,39 @@ class TestDocsSync:
                 f"injection point {name!r} is registered but undocumented"
                 " in docs/quickstart.md (run `repro faults list`)"
             )
+
+    @pytest.mark.skipif(not DOCS.exists(), reason="docs not in this checkout")
+    def test_quickstart_documents_observability_cli(self):
+        """Every flag of the bench/profile subcommands is documented.
+
+        Derived from the live parser, so adding a flag without a docs
+        mention fails here — the same anti-drift contract the fault
+        registry has.
+        """
+        import argparse
+
+        from repro.cli import build_parser
+
+        text = DOCS.read_text()
+        assert "## Observability" in text
+        (subs,) = [
+            action
+            for action in build_parser()._actions
+            if isinstance(action, argparse._SubParsersAction)
+        ]
+        for command in ("bench", "profile"):
+            assert f"repro {command}" in text, (
+                f"subcommand `repro {command}` is undocumented in"
+                " docs/quickstart.md"
+            )
+            for action in subs.choices[command]._actions:
+                for flag in action.option_strings:
+                    if flag in ("-h", "--help"):
+                        continue
+                    assert flag in text, (
+                        f"`repro {command} {flag}` is undocumented in"
+                        " docs/quickstart.md"
+                    )
+        # The bench tiers and the scrape endpoint ship in the same PR.
+        for token in ("--tier serial", "--tier multicore", "/v1/metrics"):
+            assert token in text, f"{token!r} undocumented in quickstart"

@@ -184,3 +184,122 @@ class TestFleetGateSkip:
         code = compare.main(["--baseline", str(base), "--current", str(cur)])
         assert code == 1
         assert "characterization" in capsys.readouterr().err
+
+
+def multicore_payload(cpu_count=4, **speedups):
+    """A schema/2 multicore payload whose stages carry min_speedup 1.0."""
+    return {
+        "schema": "repro-bench-pipeline/2",
+        "tier": "multicore",
+        "cpu_count": cpu_count,
+        "stages": [
+            {
+                "name": name,
+                "seconds": 1.0,
+                "extra": {"speedup": speedup, "min_speedup": 1.0, "workers": 2},
+            }
+            for name, speedup in speedups.items()
+        ],
+    }
+
+
+class TestTierAwareness:
+    def test_schemaless_payload_is_serial_tier(self):
+        assert compare.payload_tier(payload(a=1.0)) == "serial"
+
+    def test_schema2_tier_and_cores_read_back(self):
+        doc = multicore_payload(cpu_count=8, batch_fleet=1.5)
+        assert compare.payload_tier(doc) == "multicore"
+        assert compare.payload_cpu_count(doc) == 8
+
+    def test_floors_extracted_only_when_declared(self):
+        doc = multicore_payload(batch_fleet=1.5, queue_drain=2.0)
+        doc["stages"].append(
+            {
+                "name": "eigensweep_process",
+                "seconds": 1.0,
+                "extra": {"speedup": 0.7, "min_speedup": None},
+            }
+        )
+        checks = {c.name: c for c in compare.speedup_floors(doc)}
+        assert set(checks) == {"batch_fleet", "queue_drain"}
+        assert not checks["batch_fleet"].failed
+
+    def test_floor_is_strict(self):
+        (check,) = compare.speedup_floors(multicore_payload(batch_fleet=1.0))
+        assert check.failed  # exactly the floor is a tie, not a win
+
+    def test_floor_skip_reason_on_single_core(self):
+        doc = multicore_payload(cpu_count=1, batch_fleet=0.9)
+        reason = compare.floor_skip_reason(doc)
+        assert reason is not None and "core" in reason
+
+    def test_stamped_core_count_beats_host(self):
+        # The payload says 4 cores: floors gate even if this host has 1.
+        doc = multicore_payload(cpu_count=4, batch_fleet=1.5)
+        assert compare.floor_skip_reason(doc) is None
+
+    def test_main_multicore_passing_floors_exits_zero(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(payload(characterization=0.4)))
+        cur.write_text(
+            json.dumps(multicore_payload(batch_fleet=1.8, queue_drain=1.6))
+        )
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tier 'serial'" in out and "tier 'multicore'" in out
+
+    def test_main_missed_floor_exits_one(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(payload(characterization=0.4)))
+        cur.write_text(
+            json.dumps(multicore_payload(batch_fleet=0.9, queue_drain=1.6))
+        )
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "batch_fleet" in captured.err
+        assert "floor" in captured.err
+
+    def test_main_zero_comparable_stages_exits_two(self, tmp_path, capsys):
+        # Tier mismatch and no floors anywhere: the gate inspected
+        # nothing and must say so loudly instead of passing.
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(payload(characterization=0.4)))
+        doc = multicore_payload()
+        doc["stages"] = [{"name": "x", "seconds": 1.0, "extra": {}}]
+        cur.write_text(json.dumps(doc))
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        assert code == 2
+        assert "zero comparable stages" in capsys.readouterr().err
+
+    def test_main_single_core_multicore_run_exits_two(self, tmp_path, capsys):
+        # All floors skipped on a 1-core run leaves nothing gated —
+        # same loud refusal (CI skips the job before this point).
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(payload(characterization=0.4)))
+        cur.write_text(
+            json.dumps(multicore_payload(cpu_count=1, batch_fleet=0.9))
+        )
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "SKIP" in captured.out
+
+    def test_main_same_tier_multicore_payloads_compare_timings(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        doc = multicore_payload(batch_fleet=1.8)
+        base.write_text(json.dumps(doc))
+        cur.write_text(json.dumps(doc))
+        code = compare.main(["--baseline", str(base), "--current", str(cur)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOTE" not in out  # same tier: timings gate normally
