@@ -70,9 +70,16 @@ from repro.passivity.immittance import (
 from repro.store import ResultStore
 from repro.touchstone.reader import read_touchstone
 from repro.touchstone.writer import write_touchstone
+from repro.utils.logging import init_from_env as _logging_init_from_env
 from repro.vectfit.vector_fitting import vector_fit as _vector_fit
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# Honor REPRO_LOG_LEVEL / REPRO_LOG_FORMAT at import so every consumer
+# — CLI, service, workers, plain scripts — gets the structured handler
+# without calling enable_debug_logging() themselves.  Malformed values
+# raise ConfigError naming the variable, like every other REPRO_* knob.
+_logging_init_from_env()
 
 
 def _deprecated_shim(name, impl, replacement):

@@ -40,6 +40,7 @@ from repro.core.results import SolveResult
 from repro.core.solver import solve
 from repro.macromodel.rational import PoleResidueModel
 from repro.macromodel.simo import SimoRealization
+from repro.obs import trace as _obs_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.metrics import get_registry as _obs_process_registry
 from repro.passivity.characterization import PassivityReport, characterize_passivity
@@ -304,10 +305,12 @@ class Macromodel:
 
     def _timed_stage(self, stage: str, compute):
         """Run one stage's compute, recording its latency both locally
-        (this session's registry) and process-wide."""
+        (this session's registry) and process-wide, plus a
+        ``stage.<name>`` trace span when a trace context is active."""
         started = time.perf_counter()
         try:
-            return compute()
+            with _obs_trace.span(f"stage.{stage}"):
+                return compute()
         finally:
             elapsed = time.perf_counter() - started
             self._metrics.observe(f"stage.{stage}", elapsed)

@@ -37,12 +37,13 @@ import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.batch.jobs import BatchJob, JobSource, expand_jobs
 from repro.core.config import RunConfig
 from repro.core.process import preferred_mp_context
+from repro.obs import trace as _trace
 from repro.utils.guards import NumericalError
 from repro.utils.logging import get_logger
 from repro.utils.serialization import to_jsonable
@@ -79,6 +80,11 @@ class JobSettings:
     #: Keyword arguments of :meth:`Macromodel.simulate` (stimulus,
     #: num_steps, integrator, ...); ``None`` uses the engine defaults.
     simulate_params: Optional[dict] = None
+    #: Serialized :class:`repro.obs.TraceContext` dict — the distributed
+    #: tracing context the executing side (possibly a child process)
+    #: restores, so pipeline-stage spans nest under the caller's span.
+    #: ``None`` leaves tracing inactive.
+    trace: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +149,12 @@ class JobResult:
     energy_gain: Optional[float] = None
     diagnostic: Optional[dict] = None
     metrics: Optional[dict] = None
+    #: Finished trace spans recorded while the job executed (present
+    #: only when :attr:`JobSettings.trace` propagated a context) — the
+    #: transport that carries child-process spans back over the result
+    #: pipe.  Deliberately excluded from :meth:`to_dict`: spans are
+    #: persisted to the queue's trace table, not embedded in results.
+    spans: Optional[list] = None
 
     @property
     def ok(self) -> bool:
@@ -291,6 +303,27 @@ class FleetReport:
 
 
 def _execute_job(job: BatchJob, settings: JobSettings) -> JobResult:
+    """Run one job's pipeline, restoring the propagated trace context.
+
+    When :attr:`JobSettings.trace` carries a serialized context — e.g.
+    the queue worker's attempt span — the whole pipeline runs inside it
+    and the finished spans ride back on :attr:`JobResult.spans`, whether
+    this executes in a child process, a pool thread, or inline.
+    """
+    if not settings.trace:
+        return _run_pipeline(job, settings)
+    try:
+        context = _trace.TraceContext.from_dict(settings.trace)
+    except (KeyError, TypeError):
+        return _run_pipeline(job, settings)
+    spans: list = []
+    with _trace.activate(context, spans):
+        with _trace.span("batch.pipeline", job=job.name):
+            result = _run_pipeline(job, settings)
+    return replace(result, spans=spans) if spans else result
+
+
+def _run_pipeline(job: BatchJob, settings: JobSettings) -> JobResult:
     """Run one job's fit → check → enforce pipeline (any backend)."""
     started = time.perf_counter()
     config = settings.config
@@ -414,6 +447,11 @@ class BatchRunner:
     simulate_params:
         Keyword arguments forwarded to :meth:`Macromodel.simulate`
         (stimulus, num_steps, integrator, ...).
+    trace:
+        Serialized distributed-tracing context
+        (:meth:`repro.obs.TraceContext.to_dict`) restored around every
+        job so pipeline-stage spans reach the caller's trace; ``None``
+        leaves tracing inactive.
     """
 
     def __init__(
@@ -429,6 +467,7 @@ class BatchRunner:
         hinf: bool = False,
         simulate: bool = False,
         simulate_params: Optional[dict] = None,
+        trace: Optional[dict] = None,
     ) -> None:
         ensure_choice(backend, "batch backend", BATCH_BACKENDS)
         if workers is None:
@@ -447,6 +486,7 @@ class BatchRunner:
             hinf=bool(hinf),
             simulate=bool(simulate),
             simulate_params=dict(simulate_params) if simulate_params else None,
+            trace=dict(trace) if trace else None,
         )
 
     def run(self, sources: Union[JobSource, Sequence[JobSource]]) -> FleetReport:

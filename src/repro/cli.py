@@ -596,6 +596,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="terminal state to purge",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="render one job's distributed trace as an ASCII waterfall",
+    )
+    add_queue_args(trace)
+    trace.add_argument("id", help="job id")
+    trace.add_argument(
+        "--cache-dir",
+        default=None,
+        action=_TrackedStore,
+        help="result-store directory the default queue path resolves"
+        " against (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the span tree as machine-readable JSON",
+    )
+    trace.add_argument(
+        "--width",
+        type=int,
+        default=40,
+        help="waterfall bar width in characters (default: 40)",
+    )
+
     faults = sub.add_parser(
         "faults", help="inspect the fault-injection framework"
     )
@@ -1110,6 +1135,18 @@ def _cmd_worker(args) -> int:
     import signal
 
     from repro.queue import QueueWorker
+    from repro.utils.logging import get_logger, structured_logging_active
+
+    log = get_logger("cli.worker")
+
+    def say(message: str) -> None:
+        # Under REPRO_LOG_FORMAT=json every stderr line must be one
+        # structured record, so the human one-liners route through the
+        # logger instead of a bare print.
+        if structured_logging_active():
+            log.info(message)
+        else:
+            print(message, file=sys.stderr)
 
     queue_config = _queue_config(args)
     queue_path = queue_config.resolve_path(args.cache_dir)
@@ -1125,18 +1162,17 @@ def _cmd_worker(args) -> int:
 
     def drain(signum, frame):
         # Graceful drain: finish (and ack) the leased job, then exit 0.
-        print("drain requested; finishing the current job", file=sys.stderr)
+        say("drain requested; finishing the current job")
         worker.request_stop()
 
     signal.signal(signal.SIGTERM, drain)
     signal.signal(signal.SIGINT, drain)
-    print(
+    say(
         f"worker {worker.worker_id} draining {queue_path}"
-        f" ({args.backend} backend; ctrl-c or SIGTERM to drain)",
-        file=sys.stderr,
+        f" ({args.backend} backend; ctrl-c or SIGTERM to drain)"
     )
     completed = worker.run()
-    print(f"worker exiting after {completed} job(s)", file=sys.stderr)
+    say(f"worker exiting after {completed} job(s)")
     return 0
 
 
@@ -1220,6 +1256,61 @@ def _cmd_jobs(args) -> int:
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             print(f"purged {removed} {args.state} job(s)")
+        return 0
+    finally:
+        queue.close()
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace <job-id>`` — the job's span tree as a waterfall.
+
+    Reads the durable trace ring out of the queue database, so it works
+    on live *and* finished jobs, from any process that can see the
+    queue file — no running service required.
+    """
+    from repro.obs.trace import build_tree, render_waterfall
+    from repro.queue import JobQueue
+
+    queue_config = _queue_config(args)
+    queue_path = queue_config.resolve_path(args.cache_dir)
+    if not queue_path.is_file():
+        raise ValueError(
+            f"no queue database at {queue_path} (start 'repro serve' or"
+            " point --queue/REPRO_QUEUE_PATH at one)"
+        )
+    queue = JobQueue(queue_path, max_attempts=queue_config.max_attempts)
+    try:
+        row = queue.get(args.id)
+        if row is None:
+            raise ValueError(f"unknown job id {args.id!r}")
+        # Job-scoped (a trace id may be shared across submissions);
+        # JobQueue.trace_spans(trace_id=...) serves cross-job queries.
+        spans = queue.trace_spans(job_id=args.id)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "job_id": row.id,
+                        "trace_id": row.trace_id,
+                        "status": row.state,
+                        "span_count": len(spans),
+                        "spans": spans,
+                        "tree": build_tree(spans),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        if not spans:
+            print(
+                f"no spans recorded for job {args.id} (state: {row.state};"
+                " traces appear as attempts finish, and REPRO_TRACE=off"
+                " disables them)"
+            )
+            return 0
+        print(f"job {row.id}  trace {row.trace_id}  state {row.state}")
+        print(render_waterfall(spans, width=args.width))
         return 0
     finally:
         queue.close()
@@ -1376,6 +1467,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "worker": _cmd_worker,
     "jobs": _cmd_jobs,
+    "trace": _cmd_trace,
     "faults": _cmd_faults,
     "strategies": _cmd_strategies,
     "bench": _cmd_bench,

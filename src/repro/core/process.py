@@ -55,6 +55,7 @@ from repro.core.options import SolverOptions
 from repro.core.results import ShiftRecord, SolveResult
 from repro.core.scheduler import BandScheduler
 from repro.core.single_shift import SingleShiftSolver
+from repro.obs import trace as _obs_trace
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomStream
 from repro.utils.validation import ensure_positive_int
@@ -182,11 +183,16 @@ def _solve_shard(task: _ShardTask) -> dict:
     # executes; report the per-shard delta or the parent double-counts
     # when one worker picks up several shards.
     before = work.snapshot() if work is not None else {}
+    shard_started = time.time()
+    shard_t0 = time.perf_counter()
     records = _drain_shard(solver, scheduler, root_stream, task.shard_index)
+    shard_elapsed = time.perf_counter() - shard_t0
     after = work.snapshot() if work is not None else {}
     uncovered = scheduler.uncovered(ignore_dust=True)
     return {
         "shard_index": task.shard_index,
+        "started": shard_started,
+        "elapsed": shard_elapsed,
         "records": records,
         "work": {key: after[key] - before.get(key, 0) for key in after},
         "eliminated": scheduler.eliminated,
@@ -217,10 +223,15 @@ def _run_shards_inline(
             index_offset=task.index_offset,
         )
         root_stream = RandomStream(options.seed)
+        shard_started = time.time()
+        shard_t0 = time.perf_counter()
         records = _drain_shard(solver, scheduler, root_stream, task.shard_index)
+        shard_elapsed = time.perf_counter() - shard_t0
         outcomes.append(
             {
                 "shard_index": task.shard_index,
+                "started": shard_started,
+                "elapsed": shard_elapsed,
                 "records": records,
                 # Inline work is already counted on the parent counter.
                 "work": {},
@@ -358,36 +369,54 @@ def solve_process(
     )
 
     started = time.perf_counter()
-    if mode == "inline":
-        solver = SingleShiftSolver(op, options)
-        outcomes = _run_shards_inline(solver, tasks, options)
-    else:
-        payload = pickle.dumps(
-            (simo, representation, options), protocol=pickle.HIGHEST_PROTOCOL
-        )
-        try:
-            with ProcessPoolExecutor(
-                max_workers=num_threads,
-                mp_context=preferred_mp_context(),
-                initializer=_init_worker,
-                initargs=(payload,),
-            ) as pool:
-                futures = [pool.submit(_solve_shard, task) for task in tasks]
-                outcomes = [future.result() for future in futures]
-        except (OSError, ImportError, BrokenProcessPool) as exc:
-            # Pool could not start or a worker died abruptly (sandboxed
-            # platform, missing semaphores, fd limits, OOM kill):
-            # degrade to the thread driver.  Exceptions raised *by* a
-            # shard propagate unwrapped — they indicate real errors.
-            return _fallback_to_threads(
-                simo,
-                num_threads=num_threads,
-                representation=representation,
-                omega_min=omega_min,
-                omega_max=omega_max,
-                options=options,
-                reason=f"pool unavailable ({exc!r})",
+    with _obs_trace.span(
+        "eigensweep.dispatch", shards=len(tasks), mode=mode
+    ):
+        if mode == "inline":
+            solver = SingleShiftSolver(op, options)
+            outcomes = _run_shards_inline(solver, tasks, options)
+        else:
+            payload = pickle.dumps(
+                (simo, representation, options),
+                protocol=pickle.HIGHEST_PROTOCOL,
             )
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=num_threads,
+                    mp_context=preferred_mp_context(),
+                    initializer=_init_worker,
+                    initargs=(payload,),
+                ) as pool:
+                    futures = [
+                        pool.submit(_solve_shard, task) for task in tasks
+                    ]
+                    outcomes = [future.result() for future in futures]
+            except (OSError, ImportError, BrokenProcessPool) as exc:
+                # Pool could not start or a worker died abruptly
+                # (sandboxed platform, missing semaphores, fd limits,
+                # OOM kill): degrade to the thread driver.  Exceptions
+                # raised *by* a shard propagate unwrapped — they
+                # indicate real errors.
+                return _fallback_to_threads(
+                    simo,
+                    num_threads=num_threads,
+                    representation=representation,
+                    omega_min=omega_min,
+                    omega_max=omega_max,
+                    options=options,
+                    reason=f"pool unavailable ({exc!r})",
+                )
+        # Pool workers run without a trace context; their shard timings
+        # come back on the outcome dicts and are re-recorded here as
+        # children of the dispatch span (no-op when tracing is off).
+        for outcome in outcomes:
+            if "started" in outcome:
+                _obs_trace.record_span(
+                    "eigensweep.shard",
+                    start=outcome["started"],
+                    duration=outcome["elapsed"],
+                    attributes={"shard": outcome["shard_index"]},
+                )
     elapsed = time.perf_counter() - started
 
     return _merge_outcomes(

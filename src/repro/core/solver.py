@@ -22,6 +22,7 @@ from repro.core.drivers import ModelInput
 from repro.core.options import SolverOptions
 from repro.core.registry import resolve_strategy
 from repro.core.results import SolveResult
+from repro.obs import trace as _obs_trace
 from repro.utils.guards import ensure_finite
 
 __all__ = ["solve", "find_imaginary_eigenvalues"]
@@ -53,14 +54,19 @@ def solve(
     spec = resolve_strategy(
         config.strategy, config.num_threads, backend=config.backend
     )
-    result = spec.driver(
-        model,
-        num_threads=config.num_threads,
-        representation=config.representation,
-        omega_min=config.omega_min,
-        omega_max=config.omega_max,
-        options=config.options,
-    )
+    with _obs_trace.span(
+        "solve.sweep",
+        strategy=config.strategy,
+        threads=config.num_threads,
+    ):
+        result = spec.driver(
+            model,
+            num_threads=config.num_threads,
+            representation=config.representation,
+            omega_min=config.omega_min,
+            omega_max=config.omega_max,
+            options=config.options,
+        )
     # A NaN/Inf crossing frequency means the eigensolve itself broke
     # down (singular pencil, overflowed Hamiltonian) — surface it as a
     # structured diagnostic, never as a silently wrong passivity verdict.

@@ -83,6 +83,12 @@ class _Injector:
                 self.fired[point] += 1
         if not hit:
             return None
+        # Chaos-suite jobs carry their injected faults on the trace:
+        # annotate the innermost open span (no-op outside any trace)
+        # before a raise-kind unwinds the stack.
+        from repro.obs.trace import record_fault
+
+        record_fault(point, spec.kind)
         if spec.kind == "io_error":
             raise OSError(f"injected io_error at {point}")
         if spec.kind == "busy":

@@ -15,6 +15,9 @@ passivity verification — so this package is the layer that turns
 * :mod:`repro.obs.benchstage` — the named bench stages the CLI's
   ``repro bench`` command runs (eigensweep, vector fit, enforcement),
   shared with the profiling harness.
+* :mod:`repro.obs.trace` — a zero-dependency span tracer with explicit
+  cross-process context propagation: the per-job causal timeline behind
+  ``GET /v1/jobs/<id>/trace`` and ``repro trace <job-id>``.
 
 Every subsystem that does interesting work records into the process
 registry (:func:`get_registry`): the eigensweep scheduler, vector
@@ -30,13 +33,25 @@ from repro.obs.metrics import (
     reset_registry,
 )
 from repro.obs.profiler import profile_call, profile_to_dict
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    build_tree,
+    ensure_trace_id,
+    render_waterfall,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "build_tree",
+    "ensure_trace_id",
     "get_registry",
     "profile_call",
     "profile_to_dict",
+    "render_waterfall",
     "reset_registry",
 ]

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.faults import init_from_env as _faults_init_from_env
 from repro.faults import inject as _inject
 from repro.obs.metrics import get_registry as _obs_metrics
+from repro.obs.trace import ring_from_env as _trace_ring_from_env
 from repro.utils.logging import get_logger
 from repro.utils.retry import RetryPolicy, retry_call
 
@@ -96,9 +97,23 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished     REAL,
     error        TEXT,
     result       TEXT,
-    version      INTEGER NOT NULL DEFAULT 1
+    version      INTEGER NOT NULL DEFAULT 1,
+    trace_id     TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, submitted, id);
+CREATE TABLE IF NOT EXISTS traces (
+    trace_id   TEXT NOT NULL,
+    span_id    TEXT NOT NULL,
+    parent_id  TEXT,
+    job_id     TEXT,
+    name       TEXT NOT NULL,
+    start      REAL NOT NULL,
+    duration   REAL NOT NULL,
+    status     TEXT NOT NULL DEFAULT 'ok',
+    attributes TEXT,
+    PRIMARY KEY (trace_id, span_id)
+);
+CREATE INDEX IF NOT EXISTS traces_by_job ON traces (job_id);
 CREATE TABLE IF NOT EXISTS workers (
     id        TEXT PRIMARY KEY,
     pid       INTEGER,
@@ -149,6 +164,7 @@ class JobRow:
     error: Optional[str]
     result: Optional[dict]
     version: int
+    trace_id: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -183,6 +199,7 @@ class JobRow:
             "result": self.result,
             "error": self.error,
             "version": self.version,
+            "trace_id": self.trace_id,
         }
 
 
@@ -215,6 +232,7 @@ def _decode(row: sqlite3.Row) -> JobRow:
         error=row["error"],
         result=loads(row["result"]),
         version=int(row["version"]),
+        trace_id=row["trace_id"] if "trace_id" in row.keys() else None,
     )
 
 
@@ -262,6 +280,16 @@ class JobQueue:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA busy_timeout=30000")
         self._conn.executescript(_SCHEMA)
+        # Databases created before the tracing PR lack the trace_id
+        # column; CREATE TABLE IF NOT EXISTS won't add it, so migrate
+        # in place (idempotent — guarded by the live column list).
+        columns = {
+            r["name"]
+            for r in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        if "trace_id" not in columns:
+            self._conn.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
+        self._trace_ring = _trace_ring_from_env()
         self._returning = sqlite3.sqlite_version_info >= (3, 35, 0)
 
     def close(self) -> None:
@@ -335,12 +363,15 @@ class JobQueue:
         key: Optional[str] = None,
         max_attempts: Optional[int] = None,
         cached_result: Optional[dict] = None,
+        trace_id: Optional[str] = None,
     ) -> JobRow:
         """Insert one job; returns the stored row.
 
         ``cached_result`` short-circuits the job: the row is inserted
         already ``done`` with ``cached`` set (the store answered at
-        submission time and no worker ever needs to run).
+        submission time and no worker ever needs to run).  ``trace_id``
+        is the distributed-tracing correlation ID the service stamped at
+        submission; workers restore it as their root context.
         """
         now = time.time()
         cached = cached_result is not None
@@ -351,8 +382,8 @@ class JobQueue:
                     """
                     INSERT INTO jobs (id, task, name, kind, spec, key, state,
                                       cached, max_attempts, submitted, started,
-                                      finished, result)
-                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                      finished, result, trace_id)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                     """,
                     (
                         job_id,
@@ -372,6 +403,7 @@ class JobQueue:
                         json.dumps(cached_result, sort_keys=True)
                         if cached
                         else None,
+                        trace_id,
                     ),
                 )
 
@@ -628,9 +660,119 @@ class JobQueue:
                 f" got {state!r}"
             )
         with self._lock:
+            self._conn.execute(
+                "DELETE FROM traces WHERE job_id IN"
+                " (SELECT id FROM jobs WHERE state = ?)",
+                (state,),
+            )
             return self._conn.execute(
                 "DELETE FROM jobs WHERE state = ?", (state,)
             ).rowcount
+
+    # -- traces -------------------------------------------------------------
+
+    def record_spans(
+        self, spans: List[dict], *, job_id: Optional[str] = None
+    ) -> int:
+        """Durably persist finished spans; returns the count stored.
+
+        The traces table is a bounded ring: after every write, only the
+        newest ``REPRO_TRACE_RING`` distinct trace IDs are retained, so
+        a long-lived queue file never grows without bound.  Span IDs are
+        upsert keys — a retried attempt re-recording its synthesized
+        ``job``/``queue.wait`` spans overwrites rather than duplicates.
+        """
+        rows = [
+            (
+                str(span["trace_id"]),
+                str(span["span_id"]),
+                span.get("parent_id"),
+                job_id,
+                str(span["name"]),
+                float(span["start"]),
+                float(span["duration"]),
+                str(span.get("status", "ok")),
+                json.dumps(span.get("attributes") or {}, sort_keys=True),
+            )
+            for span in spans
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            self._conn.executemany(
+                """
+                INSERT OR REPLACE INTO traces
+                    (trace_id, span_id, parent_id, job_id, name, start,
+                     duration, status, attributes)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                rows,
+            )
+            self._conn.execute(
+                """
+                DELETE FROM traces WHERE trace_id IN (
+                    SELECT trace_id FROM (
+                        SELECT trace_id, MAX(rowid) AS latest FROM traces
+                        GROUP BY trace_id ORDER BY latest DESC
+                        LIMIT -1 OFFSET ?
+                    )
+                )
+                """,
+                (self._trace_ring,),
+            )
+        return len(rows)
+
+    def trace_spans(
+        self,
+        *,
+        job_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> List[dict]:
+        """Flat span dicts of one job and/or trace, ordered by start.
+
+        A trace spanning several jobs (a client reusing one
+        ``X-Repro-Trace-Id``) is fetched whole via ``trace_id``; the
+        per-job view filters on the job column.  Both filters combine
+        with OR so a job's spans are found through either key.
+        """
+        clauses, params = [], []
+        if job_id is not None:
+            clauses.append("job_id = ?")
+            params.append(job_id)
+        if trace_id is not None:
+            clauses.append("trace_id = ?")
+            params.append(trace_id)
+        if not clauses:
+            raise ValueError("trace_spans needs a job_id or a trace_id")
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT trace_id, span_id, parent_id, job_id, name, start,"
+                f" duration, status, attributes FROM traces"
+                f" WHERE {' OR '.join(clauses)} ORDER BY start, span_id",
+                params,
+            ).fetchall()
+        spans = []
+        for row in rows:
+            try:
+                attributes = json.loads(row["attributes"] or "{}")
+            except ValueError:
+                attributes = {}
+            spans.append(
+                {
+                    "trace_id": row["trace_id"],
+                    "span_id": row["span_id"],
+                    "parent_id": row["parent_id"],
+                    "job_id": row["job_id"],
+                    "name": row["name"],
+                    "start": row["start"],
+                    "duration": row["duration"],
+                    "status": row["status"],
+                    "attributes": attributes
+                    if isinstance(attributes, dict)
+                    else {},
+                }
+            )
+        return spans
 
     # -- inspection ---------------------------------------------------------
 

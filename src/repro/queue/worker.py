@@ -35,8 +35,10 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.batch.runner import BATCH_BACKENDS, BatchRunner
+from repro.faults import counters as _fault_counters
 from repro.faults import init_from_env as _faults_init_from_env
 from repro.faults import inject as _inject
+from repro.obs import trace as _trace
 from repro.obs.metrics import get_registry as _obs_metrics
 from repro.queue.config import QueueConfig
 from repro.queue.db import JobQueue, JobRow
@@ -120,6 +122,11 @@ class QueueWorker:
         # One store per distinct cache directory: jobs may override
         # cache_dir per submission, but same-dir jobs share the handle.
         self._stores: Dict[Optional[str], ResultStore] = {}
+        # Tracing state of the job currently executing (one job at a
+        # time per instance): the sink finished spans accumulate in and
+        # the attempt span's context (None while tracing is off).
+        self._trace_sink = None
+        self._attempt_context: Optional[_trace.TraceContext] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -155,6 +162,8 @@ class QueueWorker:
             while not self._stop.is_set():
                 if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                     break
+                claim_wall = time.time()
+                claim_t0 = time.perf_counter()
                 try:
                     row = self.queue.claim(
                         self.worker_id,
@@ -181,7 +190,11 @@ class QueueWorker:
                     self._stop.wait(self.queue_config.poll_seconds)
                     continue
                 with _obs_metrics().timer("worker.job"):
-                    self._execute(row)
+                    self._execute_traced(
+                        row,
+                        claim_wall=claim_wall,
+                        claim_elapsed=time.perf_counter() - claim_t0,
+                    )
                 idle_since = time.time()
         finally:
             self.queue.worker_update(self.worker_id, state="stopped")
@@ -199,6 +212,64 @@ class QueueWorker:
         if config.cache_dir not in self._stores:
             self._stores[config.cache_dir] = ResultStore.from_config(config)
         return self._stores[config.cache_dir]
+
+    def _execute_traced(
+        self, row: JobRow, *, claim_wall: float, claim_elapsed: float
+    ) -> None:
+        """Run one claimed job under an attempt-scoped trace root.
+
+        The job row's ``trace_id`` (stamped at submission) is restored
+        as the root context; every attempt — including a retry after a
+        crashed worker — opens its own ``worker.attempt`` span under the
+        shared trace, so the per-job timeline survives failures.  The
+        attempt span is backdated to the claim so the measured
+        ``queue.claim`` child nests inside it.  Finished spans are
+        persisted best-effort after the attempt: tracing must never
+        fail a job.
+        """
+        trace_id = row.trace_id or _trace.new_trace_id()
+        context = _trace.TraceContext(
+            trace_id=trace_id, span_id=row.id, job_id=row.id
+        )
+        sink: list = []
+        self._trace_sink = sink
+        try:
+            with _trace.activate(context, sink):
+                with _trace.span(
+                    "worker.attempt",
+                    start=claim_wall,
+                    worker=self.worker_id,
+                    attempt=row.attempts,
+                ) as attempt:
+                    self._attempt_context = (
+                        _trace.TraceContext(
+                            trace_id=trace_id,
+                            span_id=attempt.context.span_id,
+                            job_id=row.id,
+                        )
+                        if attempt.context is not None
+                        else None
+                    )
+                    _trace.record_span(
+                        "queue.claim",
+                        start=claim_wall,
+                        duration=claim_elapsed,
+                    )
+                    self._execute(row)
+        finally:
+            self._attempt_context = None
+            self._trace_sink = None
+            if sink:
+                try:
+                    self.queue.record_spans(sink, job_id=row.id)
+                except sqlite3.Error as exc:
+                    _LOG.warning(
+                        "worker %s: could not persist trace for job %s"
+                        " (%s)",
+                        self.worker_id,
+                        row.id,
+                        exc,
+                    )
 
     def _execute(self, row: JobRow) -> None:
         self.queue.worker_update(
@@ -264,15 +335,28 @@ class QueueWorker:
             daemon=True,
         )
         heartbeat.start()
+        fired_before = {
+            point: c["fired"] for point, c in _fault_counters().items()
+        }
         try:
             _inject("worker.run")
             runner = BatchRunner(
                 workers=1,
                 timeout=self.timeout,
                 backend=self.backend,
+                trace=(
+                    self._attempt_context.to_dict()
+                    if self._attempt_context is not None
+                    else None
+                ),
                 **parsed.runner_kwargs(),
             )
             result = runner.run([parsed.job]).results[0]
+            if result.spans and self._trace_sink is not None:
+                # Pipeline spans recorded in the child process (or the
+                # in-process backends' own capture) join this attempt's
+                # sink for durable persistence.
+                self._trace_sink.extend(result.spans)
             payload = result.to_dict()
             state = "done" if result.ok else result.status
             error = result.error
@@ -282,6 +366,17 @@ class QueueWorker:
         finally:
             hb_stop.set()
             heartbeat.join()
+            attempt = _trace.current()
+            if attempt is not None:
+                # Chaos runs: which fault plans fired during this
+                # attempt, attached to the attempt span.
+                fired = {
+                    point: c["fired"] - fired_before.get(point, 0)
+                    for point, c in _fault_counters().items()
+                    if c["fired"] - fired_before.get(point, 0) > 0
+                }
+                if fired:
+                    attempt.annotate("faults_fired", fired)
 
         if lost.is_set() or not self.queue.owns(row.id, self.worker_id):
             # The lease was reclaimed while we ran (we were presumed
@@ -324,14 +419,17 @@ class QueueWorker:
         error: Optional[str] = None,
         cached: bool = False,
     ) -> None:
-        acked = self.queue.ack(
-            row.id,
-            self.worker_id,
-            state=state,
-            result=result,
-            error=error,
-            cached=cached,
-        )
+        with _trace.span("queue.ack", state=state):
+            acked = self.queue.ack(
+                row.id,
+                self.worker_id,
+                state=state,
+                result=result,
+                error=error,
+                cached=cached,
+            )
+        if acked:
+            self._record_outcome_spans(row, state=state, cached=cached)
         if not acked:
             _LOG.warning(
                 "worker %s could not ack job %s (lease reclaimed)",
@@ -352,6 +450,52 @@ class QueueWorker:
             row.id,
             state,
             ", cached" if cached else "",
+        )
+
+    def _record_outcome_spans(
+        self, row: JobRow, *, state: str, cached: bool
+    ) -> None:
+        """Synthesize the timeline spans only the acking worker can see.
+
+        The ``job`` root (span ID = job ID, so every attempt's spans
+        hang off the same node) covers submission → ack; ``queue.wait``
+        covers submission → first claim.  Both are reconstructed from
+        the persisted row timestamps, keeping the tree connected even
+        though no single process observed the whole lifetime.
+        """
+        sink = self._trace_sink
+        if sink is None or self._attempt_context is None:
+            return
+        trace_id = self._attempt_context.trace_id
+        finished = time.time()
+        sink.append(
+            _trace.synthetic_span(
+                trace_id=trace_id,
+                span_id=row.id,
+                parent_id=None,
+                name="job",
+                start=row.submitted,
+                duration=finished - row.submitted,
+                status="ok" if state == "done" else "error",
+                attributes={
+                    "job_id": row.id,
+                    "task": row.task,
+                    "state": state,
+                    "cached": cached,
+                    "attempts": row.attempts,
+                },
+            )
+        )
+        started = row.started if row.started is not None else finished
+        sink.append(
+            _trace.synthetic_span(
+                trace_id=trace_id,
+                span_id=f"{row.id}-wait",
+                parent_id=row.id,
+                name="queue.wait",
+                start=row.submitted,
+                duration=max(0.0, started - row.submitted),
+            )
         )
 
     def _heartbeat_loop(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -32,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.batch.runner import BATCH_BACKENDS
 from repro.core.config import RunConfig
 from repro.faults import init_from_env as _faults_init_from_env
+from repro.obs import trace as _trace
 from repro.obs.metrics import Histogram
 from repro.obs.metrics import get_registry as _obs_metrics
 from repro.queue import (
@@ -184,16 +186,28 @@ class JobManager:
         """Spend one submission token for ``client`` (HTTP 429 gate)."""
         return self.limiter.allow(client)
 
-    def submit(self, spec: Mapping[str, Any]) -> JobRow:
+    def submit(
+        self,
+        spec: Mapping[str, Any],
+        *,
+        trace_id: Optional[str] = None,
+    ) -> JobRow:
         """Validate and durably enqueue one job.
 
         Returns the stored row: status ``"queued"`` for fresh work, or
         ``"done"`` with ``cached=True`` when the job-level key was
         already in the store (the fast path the service exists for).
+
+        ``trace_id`` is the client's ``X-Repro-Trace-Id``; it is
+        sanitized (or generated when absent/invalid) and stamped on the
+        job row so every layer downstream — queue, worker, pipeline
+        stages — attaches its spans to one causal timeline.
         """
         if self._shutdown:
             raise RuntimeError("the job manager is shut down")
+        submit_wall = time.time()
         job_id = uuid.uuid4().hex[:12]
+        trace_id = _trace.ensure_trace_id(trace_id)
         parsed = parse_spec(
             spec,
             base_config=self.config,
@@ -206,15 +220,18 @@ class JobManager:
         # that opts out (`"config": {"cache": "off"}`) must recompute,
         # mirroring the write path in the workers.
         cached_payload: Optional[dict] = None
+        lookup_elapsed = 0.0
         if (
             parsed.key is not None
             and self.store is not None
             and parsed.config.cache in ("read", "readwrite")
         ):
+            lookup_t0 = time.perf_counter()
             cached_payload = self.store.get(parsed.key)
+            lookup_elapsed = time.perf_counter() - lookup_t0
 
         try:
-            return self.queue.enqueue(
+            row = self.queue.enqueue(
                 job_id=job_id,
                 task=parsed.task,
                 name=parsed.name,
@@ -225,6 +242,7 @@ class JobManager:
                 spec=parsed.resolved_spec(),
                 key=parsed.key,
                 cached_result=cached_payload,
+                trace_id=trace_id,
             )
         except sqlite3.Error as exc:
             # Degraded mode: the durable queue is unreachable even after
@@ -236,6 +254,53 @@ class JobManager:
             raise ServiceUnavailable(
                 f"job queue unavailable: {exc}"
             ) from exc
+
+        if cached_payload is not None:
+            # A cache hit completes at submission — no worker will ever
+            # write this trace, so the front tier records the whole
+            # (sub-millisecond) timeline itself.
+            self._record_cached_trace(
+                row, submit_wall=submit_wall, lookup_elapsed=lookup_elapsed
+            )
+        return row
+
+    def _record_cached_trace(
+        self, row: JobRow, *, submit_wall: float, lookup_elapsed: float
+    ) -> None:
+        if row.trace_id is None:
+            return
+        spans = [
+            _trace.synthetic_span(
+                trace_id=row.trace_id,
+                span_id=row.id,
+                parent_id=None,
+                name="job",
+                start=submit_wall,
+                duration=max(time.time() - submit_wall, lookup_elapsed),
+                attributes={
+                    "job_id": row.id,
+                    "task": row.task,
+                    "state": "done",
+                    "cached": True,
+                    "attempts": 0,
+                },
+            ),
+            _trace.synthetic_span(
+                trace_id=row.trace_id,
+                span_id=f"{row.id}-lookup",
+                parent_id=row.id,
+                name="store.get",
+                start=submit_wall,
+                duration=lookup_elapsed,
+                attributes={"hit": True},
+            ),
+        ]
+        try:
+            self.queue.record_spans(spans, job_id=row.id)
+        except sqlite3.Error as exc:  # tracing must never fail a submit
+            _LOG.warning(
+                "could not persist trace for cached job %s: %s", row.id, exc
+            )
 
     # -- inspection ---------------------------------------------------------
 
@@ -258,6 +323,33 @@ class JobManager:
             timeout=timeout,
             poll=min(0.1, self.queue_config.poll_seconds),
         )
+
+    def trace(self, job_id: str) -> Optional[dict]:
+        """The span tree of one job (``GET /v1/jobs/<id>/trace``).
+
+        Returns ``None`` for an unknown job.  A known job whose spans
+        were not persisted yet (still queued/running, or tracing off)
+        yields an empty tree rather than an error — the trace appears
+        as the attempts complete.
+        """
+        row = self.queue.get(job_id)
+        if row is None:
+            return None
+        try:
+            # Scoped to the job, not the trace id: a client may reuse
+            # one X-Repro-Trace-Id across submissions, and this
+            # endpoint promises a single tree for *this* job.
+            spans = self.queue.trace_spans(job_id=job_id)
+        except sqlite3.Error:
+            spans = []  # traces are best-effort while the queue degrades
+        return {
+            "job_id": row.id,
+            "trace_id": row.trace_id,
+            "status": row.state,
+            "span_count": len(spans),
+            "spans": spans,
+            "tree": _trace.build_tree(spans),
+        }
 
     def result_payload(self, key: str) -> Optional[dict]:
         """Fetch a raw store payload (``GET /v1/results/<key>``)."""

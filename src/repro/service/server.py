@@ -10,7 +10,14 @@ Endpoints (all JSON unless noted)::
     GET  /v1/jobs/<id>            one job record (status, result when done)
     GET  /v1/jobs/<id>/events     long-poll a state transition
                                   (?since=<version>&timeout=<seconds>)
+    GET  /v1/jobs/<id>/trace      the job's span tree (distributed trace)
     GET  /v1/results/<key>        raw result-store payload by cache key
+
+``POST /v1/jobs`` honors an ``X-Repro-Trace-Id`` request header: the
+(sanitized) value becomes the job's trace id, so a caller that spans
+multiple services can stitch this job into its own distributed trace.
+Absent or invalid, a fresh id is minted; either way it is returned in
+the job record and reachable later via ``GET /v1/jobs/<id>/trace``.
 
 Errors use one envelope everywhere::
 
@@ -86,6 +93,34 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         _LOG.debug("%s - %s", self.address_string(), format % args)
 
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        """Structured access log (DEBUG; visible under REPRO_LOG_LEVEL).
+
+        Replaces the stderr one-liner ``http.server`` would print with a
+        record carrying method/path/status/duration and — when the
+        request touched a job — its trace id, so JSON-mode logs
+        correlate with the job's distributed trace.
+        """
+        try:
+            status = int(code)
+        except (TypeError, ValueError):
+            status = str(code)
+        started = getattr(self, "_started", None)
+        extra = {
+            "http_method": self.command,
+            "http_path": urlsplit(self.path).path,
+            "http_status": status,
+            "duration_ms": None
+            if started is None
+            else round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            extra["trace_id"] = trace_id
+        _LOG.debug(
+            "%s %s -> %s", self.command, self.path, status, extra=extra
+        )
+
     def _send_json(
         self, status: int, payload: dict, *, headers: Optional[dict] = None
     ) -> None:
@@ -150,6 +185,8 @@ class _Handler(BaseHTTPRequestHandler):
             return "jobs.submit" if method == "POST" else "jobs"
         if path.startswith("/v1/jobs/") and path.endswith("/events"):
             return "jobs.events"
+        if path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            return "jobs.trace"
         if path.startswith("/v1/jobs/"):
             return "jobs.get"
         if path.startswith("/v1/results/"):
@@ -170,6 +207,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         endpoint = self._endpoint_label("GET")
         started = time.perf_counter()
+        self._started = started
+        self._trace_id: Optional[str] = None
         try:
             _inject("http.request")
             self._route_get()
@@ -243,6 +282,17 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._send_json(200, record.to_dict())
             return
+        if path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/v1/jobs/"):-len("/trace")]
+            payload = self.manager.trace(job_id)
+            if payload is None:
+                self._send_error_json(
+                    404, "not_found", f"unknown job id {job_id!r}"
+                )
+                return
+            self._trace_id = payload.get("trace_id")
+            self._send_json(200, payload)
+            return
         if path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             record = self.manager.get(job_id)
@@ -268,6 +318,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         endpoint = self._endpoint_label("POST")
         started = time.perf_counter()
+        self._started = started
+        self._trace_id = None
         try:
             _inject("http.request")
             self._route_post()
@@ -312,7 +364,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         spec = self._read_json_body()
-        record = self.manager.submit(spec)
+        record = self.manager.submit(
+            spec, trace_id=self.headers.get("X-Repro-Trace-Id")
+        )
+        self._trace_id = record.trace_id
         # A cached submission is complete right now (200); fresh work is
         # accepted for asynchronous execution (202).
         self._send_json(200 if record.cached else 202, record.to_dict())

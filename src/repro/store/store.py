@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.faults import init_from_env as _faults_init_from_env
 from repro.faults import inject as _inject
+from repro.obs import trace as _obs_trace
 from repro.obs.metrics import get_registry as _obs_metrics
 from repro.store.keys import STORE_SCHEMA_VERSION
 from repro.utils.retry import RetryPolicy, retry_call
@@ -206,7 +207,9 @@ class ResultStore:
         the entry's LRU timestamp.
         """
         started = time.perf_counter()
-        payload = self._get_inner(key)
+        with _obs_trace.span("store.get", key=key[:16]) as span:
+            payload = self._get_inner(key)
+            span.annotate("hit", payload is not None)
         registry = _obs_metrics()
         registry.observe("store.get", time.perf_counter() - started)
         registry.count(
@@ -298,7 +301,9 @@ class ResultStore:
         could not be memoized.
         """
         started = time.perf_counter()
-        ok = self._put_inner(key, payload, stage=stage)
+        with _obs_trace.span("store.put", key=key[:16], stage=stage) as span:
+            ok = self._put_inner(key, payload, stage=stage)
+            span.annotate("ok", ok)
         registry = _obs_metrics()
         registry.observe("store.put", time.perf_counter() - started)
         registry.count("store.put.writes" if ok else "store.put.errors")

@@ -4,15 +4,57 @@ The solvers emit DEBUG-level traces of scheduler decisions (shift promoted,
 disk covered, interval split, ...) which are invaluable when studying the
 dynamic scheduling behaviour, but silent unless the caller opts in with
 :func:`enable_debug_logging`.
+
+Structured mode: ``REPRO_LOG_FORMAT=json`` switches the handler to
+single-line JSON records, and every record — text or JSON — carries the
+``trace_id``/``span_id``/``job_id`` of the active trace context
+(:mod:`repro.obs.trace`), making worker logs greppable by job.  The
+environment is honored at package import via :func:`init_from_env`;
+malformed values raise :class:`~repro.core.config.ConfigError` naming
+the variable, the same strict contract as every other ``REPRO_*`` knob.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+import os
+from typing import Optional
 
-__all__ = ["get_logger", "enable_debug_logging"]
+__all__ = [
+    "ENV_LOG_FORMAT",
+    "ENV_LOG_LEVEL",
+    "LOG_ENV_VARS",
+    "JsonLogFormatter",
+    "TraceContextFilter",
+    "enable_debug_logging",
+    "get_logger",
+    "init_from_env",
+    "parse_log_format",
+    "parse_log_level",
+    "structured_logging_active",
+]
+
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+ENV_LOG_FORMAT = "REPRO_LOG_FORMAT"
+
+#: Every ``REPRO_LOG_*`` variable this module reads — the docs
+#: anti-drift test walks this tuple.
+LOG_ENV_VARS = (ENV_LOG_FORMAT, ENV_LOG_LEVEL)
 
 _PACKAGE_LOGGER_NAME = "repro"
+_TEXT_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+#: Structured extras the JSON formatter lifts off the record when a call
+#: site supplied them via ``extra=`` (the HTTP access log, workers).
+_EXTRA_FIELDS = (
+    "http_method",
+    "http_path",
+    "http_status",
+    "duration_ms",
+    "worker_id",
+    "event",
+)
 
 
 def get_logger(name: str = "") -> logging.Logger:
@@ -22,17 +64,127 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(_PACKAGE_LOGGER_NAME)
 
 
-def enable_debug_logging(level: int = logging.DEBUG) -> logging.Logger:
+class TraceContextFilter(logging.Filter):
+    """Stamp ``trace_id``/``span_id``/``job_id`` from the active trace
+    context onto every record, unless the call site already supplied
+    them via ``extra=``."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        from repro.obs import trace as _trace
+
+        trace_id, span_id, job_id = _trace.current_ids()
+        if getattr(record, "trace_id", None) is None:
+            record.trace_id = trace_id
+        if getattr(record, "span_id", None) is None:
+            record.span_id = span_id
+        if getattr(record, "job_id", None) is None:
+            record.job_id = job_id
+        return True
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line; correlation fields always present."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "trace_id": getattr(record, "trace_id", None),
+            "span_id": getattr(record, "span_id", None),
+            "job_id": getattr(record, "job_id", None),
+        }
+        for key in _EXTRA_FIELDS:
+            value = getattr(record, key, None)
+            if value is not None:
+                payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def parse_log_level(raw: str) -> int:
+    """Strictly parse a level name (``DEBUG``, ``info``, ...) or int."""
+    value = raw.strip()
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    resolved = logging.getLevelName(value.upper())
+    if isinstance(resolved, int):
+        return resolved
+    from repro.core.config import ConfigError
+
+    raise ConfigError(
+        f"invalid {ENV_LOG_LEVEL}={raw!r}: expected a level name"
+        " (DEBUG, INFO, WARNING, ERROR, CRITICAL) or an integer"
+    )
+
+
+def parse_log_format(raw: str) -> str:
+    """Strictly parse the output format: ``text`` or ``json``."""
+    value = raw.strip().lower()
+    if value in ("text", "json"):
+        return value
+    from repro.core.config import ConfigError
+
+    raise ConfigError(
+        f"invalid {ENV_LOG_FORMAT}={raw!r}: expected text or json"
+    )
+
+
+def enable_debug_logging(
+    level: int = logging.DEBUG, fmt: Optional[str] = None
+) -> logging.Logger:
     """Attach a stderr handler to the package logger and set its level.
 
-    Safe to call repeatedly; only one handler is ever attached.
+    Safe to call repeatedly; only one handler is ever attached.  ``fmt``
+    selects ``"text"`` (default) or ``"json"`` output; omitting it keeps
+    whatever format a previous call installed.
     """
     logger = get_logger()
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, logging.StreamHandler)),
+        None,
+    )
+    if handler is None:
         handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-        )
+        handler.setFormatter(logging.Formatter(_TEXT_FORMAT))
         logger.addHandler(handler)
+    if not any(isinstance(f, TraceContextFilter) for f in handler.filters):
+        handler.addFilter(TraceContextFilter())
+    if fmt is not None:
+        handler.setFormatter(
+            JsonLogFormatter()
+            if fmt == "json"
+            else logging.Formatter(_TEXT_FORMAT)
+        )
     return logger
+
+
+def structured_logging_active() -> bool:
+    """True when the package handler emits JSON records."""
+    return any(
+        isinstance(h.formatter, JsonLogFormatter)
+        for h in get_logger().handlers
+    )
+
+
+def init_from_env() -> Optional[logging.Logger]:
+    """Honor ``REPRO_LOG_LEVEL``/``REPRO_LOG_FORMAT`` at package import.
+
+    A no-op when neither variable is set (the library stays quiet by
+    default); malformed values raise ``ConfigError`` naming the
+    variable.  Setting only the format defaults the level to ``INFO``.
+    """
+    raw_level = os.environ.get(ENV_LOG_LEVEL)
+    raw_format = os.environ.get(ENV_LOG_FORMAT)
+    if raw_level is None and raw_format is None:
+        return None
+    level = (
+        parse_log_level(raw_level) if raw_level is not None else logging.INFO
+    )
+    fmt = parse_log_format(raw_format) if raw_format is not None else "text"
+    return enable_debug_logging(level, fmt=fmt)

@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.macromodel.poles import make_stable, partition_poles
+from repro.obs import trace as _obs_trace
 from repro.obs.metrics import get_registry as _obs_metrics
 from repro.macromodel.rational import PoleResidueModel
 from repro.utils.guards import ensure_finite
@@ -318,7 +319,10 @@ def vector_fit(
     iterations_run = 0
     for iteration in range(options.iterations):
         iterations_run = iteration + 1
-        new_poles = _relocate_poles(freqs_rad, flat, weights, poles, options)
+        with _obs_trace.span("vectfit.relocate", iteration=iteration):
+            new_poles = _relocate_poles(
+                freqs_rad, flat, weights, poles, options
+            )
         move = _pole_movement(poles, new_poles)
         poles = new_poles
         history.append(poles.copy())
@@ -326,7 +330,10 @@ def vector_fit(
             converged = True
             break
 
-    model = _identify_residues(freqs_rad, flat, weights, poles, p, options)
+    with _obs_trace.span("vectfit.residues"):
+        model = _identify_residues(
+            freqs_rad, flat, weights, poles, p, options
+        )
     fitted = model.frequency_response(freqs_rad).reshape(k_samples, p * p)
     # A fit that went numerically off the rails (overflowed residues,
     # divergent pole relocation) must be reported as such, not returned

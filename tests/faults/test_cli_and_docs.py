@@ -71,7 +71,7 @@ class TestDocsSync:
             for action in build_parser()._actions
             if isinstance(action, argparse._SubParsersAction)
         ]
-        for command in ("bench", "profile"):
+        for command in ("bench", "profile", "trace"):
             assert f"repro {command}" in text, (
                 f"subcommand `repro {command}` is undocumented in"
                 " docs/quickstart.md"
@@ -86,4 +86,24 @@ class TestDocsSync:
                     )
         # The bench tiers and the scrape endpoint ship in the same PR.
         for token in ("--tier serial", "--tier multicore", "/v1/metrics"):
+            assert token in text, f"{token!r} undocumented in quickstart"
+
+    @pytest.mark.skipif(not DOCS.exists(), reason="docs not in this checkout")
+    def test_quickstart_documents_every_tracing_env_var(self):
+        """Each `REPRO_TRACE_*`/`REPRO_LOG_*` knob the code reads has a
+        row in the quickstart's env-config table — derived from the
+        modules' own variable tuples, so a new knob cannot ship
+        undocumented."""
+        from repro.obs.trace import TRACE_ENV_VARS
+        from repro.utils.logging import LOG_ENV_VARS
+
+        text = DOCS.read_text()
+        assert "### Tracing a job" in text
+        for variable in (*TRACE_ENV_VARS, *LOG_ENV_VARS):
+            assert f"| `{variable}` |" in text, (
+                f"{variable} is read by the code but has no row in the"
+                " docs/quickstart.md env-config table"
+            )
+        # The trace surfaces themselves are documented too.
+        for token in ("/trace", "repro trace", "X-Repro-Trace-Id"):
             assert token in text, f"{token!r} undocumented in quickstart"

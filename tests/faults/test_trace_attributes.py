@@ -1,0 +1,79 @@
+"""Injected faults surface on the distributed trace.
+
+Chaos-suite jobs must be debuggable after the fact: every fault the
+injector fires while a trace is active is recorded as a structured
+event on the innermost open span, and the worker annotates each attempt
+with the per-point fired-counter delta.
+"""
+
+import pytest
+
+from repro import faults
+from repro.obs import trace
+from repro.store import ResultStore
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _activate_trace():
+    ctx = trace.TraceContext(
+        trace_id=trace.new_trace_id(), span_id="root", job_id="chaos-job"
+    )
+    return trace.activate(ctx, job_id="chaos-job")
+
+
+class TestFaultEventsOnSpans:
+    def test_fired_fault_lands_on_the_open_span(self):
+        faults.activate(faults.FaultPlan.parse("store.write:io_error@1.0"))
+        with _activate_trace() as sink:
+            with trace.span("store.put"):
+                with pytest.raises(OSError):
+                    faults.inject("store.write")
+        (span,) = sink
+        assert span["attributes"]["faults"] == [
+            {"point": "store.write", "kind": "io_error"}
+        ]
+
+    def test_data_faults_are_recorded_too(self):
+        faults.activate(faults.FaultPlan.parse("store.read:corrupt@1.0"))
+        with _activate_trace() as sink:
+            with trace.span("store.get"):
+                assert faults.inject("store.read") == "corrupt"
+        (span,) = sink
+        assert span["attributes"]["faults"][0]["kind"] == "corrupt"
+
+    def test_unfired_points_leave_spans_clean(self):
+        faults.activate(faults.FaultPlan.parse("store.write:io_error@0.0"))
+        with _activate_trace() as sink:
+            with trace.span("store.put"):
+                assert faults.inject("store.write") is None
+        (span,) = sink
+        assert "faults" not in span["attributes"]
+
+    def test_fault_outside_any_trace_is_harmless(self):
+        faults.activate(faults.FaultPlan.parse("store.write:error@1.0"))
+        with pytest.raises(RuntimeError):
+            faults.inject("store.write")
+
+
+class TestStoreUnderChaosIsTraced:
+    def test_store_write_fault_annotates_the_put_span(self, tmp_path):
+        """A real store call under an active plan: the traced ``store.put``
+        span carries both the failure outcome and the fault event."""
+        store = ResultStore(root=tmp_path / "store")
+        faults.activate(faults.FaultPlan.parse("store.write:io_error@1.0"))
+        with _activate_trace() as sink:
+            ok = store.put("ab12" * 4, {"status": "ok"}, stage="fit")
+        faults.deactivate()
+        assert ok is False  # the injected OSError degrades the write
+        puts = [s for s in sink if s["name"] == "store.put"]
+        assert len(puts) == 1
+        assert puts[0]["attributes"]["ok"] is False
+        assert {"point": "store.write", "kind": "io_error"} in puts[0][
+            "attributes"
+        ]["faults"]

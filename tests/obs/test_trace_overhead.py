@@ -1,0 +1,48 @@
+"""Tracer overhead guard: instrumentation is on by default, so the
+traced eigensweep stage must stay within 3% of the untraced timing.
+
+Reuses the seeded ``repro.obs.benchstage`` eigensweep (the paper's
+Hamiltonian characterization) — the same deterministic workload
+``repro bench`` times.  Interleaved best-of-N minima damp scheduler
+noise; one retry absorbs a pathological CI hiccup before failing.
+"""
+
+from repro.obs import trace
+from repro.obs.benchstage import run_bench_stages
+
+#: Relative overhead budget for a fully traced eigensweep.
+BUDGET = 1.03
+ROUNDS = 3
+
+
+def _stage_seconds():
+    (record,) = run_bench_stages(["eigensweep"], scale=0.05, threads=2)
+    return record["seconds"]
+
+
+def _traced_seconds():
+    ctx = trace.TraceContext(
+        trace_id=trace.new_trace_id(), span_id="bench-root"
+    )
+    with trace.activate(ctx) as sink:
+        seconds = _stage_seconds()
+    assert sink, "tracing was active, yet the eigensweep emitted no spans"
+    return seconds
+
+
+def test_traced_eigensweep_within_three_percent():
+    _stage_seconds()  # warm caches/imports outside the measurement
+    ratio = None
+    for _ in range(2):
+        plain, traced = [], []
+        for _ in range(ROUNDS):  # interleave to share machine noise
+            plain.append(_stage_seconds())
+            traced.append(_traced_seconds())
+        ratio = min(traced) / min(plain)
+        if ratio <= BUDGET:
+            break
+    assert ratio <= BUDGET, (
+        f"tracing overhead {100 * (ratio - 1):.1f}% exceeds the"
+        f" {100 * (BUDGET - 1):.0f}% budget"
+        f" (plain={min(plain):.4f}s traced={min(traced):.4f}s)"
+    )

@@ -113,6 +113,7 @@ def test_killed_worker_never_loses_a_job(tmp_path):
                     kind=parsed.kind,
                     spec=parsed.resolved_spec(),
                     key=parsed.key,
+                    trace_id="crash-trace-0001" if index == 0 else None,
                 )
             )
         assert len({row.key for row in rows}) == len(rows)
@@ -161,6 +162,25 @@ def test_killed_worker_never_loses_a_job(tmp_path):
             assert store.get(row.key) is not None
         baseline = _crash_free_baseline(tmp_path, specs)
         assert store.stats()["entries"] == baseline
+
+        # Trace propagation across the crash: the retry executed in a
+        # different process, yet its spans carry the trace id enqueued
+        # with the job, under a fresh attempt-scoped root — one
+        # connected timeline across both attempts.
+        spans = queue.trace_spans(trace_id="crash-trace-0001")
+        assert spans, "the recovered job persisted no spans"
+        assert all(s["trace_id"] == "crash-trace-0001" for s in spans)
+        attempts = [s for s in spans if s["name"] == "worker.attempt"]
+        assert any(
+            s["attributes"]["worker"] == "survivor"
+            and s["attributes"]["attempt"] == 2
+            for s in attempts
+        ), attempts
+        # The synthesized job root ties every attempt's spans together.
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["job"]
+        assert roots[0]["span_id"] == "job0"
+        assert roots[0]["attributes"]["attempts"] == 2
 
         # The survivor drains gracefully: SIGTERM, finish, exit 0.
         survivor.send_signal(signal.SIGTERM)

@@ -283,3 +283,63 @@ class TestStats:
 
     def test_terminal_states_are_a_subset_of_states(self):
         assert set(TERMINAL_STATES) < set(JOB_STATES)
+
+
+class TestSchemaMigration:
+    def test_pre_trace_database_is_migrated_in_place(self, tmp_path):
+        """Opening a queue file created before the tracing release adds
+        the ``trace_id`` column (and traces table) without losing rows."""
+        import sqlite3
+        import time as _time
+
+        path = tmp_path / "old.sqlite3"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE jobs (
+                id           TEXT PRIMARY KEY,
+                task         TEXT NOT NULL,
+                name         TEXT NOT NULL,
+                kind         TEXT NOT NULL,
+                spec         TEXT NOT NULL,
+                key          TEXT,
+                state        TEXT NOT NULL DEFAULT 'queued',
+                cached       INTEGER NOT NULL DEFAULT 0,
+                attempts     INTEGER NOT NULL DEFAULT 0,
+                max_attempts INTEGER NOT NULL DEFAULT 3,
+                worker       TEXT,
+                lease_expires REAL,
+                submitted    REAL NOT NULL,
+                started      REAL,
+                finished     REAL,
+                error        TEXT,
+                result       TEXT,
+                version      INTEGER NOT NULL DEFAULT 1
+            );
+            """
+        )
+        conn.execute(
+            "INSERT INTO jobs (id, task, name, kind, spec, submitted)"
+            " VALUES ('legacy1', 'check', 'old', 'synth', '{}', ?)",
+            (_time.time(),),
+        )
+        conn.commit()
+        conn.close()
+
+        queue = JobQueue(path)
+        try:
+            legacy = queue.get("legacy1")
+            assert legacy is not None
+            assert legacy.trace_id is None
+            fresh = _enqueue(queue, "new1", trace_id="migrated-trace-01")
+            assert fresh.trace_id == "migrated-trace-01"
+            assert queue.get("new1").trace_id == "migrated-trace-01"
+            # The traces table exists and serves the new row.
+            assert queue.trace_spans(job_id="new1") == []
+        finally:
+            queue.close()
+
+    def test_enqueue_without_trace_id_stays_null(self, queue):
+        row = _enqueue(queue, "a1")
+        assert row.trace_id is None
+        assert queue.get("a1").to_dict()["trace_id"] is None

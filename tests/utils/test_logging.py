@@ -1,8 +1,24 @@
-"""Unit tests for the logging shim."""
+"""Unit tests for the logging shim (plain and structured modes)."""
 
+import json
 import logging
 
-from repro.utils.logging import enable_debug_logging, get_logger
+import pytest
+
+from repro.core.config import ConfigError
+from repro.obs import trace
+from repro.utils.logging import (
+    ENV_LOG_FORMAT,
+    ENV_LOG_LEVEL,
+    JsonLogFormatter,
+    TraceContextFilter,
+    enable_debug_logging,
+    get_logger,
+    init_from_env,
+    parse_log_format,
+    parse_log_level,
+    structured_logging_active,
+)
 
 
 class TestGetLogger:
@@ -36,3 +52,181 @@ class TestEnableDebugLogging:
         with caplog.at_level(logging.DEBUG, logger="repro.test_channel"):
             logger.debug("scheduler claimed segment %d", 7)
         assert "claimed segment 7" in caplog.text
+
+
+def _make_record(message="hello", **extra):
+    record = logging.LogRecord(
+        name="repro.test",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+@pytest.fixture
+def restore_package_logger():
+    """Snapshot the shared package logger and restore it afterward."""
+    logger = get_logger()
+    level = logger.level
+    formatters = [h.formatter for h in logger.handlers]
+    yield logger
+    logger.setLevel(level)
+    for handler, formatter in zip(logger.handlers, formatters):
+        handler.setFormatter(formatter)
+
+
+class TestParseLogLevel:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("DEBUG", logging.DEBUG),
+            ("info", logging.INFO),
+            (" Warning ", logging.WARNING),
+            ("10", 10),
+        ],
+    )
+    def test_valid(self, raw, expected):
+        assert parse_log_level(raw) == expected
+
+    def test_malformed_names_the_variable(self):
+        with pytest.raises(ConfigError, match="REPRO_LOG_LEVEL"):
+            parse_log_level("loud")
+
+
+class TestParseLogFormat:
+    @pytest.mark.parametrize("raw", ["text", "json", " JSON "])
+    def test_valid(self, raw):
+        assert parse_log_format(raw) in ("text", "json")
+
+    def test_malformed_names_the_variable(self):
+        with pytest.raises(ConfigError, match="REPRO_LOG_FORMAT"):
+            parse_log_format("xml")
+
+
+class TestJsonFormatter:
+    def test_correlation_fields_always_present(self):
+        line = JsonLogFormatter().format(_make_record())
+        payload = json.loads(line)
+        assert payload["message"] == "hello"
+        assert payload["level"] == "INFO"
+        assert payload["trace_id"] is None
+        assert payload["span_id"] is None
+        assert payload["job_id"] is None
+
+    def test_whitelisted_extras_are_lifted(self):
+        record = _make_record(
+            http_method="GET", http_path="/healthz", http_status=200,
+            duration_ms=1.25,
+        )
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["http_method"] == "GET"
+        assert payload["http_path"] == "/healthz"
+        assert payload["http_status"] == 200
+        assert payload["duration_ms"] == 1.25
+
+    def test_exceptions_are_serialized(self):
+        record = _make_record()
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            import sys
+
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "kaboom" in payload["exc_info"]
+
+
+class TestTraceContextFilter:
+    def test_stamps_active_trace_ids(self):
+        ctx = trace.TraceContext(
+            trace_id="t" * 32, span_id="root", job_id="job-9"
+        )
+        record = _make_record()
+        with trace.activate(ctx, job_id="job-9"):
+            with trace.span("op"):
+                TraceContextFilter().filter(record)
+        assert record.trace_id == "t" * 32
+        assert record.span_id is not None
+        assert record.job_id == "job-9"
+
+    def test_explicit_extra_wins_over_context(self):
+        record = _make_record(trace_id="explicit")
+        TraceContextFilter().filter(record)
+        assert record.trace_id == "explicit"
+        assert record.span_id is None
+
+
+class TestInitFromEnv:
+    def test_noop_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_LOG_LEVEL, raising=False)
+        monkeypatch.delenv(ENV_LOG_FORMAT, raising=False)
+        assert init_from_env() is None
+
+    def test_json_format_activates_structured_mode(
+        self, monkeypatch, restore_package_logger
+    ):
+        monkeypatch.setenv(ENV_LOG_FORMAT, "json")
+        monkeypatch.delenv(ENV_LOG_LEVEL, raising=False)
+        logger = init_from_env()
+        assert logger is not None
+        assert logger.level == logging.INFO  # format alone defaults INFO
+        assert structured_logging_active()
+
+    def test_level_alone_keeps_text_format(
+        self, monkeypatch, restore_package_logger
+    ):
+        monkeypatch.setenv(ENV_LOG_LEVEL, "DEBUG")
+        monkeypatch.delenv(ENV_LOG_FORMAT, raising=False)
+        logger = init_from_env()
+        assert logger.level == logging.DEBUG
+        assert not structured_logging_active()
+
+    def test_malformed_level_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG_LEVEL, "noisy")
+        with pytest.raises(ConfigError, match="REPRO_LOG_LEVEL"):
+            init_from_env()
+
+    def test_malformed_format_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG_FORMAT, "yaml")
+        monkeypatch.delenv(ENV_LOG_LEVEL, raising=False)
+        with pytest.raises(ConfigError, match="REPRO_LOG_FORMAT"):
+            init_from_env()
+
+
+class TestStructuredEndToEnd:
+    def test_every_emitted_line_is_json_with_trace_id(
+        self, restore_package_logger
+    ):
+        import io
+
+        logger = enable_debug_logging(logging.DEBUG, fmt="json")
+        handler = next(
+            h for h in logger.handlers if isinstance(h, logging.StreamHandler)
+        )
+        buffer = io.StringIO()
+        old_stream = handler.setStream(buffer)
+        try:
+            ctx = trace.TraceContext(
+                trace_id="e2e-trace-00001", span_id="root", job_id="job-e2e"
+            )
+            with trace.activate(ctx, job_id="job-e2e"):
+                with trace.span("stage.fit"):
+                    get_logger("worker").info("fit finished")
+            get_logger("worker").info("outside any trace")
+        finally:
+            handler.setStream(old_stream)
+        lines = [
+            l for l in buffer.getvalue().splitlines() if l.strip()
+        ]
+        assert len(lines) == 2
+        first, second = (json.loads(l) for l in lines)
+        assert first["trace_id"] == "e2e-trace-00001"
+        assert first["job_id"] == "job-e2e"
+        assert first["span_id"] is not None
+        assert second["trace_id"] is None
